@@ -1,0 +1,62 @@
+"""Ablation — NFS-like RPC vs delta encoding as write size sweeps.
+
+The paper's footnote 3: "The delta is at least one data block (e.g., 4KB
+in rsync) even though only 1 byte is modified" — so for sub-block writes,
+shipping the raw write beats delta encoding, and above block size the two
+converge. This sweep locates the crossover.
+"""
+
+from conftest import register_report
+
+from repro.common.rng import DeterministicRandom
+from repro.delta.bitwise import bitwise_delta
+from repro.metrics.report import format_table
+from repro.net.messages import UploadDelta, UploadWrite
+
+FILE_SIZE = 512 * 1024
+BLOCK = 4096
+SIZES = [64, 256, 1024, 4096, 16384, 65536]
+
+
+def _collect():
+    rng = DeterministicRandom(73)
+    base = rng.random_bytes(FILE_SIZE)
+    rows = []
+    for size in SIZES:
+        offset = (FILE_SIZE // 2) + 13  # deliberately unaligned
+        payload = rng.random_bytes(size)
+        new = base[:offset] + payload + base[offset + size :]
+
+        rpc_bytes = UploadWrite(path="/f", offset=offset, data=payload).wire_size()
+        delta = bitwise_delta(base, new, BLOCK)
+        delta_bytes = UploadDelta(path="/f", delta=delta).wire_size()
+        rows.append((size, rpc_bytes, delta_bytes))
+    return rows
+
+
+def test_ablation_crossover(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    register_report(
+        "Ablation: RPC vs delta wire bytes by write size (4KB blocks)",
+        format_table(
+            ["write size", "RPC bytes", "delta bytes", "winner"],
+            [
+                [s, r, d, "RPC" if r <= d else "delta"]
+                for s, r, d in rows
+            ],
+        ),
+    )
+
+    by_size = {s: (r, d) for s, r, d in rows}
+    # below the block size, RPC wins decisively
+    for size in (64, 256, 1024):
+        rpc, delta = by_size[size]
+        assert rpc < delta, size
+    # a sub-block write costs the delta path a whole block (+ a spare for
+    # the unaligned spill), i.e. delta bytes ~ 2 blocks for a 64B write
+    rpc64, delta64 = by_size[64]
+    assert delta64 >= BLOCK
+    # by 16x the block size the two are within 25%
+    rpc_big, delta_big = by_size[65536]
+    assert abs(rpc_big - delta_big) < 0.25 * rpc_big

@@ -1,0 +1,45 @@
+"""Fleet-scaling bench: server work as the client count grows.
+
+Quantifies the paper's Section VI claim ("servers simply apply incremental
+data on files", enabling wimpy hardware): per-client server demand must be
+flat as the fleet grows — the server does no per-client delta computation,
+only increment application.
+"""
+
+from conftest import register_report
+
+from repro.harness.capacity import run_capacity
+from repro.metrics.report import format_bytes, format_table
+
+FLEETS = (1, 4, 16)
+
+
+def _collect():
+    return {
+        n: run_capacity(n, writes_per_client=10, file_size=128 * 1024)
+        for n in FLEETS
+    }
+
+
+def test_capacity_scaling(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = [
+        [
+            n,
+            f"{r.server_ticks:.2f}",
+            f"{r.server_ticks_per_client:.3f}",
+            format_bytes(r.total_up_bytes),
+        ]
+        for n, r in results.items()
+    ]
+    register_report(
+        "Fleet scaling: DeltaCFS server work vs client count",
+        format_table(
+            ["clients", "server ticks", "ticks/client", "total upload"], rows
+        ),
+    )
+
+    per_client = [r.server_ticks_per_client for r in results.values()]
+    assert max(per_client) < 1.3 * min(per_client)  # linear scaling
+    assert results[16].server_ticks < 16 * 1.3 * results[1].server_ticks

@@ -1,0 +1,53 @@
+"""Figure 2 — WeChat synced through Dropsync on a mobile device.
+
+Replays the WeChat trace through the full-upload client on the mobile
+network/CPU profiles and reports total traffic, TUE (Traffic Usage
+Efficiency = total sync traffic / data update size), CPU, and the
+cumulative-upload timeline.
+
+Shape assertions:
+- TUE is terrible (the paper's Figure 2 shows the traffic dwarfing the
+  update size — whole-database uploads for message-sized changes);
+- the client stays busy: CPU per update byte is orders of magnitude above
+  DeltaCFS's on the same workload.
+"""
+
+from conftest import register_report
+
+from repro.harness.experiments import (
+    WECHAT_SCALE,
+    fig2_dropsync_mobile,
+    run_mobile,
+)
+from repro.metrics.report import format_bytes, format_table
+from repro.workloads import wechat_trace
+
+
+def _collect():
+    return fig2_dropsync_mobile(fast=False)
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = [
+        ["total sync traffic", format_bytes(result.total_traffic)],
+        ["data update size", format_bytes(result.update_bytes)],
+        ["TUE", f"{result.tue:.1f}"],
+        ["client CPU ticks", f"{result.cpu_ticks:.1f}"],
+        ["timeline samples", str(len(result.traffic_timeline))],
+    ]
+    register_report("Figure 2: WeChat via Dropsync on mobile", format_table(["metric", "value"], rows))
+
+    # TUE far above 1: the abuse the paper opens with
+    assert result.tue > 20
+
+    # cumulative upload is monotone (sanity of the timeline series)
+    values = [v for _, v in result.traffic_timeline]
+    assert values == sorted(values)
+
+    # DeltaCFS on the same workload: TUE near 1
+    trace = wechat_trace(scale=WECHAT_SCALE, modifications=120, seed=32)
+    deltacfs = run_mobile("deltacfs", trace, WECHAT_SCALE)
+    assert deltacfs.tue < 3
+    assert result.cpu_ticks > 5 * deltacfs.client_ticks

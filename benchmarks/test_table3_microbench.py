@@ -1,0 +1,58 @@
+"""Table III — local read/write performance on microbenchmarks.
+
+filebench-style fileserver / varmail / webserver streams through four
+stacks: native, loopback FUSE, DeltaCFS, DeltaCFS+checksums. The unit is
+MB/s under the documented latency model (see
+``repro.harness.microbench.LatencyModel``).
+
+Shape assertions (Table III):
+- fileserver: native ~ FUSE > DeltaCFS > DeltaCFSc;
+- varmail: FUSE > native (cache/writeback); DeltaCFS ~30% below FUSE;
+  checksums free (hidden under fsync);
+- webserver: FUSE ~ DeltaCFS ~ DeltaCFSc >= native.
+"""
+
+from conftest import register_report
+
+from repro.harness.microbench import STACKS, run_microbench
+from repro.metrics.report import format_table
+from repro.workloads.filebench import fileserver_ops, varmail_ops, webserver_ops
+
+
+def _collect():
+    out = {}
+    for name, ops in [
+        ("fileserver", fileserver_ops(operations=800)),
+        ("varmail", varmail_ops(operations=800)),
+        ("webserver", webserver_ops(operations=800)),
+    ]:
+        out[name] = {stack: run_microbench(name, ops, stack) for stack in STACKS}
+    return out
+
+
+def test_table3(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = [
+        [workload] + [f"{results[workload][s].mb_per_s:.1f}" for s in STACKS]
+        for workload in ("fileserver", "varmail", "webserver")
+    ]
+    register_report(
+        "Table III: microbenchmark throughput (MB/s)",
+        format_table(["workload"] + list(STACKS), rows),
+    )
+
+    fileserver = results["fileserver"]
+    assert abs(fileserver["fuse"].mb_per_s - fileserver["native"].mb_per_s) < 0.15 * fileserver["native"].mb_per_s
+    assert fileserver["deltacfs"].mb_per_s < 0.85 * fileserver["fuse"].mb_per_s
+    assert fileserver["deltacfsc"].mb_per_s < fileserver["deltacfs"].mb_per_s
+
+    varmail = results["varmail"]
+    assert varmail["fuse"].mb_per_s > varmail["native"].mb_per_s
+    assert 0.5 < varmail["deltacfs"].mb_per_s / varmail["fuse"].mb_per_s < 0.9
+    assert varmail["deltacfsc"].mb_per_s > 0.95 * varmail["deltacfs"].mb_per_s
+
+    webserver = results["webserver"]
+    assert webserver["fuse"].mb_per_s > webserver["native"].mb_per_s
+    assert abs(webserver["deltacfs"].mb_per_s - webserver["fuse"].mb_per_s) < 0.05 * webserver["fuse"].mb_per_s
+    assert webserver["deltacfsc"].mb_per_s > 0.9 * webserver["fuse"].mb_per_s

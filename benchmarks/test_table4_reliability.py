@@ -1,0 +1,38 @@
+"""Table IV — results of reliability tests.
+
+Three scenarios per service: silently corrupted data, crash-inconsistent
+data, and causal upload ordering. The expected table (the paper's):
+
+    Dropbox   upload   upload   N
+    Seafile   upload   upload   N
+    DeltaCFS  detect   detect   Y
+"""
+
+from conftest import register_report
+
+from repro.harness.experiments import table4_reliability
+from repro.metrics.report import format_table
+
+
+def _collect():
+    return table4_reliability()
+
+
+def test_table4(benchmark):
+    outcomes = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = [[o.service, o.corrupted, o.inconsistent, o.causal_order] for o in outcomes]
+    register_report(
+        "Table IV: reliability tests (corrupted / inconsistent / causal)",
+        format_table(["service", "corrupted", "inconsistent", "causal"], rows),
+    )
+
+    by_service = {o.service: o for o in outcomes}
+    for baseline in ("dropbox", "seafile"):
+        assert by_service[baseline].corrupted == "upload"
+        assert by_service[baseline].inconsistent == "upload"
+        assert by_service[baseline].causal_order == "N"
+    deltacfs = by_service["deltacfs"]
+    assert deltacfs.corrupted == "detect"
+    assert deltacfs.inconsistent == "detect"
+    assert deltacfs.causal_order == "Y"

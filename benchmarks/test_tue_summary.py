@@ -1,0 +1,49 @@
+"""TUE summary across every (trace, system) pair.
+
+TUE — Traffic Usage Efficiency, total sync traffic divided by update size
+(the metric of the paper's ref [2], shown in its Figure 2) — condenses
+network efficiency into one number per cell: 1.0 is perfect, large values
+are the abuse the paper attacks.
+"""
+
+from conftest import register_report
+
+from repro.harness.experiments import PC_SOLUTIONS, bench_traces, run_mobile, run_pc
+from repro.metrics.report import format_table
+
+
+def _collect():
+    cells = {}
+    for trace_name, (trace, scale) in bench_traces(fast=False).items():
+        for solution in PC_SOLUTIONS:
+            cells[(trace_name, solution)] = run_pc(solution, trace, scale)
+        cells[(trace_name, "dropsync(mobile)")] = run_mobile("fullsync", trace, scale)
+    return cells
+
+
+def test_tue_summary(benchmark):
+    cells = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    systems = list(PC_SOLUTIONS) + ["dropsync(mobile)"]
+    traces = ("append_write", "random_write", "word", "wechat")
+    rows = []
+    for trace in traces:
+        row = [trace]
+        for system in systems:
+            result = cells[(trace, system)]
+            row.append(f"{result.tue:.2f}")
+        rows.append(row)
+    register_report(
+        "TUE summary (total sync traffic / update size; 1.0 is perfect)",
+        format_table(["trace"] + systems, rows),
+    )
+
+    for trace in traces:
+        deltacfs = cells[(trace, "deltacfs")].tue
+        # DeltaCFS stays within small constant factors of perfect...
+        assert deltacfs < 4.0, trace
+        # ...and is never beaten by the delta-sync baselines
+        assert deltacfs <= cells[(trace, "seafile")].tue * 1.05, trace
+        # full-file mobile sync is catastrophic on in-place workloads
+    assert cells[("random_write", "dropsync(mobile)")].tue > 100
+    assert cells[("wechat", "dropsync(mobile)")].tue > 20

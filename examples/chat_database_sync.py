@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario: continuously syncing a chat application's SQLite database.
+
+This is the paper's motivating workload (Figures 1, 2 and the WeChat
+trace): a large tabular file receiving frequent, small, journaled updates.
+The script replays a synthesized WeChat trace through all five sync
+systems and prints the Figure-8(d)-style comparison — traffic, CPU, and
+TUE — showing the "abuse of delta sync" and how DeltaCFS avoids it.
+
+Run:  python examples/chat_database_sync.py [--scale N] [--mods N]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.experiments import _scaled_kwargs
+from repro.harness.runner import SOLUTIONS, run_trace
+from repro.metrics.report import format_bytes, format_table
+from repro.workloads import wechat_trace
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=32,
+                        help="divide the paper's 131MB database by this")
+    parser.add_argument("--mods", type=int, default=60,
+                        help="number of journaled modifications to replay")
+    args = parser.parse_args()
+
+    trace = wechat_trace(scale=args.scale, modifications=args.mods)
+    db_size = len(trace.preload["/chat.sqlite"])
+    print(f"database: {format_bytes(db_size)}, "
+          f"{args.mods} modifications, "
+          f"{format_bytes(trace.stats.update_bytes)} of real updates\n")
+
+    rows = []
+    for solution in SOLUTIONS:
+        result = run_trace(solution, trace, **_scaled_kwargs(args.scale))
+        rows.append([
+            solution,
+            f"{result.client_ticks:.1f}",
+            f"{result.server_ticks:.1f}",
+            format_bytes(result.up_bytes),
+            format_bytes(result.down_bytes),
+            f"{result.tue:.2f}",
+        ])
+    print(format_table(
+        ["solution", "client CPU", "server CPU", "upload", "download", "TUE"],
+        rows,
+    ))
+    print(
+        "\nTUE = total sync traffic / update size; 1.0 is perfect.\n"
+        "Watch: Dropbox's CPU (rsync re-scans the whole database per\n"
+        "change), Seafile's traffic (1MB chunks for 4KB page writes), and\n"
+        "DeltaCFS matching NFS's traffic at a fraction of everyone's CPU."
+    )
+
+
+if __name__ == "__main__":
+    main()

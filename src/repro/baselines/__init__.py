@@ -1,0 +1,29 @@
+"""Baseline sync systems the paper compares against (Section IV-A).
+
+All four are re-implementations of the *algorithms* the commercial systems
+use, with the parameters the paper documents:
+
+- :mod:`repro.baselines.dropbox` — rsync with 4 KB blocks applied within
+  4 MB deduplication units, inotify-triggered, client-side checksum
+  recalculation, network compression (Dropbox Linux client behaviour).
+- :mod:`repro.baselines.seafile` — content-defined chunking with 1 MB
+  average chunks and fingerprint-based chunk dedup (Seafile).
+- :mod:`repro.baselines.nfs` — NFSv4-like write RPCs with page caching,
+  fetch-before-write on unaligned writes, and cache invalidation on rename.
+- :mod:`repro.baselines.fullsync` — whole-file upload on change with
+  link-idle gating (Dropsync / Google-Drive-style, and the mobile baseline).
+"""
+
+from repro.baselines.base import WatcherSyncClient
+from repro.baselines.dropbox import DropboxClient
+from repro.baselines.seafile import SeafileClient
+from repro.baselines.nfs import NFSClient
+from repro.baselines.fullsync import FullUploadClient
+
+__all__ = [
+    "WatcherSyncClient",
+    "DropboxClient",
+    "SeafileClient",
+    "NFSClient",
+    "FullUploadClient",
+]

@@ -1,0 +1,61 @@
+"""The full-upload baseline: Dropsync / Google-Drive-style whole-file sync.
+
+Whenever a watched file changes, the entire file is read from disk and
+transmitted. This is the mobile baseline of Section IV ("it has to load the
+file from disk and transmit the whole file through network every time the
+file is modified"). On a slow WAN the uplink stays saturated, which both
+burns CPU continuously and *involuntarily batches* updates — the client can
+only start a new round when the link drains, so several edits collapse into
+one upload (the effect the paper observed in the mobile Word/WeChat runs).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import WatcherSyncClient
+from repro.net.messages import Ack, MetaOp, UploadFull
+from repro.server.cloud import CloudServer
+
+
+class FullUploadClient(WatcherSyncClient):
+    """Whole-file uploader with link-idle gating."""
+
+    name = "fullsync"
+
+    def __init__(
+        self,
+        *args,
+        server: CloudServer | None = None,
+        compression_ratio: float = 1.0,
+        **kwargs,
+    ):
+        kwargs.setdefault("wait_for_idle_link", True)
+        super().__init__(*args, **kwargs)
+        self.server = server
+        self.compression_ratio = compression_ratio
+        self.uploads = 0
+
+    def _sync_file(self, path: str, now: float) -> None:
+        content = self.fs.read_file(path)
+        # Load the whole file from disk...
+        self.meter.charge_bytes("scan_read", len(content))
+        payload = content
+        if self.compression_ratio < 1.0:
+            self.meter.charge_bytes("compress", len(content))
+            payload = content[: max(1, int(len(content) * self.compression_ratio))]
+        # ...and push the whole thing through the network stack.
+        self.channel.upload(UploadFull(path=path, data=payload), now)
+        self.uploads += 1
+        if self.server is not None:
+            self.server.meter.charge_bytes("apply_delta", len(content))
+            self.server.store.put(path, content, None)
+        self.channel.download(Ack(path=path), now)
+
+    def _sync_delete(self, path: str, now: float) -> None:
+        self.channel.upload(MetaOp(kind="unlink", path=path), now)
+        if self.server is not None and self.server.store.exists(path):
+            self.server.store.delete(path)
+
+    def _sync_rename(self, src: str, dst: str, now: float) -> None:
+        self.channel.upload(MetaOp(kind="rename", path=src, dest=dst), now)
+        if self.server is not None and self.server.store.exists(src):
+            self.server.store.rename(src, dst)

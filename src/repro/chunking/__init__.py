@@ -1,0 +1,27 @@
+"""Chunking and checksum primitives shared by all delta-sync algorithms.
+
+- :mod:`repro.chunking.rolling` — the rsync weak rolling checksum
+  (Adler-32-style), also reused as the integrity block checksum
+  (paper Section III-E).
+- :mod:`repro.chunking.strong` — metered strong checksums (MD5/SHA-256).
+- :mod:`repro.chunking.fixed` — fixed-size block chunking (rsync).
+- :mod:`repro.chunking.cdc` — content-defined chunking via a gear hash
+  (LBFS/Seafile style).
+"""
+
+from repro.chunking.rolling import RollingChecksum, weak_checksum
+from repro.chunking.strong import strong_checksum, dedup_hash
+from repro.chunking.fixed import fixed_chunks, FixedChunk
+from repro.chunking.cdc import cdc_chunks, CDCChunk, GearHasher
+
+__all__ = [
+    "RollingChecksum",
+    "weak_checksum",
+    "strong_checksum",
+    "dedup_hash",
+    "fixed_chunks",
+    "FixedChunk",
+    "cdc_chunks",
+    "CDCChunk",
+    "GearHasher",
+]

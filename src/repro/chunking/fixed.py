@@ -1,0 +1,65 @@
+"""Fixed-size block chunking, as used by rsync and the checksum store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.chunking.strong import strong_checksum
+from repro.cost.meter import CostMeter, NULL_METER
+
+
+@dataclass(frozen=True)
+class FixedChunk:
+    """One fixed-size block of a file.
+
+    Attributes:
+        index: block number (offset // block_size).
+        offset: byte offset of the block in the file.
+        length: block length (the final block may be shorter).
+        weak: 32-bit rolling checksum of the block.
+        strong: MD5 digest of the block, or ``None`` when the caller chose
+            not to pay for strong checksums (the DeltaCFS local path).
+    """
+
+    index: int
+    offset: int
+    length: int
+    weak: int
+    strong: bytes | None
+
+
+def fixed_chunks(
+    data: bytes,
+    block_size: int,
+    *,
+    with_strong: bool = True,
+    meter: CostMeter = NULL_METER,
+) -> List[FixedChunk]:
+    """Split ``data`` into fixed-size blocks with checksums.
+
+    This is the "signature" side of rsync: the holder of the old file
+    computes one (weak, strong) pair per block. With ``with_strong=False``
+    only the cheap weak checksum is computed — DeltaCFS does this because it
+    verifies candidate matches by bitwise comparison instead.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    from repro.chunking._fast import block_weak_checksums
+
+    meter.charge_bytes("rolling_checksum", len(data))
+    weaks = block_weak_checksums(data, block_size)
+    chunks: List[FixedChunk] = []
+    for i, weak in enumerate(weaks):
+        offset = i * block_size
+        block = data[offset : offset + block_size]
+        chunks.append(
+            FixedChunk(
+                index=i,
+                offset=offset,
+                length=len(block),
+                weak=weak,
+                strong=strong_checksum(block, meter) if with_strong else None,
+            )
+        )
+    return chunks

@@ -1,0 +1,25 @@
+"""Metered strong checksums.
+
+``strong_checksum`` is the MD5 used by classic rsync to confirm weak-hash
+matches — exactly the computation DeltaCFS's bitwise optimization removes.
+``dedup_hash`` is the content hash used by deduplicating uploaders
+(Dropbox's 4 MB blocks, Seafile's CDC chunks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cost.meter import CostMeter, NULL_METER
+
+
+def strong_checksum(data: bytes, meter: CostMeter = NULL_METER) -> bytes:
+    """MD5 digest of ``data``, charged to the ``strong_checksum`` category."""
+    meter.charge_bytes("strong_checksum", len(data))
+    return hashlib.md5(data).digest()
+
+
+def dedup_hash(data: bytes, meter: CostMeter = NULL_METER) -> bytes:
+    """SHA-256 digest used as a deduplication key, charged as ``dedup_hash``."""
+    meter.charge_bytes("dedup_hash", len(data))
+    return hashlib.sha256(data).digest()

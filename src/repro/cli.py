@@ -1,0 +1,248 @@
+"""Command-line interface: run experiments, generate and replay traces.
+
+Usage (installed, or ``python -m repro``):
+
+    python -m repro info
+    python -m repro experiment table2 --fast
+    python -m repro experiment all
+    python -m repro trace word --out word.trace --scale 16 --ops 10
+    python -m repro replay word.trace --solution deltacfs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.metrics.report import format_bytes, format_table
+
+
+def _cmd_info(_args) -> int:
+    import repro
+
+    print(f"DeltaCFS reproduction v{repro.__version__}")
+    print(__doc__.strip().splitlines()[0])
+    print("\nsubsystems:")
+    for name, role in [
+        ("repro.core", "the DeltaCFS client engine (the paper's contribution)"),
+        ("repro.server", "the cloud: versioned store, conflicts, fan-out"),
+        ("repro.vfs", "virtual file system + operation interception (FUSE role)"),
+        ("repro.delta", "rsync / bitwise rsync / patch"),
+        ("repro.chunking", "rolling, strong, fixed, content-defined chunking"),
+        ("repro.kvstore", "WAL-backed KV store (LevelDB role)"),
+        ("repro.net", "wire protocol + accounted simulated WAN"),
+        ("repro.cost", "calibrated CPU-tick model"),
+        ("repro.baselines", "Dropbox / Seafile / NFS / Dropsync re-implementations"),
+        ("repro.workloads", "paper traces + filebench op streams"),
+        ("repro.faults", "corruption & crash-inconsistency injection"),
+        ("repro.harness", "per-table/figure experiment drivers"),
+    ]:
+        print(f"  {name:18s} {role}")
+    return 0
+
+
+def _print_run_results(title: str, results) -> None:
+    rows = [
+        [
+            r.extra.get("setting", "pc"),
+            r.trace,
+            r.solution,
+            f"{r.client_ticks:.1f}",
+            f"{r.server_ticks:.1f}",
+            format_bytes(r.up_bytes),
+            format_bytes(r.down_bytes),
+        ]
+        for r in results
+    ]
+    print(f"\n=== {title} ===")
+    print(
+        format_table(
+            ["setting", "trace", "solution", "cli CPU", "srv CPU", "up", "down"],
+            rows,
+        )
+    )
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness import experiments
+
+    fast = args.fast
+    wanted = args.name
+    ran_any = False
+
+    if wanted in ("table2", "all"):
+        _print_run_results("Table II / CPU", experiments.table2_cpu(fast))
+        ran_any = True
+    if wanted in ("fig8", "all"):
+        _print_run_results("Figure 8 / network on PC", experiments.fig8_network_pc(fast))
+        ran_any = True
+    if wanted in ("fig9", "all"):
+        _print_run_results(
+            "Figure 9 / network on mobile", experiments.fig9_network_mobile(fast)
+        )
+        ran_any = True
+    if wanted in ("fig1", "all"):
+        results = experiments.fig1_motivation(fast)
+        print("\n=== Figure 1 / motivation ===")
+        print(
+            format_table(
+                ["workload", "solution", "cpu", "upload", "disk reads"],
+                [
+                    [
+                        r.trace,
+                        r.solution,
+                        f"{r.client_ticks:.1f}",
+                        format_bytes(r.up_bytes),
+                        format_bytes(r.extra["read_bytes"]),
+                    ]
+                    for r in results
+                ],
+            )
+        )
+        ran_any = True
+    if wanted in ("fig2", "all"):
+        result = experiments.fig2_dropsync_mobile(fast)
+        print("\n=== Figure 2 / Dropsync on mobile ===")
+        print(f"traffic {format_bytes(result.total_traffic)}  "
+              f"update {format_bytes(result.update_bytes)}  "
+              f"TUE {result.tue:.1f}  CPU {result.cpu_ticks:.1f}")
+        ran_any = True
+    if wanted in ("table3", "all"):
+        from repro.harness.microbench import STACKS, run_microbench
+        from repro.workloads.filebench import (
+            fileserver_ops,
+            varmail_ops,
+            webserver_ops,
+        )
+
+        print("\n=== Table III / microbenchmarks (MB/s) ===")
+        rows = []
+        for name, ops in [
+            ("fileserver", fileserver_ops()),
+            ("varmail", varmail_ops()),
+            ("webserver", webserver_ops()),
+        ]:
+            rows.append(
+                [name]
+                + [f"{run_microbench(name, ops, s).mb_per_s:.1f}" for s in STACKS]
+            )
+        print(format_table(["workload"] + list(STACKS), rows))
+        ran_any = True
+    if wanted in ("table4", "all"):
+        results = experiments.table4_reliability()
+        print("\n=== Table IV / reliability ===")
+        print(
+            format_table(
+                ["service", "corrupted", "inconsistent", "causal"],
+                [[o.service, o.corrupted, o.inconsistent, o.causal_order] for o in results],
+            )
+        )
+        ran_any = True
+
+    if not ran_any:
+        print(f"unknown experiment {wanted!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.workloads import (
+        append_write_trace,
+        gedit_trace,
+        random_write_trace,
+        wechat_trace,
+        word_trace,
+    )
+    from repro.workloads.traceio import save_trace_file
+
+    factories = {
+        "append": lambda: append_write_trace(scale=args.scale, appends=args.ops),
+        "random": lambda: random_write_trace(scale=args.scale, writes=args.ops),
+        "word": lambda: word_trace(scale=args.scale, saves=args.ops),
+        "wechat": lambda: wechat_trace(scale=args.scale, modifications=args.ops),
+        "gedit": lambda: gedit_trace(saves=args.ops),
+    }
+    factory = factories.get(args.workload)
+    if factory is None:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    trace = factory()
+    save_trace_file(trace, args.out)
+    print(
+        f"wrote {args.out}: {len(trace.ops)} ops, "
+        f"{format_bytes(trace.stats.bytes_written)} written, "
+        f"{format_bytes(trace.stats.update_bytes)} logical update"
+    )
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.harness.runner import SOLUTIONS, run_trace
+    from repro.workloads.traceio import load_trace_file
+
+    if args.solution not in SOLUTIONS:
+        print(f"unknown solution {args.solution!r}; pick one of {SOLUTIONS}",
+              file=sys.stderr)
+        return 2
+    trace = load_trace_file(args.trace)
+    result = run_trace(args.solution, trace)
+    print(
+        format_table(
+            ["trace", "solution", "cli CPU", "srv CPU", "up", "down", "TUE"],
+            [[
+                result.trace,
+                result.solution,
+                f"{result.client_ticks:.1f}",
+                f"{result.server_ticks:.1f}",
+                format_bytes(result.up_bytes),
+                format_bytes(result.down_bytes),
+                f"{result.tue:.2f}" if result.update_bytes else "n/a",
+            ]],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeltaCFS reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the package inventory").set_defaults(
+        func=_cmd_info
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument(
+        "name",
+        choices=["table2", "table3", "table4", "fig1", "fig2", "fig8", "fig9", "all"],
+    )
+    experiment.add_argument("--fast", action="store_true", help="reduced op counts")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    trace = sub.add_parser("trace", help="generate and save a workload trace")
+    trace.add_argument("workload", choices=["append", "random", "word", "wechat", "gedit"])
+    trace.add_argument("--out", required=True)
+    trace.add_argument("--scale", type=int, default=32)
+    trace.add_argument("--ops", type=int, default=10,
+                       help="saves/modifications/appends, per workload")
+    trace.set_defaults(func=_cmd_trace)
+
+    replay = sub.add_parser("replay", help="replay a saved trace through a sync system")
+    replay.add_argument("trace")
+    replay.add_argument("--solution", default="deltacfs")
+    replay.set_defaults(func=_cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Shared utilities: errors, configuration, deterministic randomness, byte helpers."""
+
+from repro.common.errors import (
+    DeltaCFSError,
+    ConflictError,
+    CorruptionDetected,
+    InconsistencyDetected,
+    NoSpaceError,
+    NotFoundError,
+    ProtocolError,
+    VersionMismatch,
+)
+from repro.common.config import DeltaCFSConfig
+from repro.common.rng import DeterministicRandom
+
+__all__ = [
+    "DeltaCFSError",
+    "ConflictError",
+    "CorruptionDetected",
+    "InconsistencyDetected",
+    "NoSpaceError",
+    "NotFoundError",
+    "ProtocolError",
+    "VersionMismatch",
+    "DeltaCFSConfig",
+    "DeterministicRandom",
+]

@@ -1,0 +1,74 @@
+"""Small helpers for working with byte ranges and block arithmetic."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+def block_count(size: int, block_size: int) -> int:
+    """Number of blocks needed to cover ``size`` bytes."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return (size + block_size - 1) // block_size
+
+
+def block_range(offset: int, length: int, block_size: int) -> range:
+    """Indices of the blocks touched by the byte range ``[offset, offset+length)``."""
+    if length <= 0:
+        return range(0)
+    first = offset // block_size
+    last = (offset + length - 1) // block_size
+    return range(first, last + 1)
+
+
+def iter_blocks(data: bytes, block_size: int) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(block_index, block_bytes)`` pairs; the final block may be short."""
+    for i in range(0, len(data), block_size):
+        yield i // block_size, data[i : i + block_size]
+
+
+def apply_write(base: bytes, offset: int, data: bytes) -> bytes:
+    """Return ``base`` with ``data`` written at ``offset``.
+
+    Writing past the current end zero-fills the gap, mirroring POSIX sparse
+    file semantics.
+    """
+    if offset < 0:
+        raise ValueError("negative offset")
+    if offset > len(base):
+        base = base + b"\x00" * (offset - len(base))
+    return base[:offset] + data + base[offset + len(data) :]
+
+
+def truncate(base: bytes, length: int) -> bytes:
+    """POSIX ``truncate``: shrink, or zero-extend when growing."""
+    if length < 0:
+        raise ValueError("negative length")
+    if length <= len(base):
+        return base[:length]
+    return base + b"\x00" * (length - len(base))
+
+
+def merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Coalesce overlapping/adjacent ``(offset, length)`` ranges."""
+    if not ranges:
+        return []
+    spans = sorted((off, off + ln) for off, ln in ranges if ln > 0)
+    if not spans:
+        return []
+    merged = [spans[0]]
+    for start, end in spans[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return [(start, end - start) for start, end in merged]
+
+
+def changed_fraction(ranges: List[Tuple[int, int]], file_size: int) -> float:
+    """Fraction of a ``file_size``-byte file covered by the written ranges."""
+    if file_size <= 0:
+        return 1.0
+    covered = sum(length for _, length in merge_ranges(ranges))
+    return min(1.0, covered / file_size)

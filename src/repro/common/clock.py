@@ -1,0 +1,36 @@
+"""Virtual time.
+
+All timeout-driven behaviour in this reproduction (relation-entry expiry,
+Sync Queue upload delay, trace inter-arrival gaps) runs against an explicit
+clock object instead of the wall clock, so tests and benchmarks are
+deterministic and traces replay in milliseconds instead of the hours the
+paper's experiments took.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A manually-advanced monotonic clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time.
+
+        Raises ``ValueError`` on negative increments — virtual time is
+        monotonic just like the real clock the paper's prototype used.
+        """
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Alias of :meth:`advance` for code written against a sleep API."""
+        self.advance(seconds)

@@ -1,0 +1,93 @@
+"""Central configuration for DeltaCFS clients and servers.
+
+All tunables from the paper live here with the paper's defaults:
+
+- rsync block size 4 KB (Section II-B footnote 3, Section III-E)
+- relation-table entry timeout 1-3 s, default 2 s (Table I)
+- sync-queue upload delay 3 s (Figure 6 caption)
+- in-place delta-compression threshold ~50% of file changed (Section III-A)
+- checksum block size 4 KB, reusing the rsync rolling checksum (Section III-E)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeltaCFSConfig:
+    """Tunable parameters of a DeltaCFS client.
+
+    Attributes:
+        block_size: rsync / checksum block size in bytes (paper: 4 KB).
+        relation_timeout: seconds before an untriggered relation entry
+            expires (paper: "empirically set in a range of 1 to 3 seconds").
+        upload_delay: seconds a Sync Queue node waits before uploading,
+            allowing coalescing and delta replacement (paper Fig. 6: 3 s).
+        inplace_delta_threshold: fraction of a file that must be overwritten
+            by in-place writes before local delta encoding is attempted on
+            top of the undo log (paper: "more than 50%").
+        tmp_dir: directory (inside the managed tree) where unlinked files are
+            preserved while their relation entry is live.
+        checksum_block_size: block size of the integrity checksum store.
+        enable_checksums: maintain the block checksum store (DeltaCFSc in
+            Table III); disable to reproduce the plain DeltaCFS row.
+        enable_undo_log: keep physical undo data for in-place overwrites so
+            local delta encoding remains possible.
+        sync_queue_capacity: maximum queued nodes before writers experience
+            back-pressure (reproduces the Table III fileserver slowdown).
+        preserve_unlinked_max_bytes: files larger than this are not preserved
+            on unlink (the paper's ENOSPC escape hatch, expressed as a cap).
+    """
+
+    block_size: int = 4096
+    relation_timeout: float = 2.0
+    upload_delay: float = 3.0
+    inplace_delta_threshold: float = 0.5
+    tmp_dir: str = "/.deltacfs_tmp"
+    checksum_block_size: int = 4096
+    enable_checksums: bool = True
+    enable_undo_log: bool = True
+    sync_queue_capacity: int = 4096
+    preserve_unlinked_max_bytes: int = 1 << 30
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.checksum_block_size <= 0:
+            raise ValueError("checksum_block_size must be positive")
+        if not (0.0 < self.inplace_delta_threshold <= 1.0):
+            raise ValueError("inplace_delta_threshold must be in (0, 1]")
+        if self.relation_timeout <= 0:
+            raise ValueError("relation_timeout must be positive")
+        if self.upload_delay < 0:
+            raise ValueError("upload_delay must be non-negative")
+        if self.sync_queue_capacity <= 0:
+            raise ValueError("sync_queue_capacity must be positive")
+
+
+@dataclass
+class BaselineConfig:
+    """Parameters of the baseline systems, with the paper's published values.
+
+    Attributes:
+        dropbox_block_size: rsync chunk size used by Dropbox (4 KB).
+        dropbox_dedup_size: Dropbox deduplication granularity (4 MB); rsync
+            is applied only *within* each 4 MB block (Section IV-C).
+        dropbox_compression_ratio: modelled network compression factor for
+            Dropbox uploads (it "employs network data compression").
+        seafile_chunk_size: Seafile CDC average chunk size (1 MB default).
+        nfs_page_size: transfer granularity of NFS write RPCs; non-aligned
+            writes trigger fetch-before-write (Section IV-C).
+    """
+
+    dropbox_block_size: int = 4096
+    dropbox_dedup_size: int = 4 * 1024 * 1024
+    dropbox_compression_ratio: float = 0.8
+    seafile_chunk_size: int = 1024 * 1024
+    nfs_page_size: int = 4096
+
+
+DEFAULT_CONFIG = DeltaCFSConfig()
+DEFAULT_BASELINES = BaselineConfig()

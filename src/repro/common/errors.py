@@ -1,0 +1,69 @@
+"""Exception hierarchy for the DeltaCFS reproduction.
+
+Every error raised by this library derives from :class:`DeltaCFSError`, so a
+caller can catch the whole family with one clause while still being able to
+discriminate the interesting cases (conflicts, corruption, protocol errors).
+"""
+
+
+class DeltaCFSError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NotFoundError(DeltaCFSError):
+    """A path, file id, or version was looked up but does not exist."""
+
+
+class NoSpaceError(DeltaCFSError):
+    """The (simulated) device is out of space (ENOSPC).
+
+    The relation table uses this to decide whether an unlinked file can be
+    preserved in the temporary area (paper, Section III-A).
+    """
+
+
+class VersionMismatch(DeltaCFSError):
+    """An incremental update's base version does not match the stored version.
+
+    This is how the server detects concurrent edits; the caller normally
+    reconciles by creating a conflict version rather than failing the sync.
+    """
+
+    def __init__(self, message: str, expected=None, actual=None):
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+
+class ConflictError(DeltaCFSError):
+    """Two clients modified the same file concurrently.
+
+    Carries the path and the version that lost the first-write-wins race so
+    callers can surface the conflict copy to the user.
+    """
+
+    def __init__(self, message: str, path: str = "", losing_version=None):
+        super().__init__(message)
+        self.path = path
+        self.losing_version = losing_version
+
+
+class CorruptionDetected(DeltaCFSError):
+    """A data block failed its checksum verification (silent corruption)."""
+
+    def __init__(self, message: str, path: str = "", block_index: int = -1):
+        super().__init__(message)
+        self.path = path
+        self.block_index = block_index
+
+
+class InconsistencyDetected(DeltaCFSError):
+    """A recently-modified file is in a crash-inconsistent intermediate state."""
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+
+class ProtocolError(DeltaCFSError):
+    """A malformed or out-of-order message was received by client or server."""

@@ -1,0 +1,911 @@
+"""The DeltaCFS client engine — the paper's primary contribution.
+
+A :class:`DeltaCFSClient` is a :class:`PassthroughFileSystem` layer (the
+FUSE position in Figure 4). Every file operation is intercepted, forwarded
+to the backing store, and — when it mutates state — fed into the sync
+pipeline:
+
+- writes coalesce into Sync Queue *write nodes* (NFS-like file RPC, the
+  default path);
+- rename/unlink maintain the Relation Table; a create/rename that matches a
+  live relation entry (or lands on an existing name) marks a *transactional
+  update* and triggers local **bitwise delta encoding**, whose result
+  replaces the pending write nodes under a backindex span;
+- large in-place updates are detected through the undo log at pack time and
+  compressed the same way;
+- the Checksum Store is maintained inline and verified on reads.
+
+:meth:`pump` drives time-dependent behaviour (relation expiry, upload
+delay) and ships due Sync Queue units to the cloud over an accounting
+:class:`Channel`.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import VirtualClock
+from repro.common.config import DeltaCFSConfig
+from repro.common.errors import CorruptionDetected, NoSpaceError
+from repro.core.checksum_store import ChecksumStore
+from repro.core.relation_table import RelationEntry, RelationTable
+from repro.core.sync_queue import (
+    DeltaNode,
+    MetaNode,
+    QueueNode,
+    SyncQueue,
+    TruncateNode,
+    UploadUnit,
+    WriteNode,
+)
+from repro.core.undo_log import UndoLog
+from repro.common.version import VersionCounter, VersionStamp
+from repro.cost.meter import CostMeter, NULL_METER
+from repro.delta.bitwise import bitwise_delta
+from repro.net.messages import (
+    ConflictNotice,
+    FileDownload,
+    Forward,
+    Message,
+    MetaOp,
+    TxnGroup,
+    UploadDelta,
+    UploadTruncate,
+    UploadWrite,
+    UploadWriteBatch,
+)
+from repro.net.transport import Channel
+from repro.vfs.filesystem import FileSystemAPI
+from repro.vfs.interception import PassthroughFileSystem
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for annotations only; avoids a core<->server cycle
+    from repro.server.cloud import ApplyResult, CloudServer
+
+
+@dataclass
+class ClientStats:
+    """Counters a client accumulates while running."""
+
+    ops_intercepted: int = 0
+    writes_intercepted: int = 0
+    bytes_written: int = 0
+    deltas_triggered: int = 0
+    deltas_kept: int = 0  # triggered AND judged worthwhile
+    inplace_deltas: int = 0
+    nodes_uploaded: int = 0
+    groups_uploaded: int = 0
+    conflicts: int = 0
+    corruptions_detected: int = 0
+    recoveries: int = 0
+    forwards_applied: int = 0
+    stalls: int = 0  # sync-queue-full back-pressure events
+
+
+class DeltaCFSClient(PassthroughFileSystem):
+    """The adaptive sync client.
+
+    Args:
+        inner: the backing (local) file system.
+        server: the cloud endpoint (``None`` runs detached — nodes drain
+            into the void; used by the local-IO microbenchmarks).
+        channel: accounting link to the server.
+        client_id: this device's id for ``<CliID, VerCnt>`` stamps.
+        config: tunables (block size, delays, thresholds).
+        clock: virtual time source shared with the workload driver.
+        meter: client-side CPU meter.
+    """
+
+    def __init__(
+        self,
+        inner: FileSystemAPI,
+        *,
+        server: Optional[CloudServer] = None,
+        channel: Optional[Channel] = None,
+        client_id: int = 1,
+        config: Optional[DeltaCFSConfig] = None,
+        clock: Optional[VirtualClock] = None,
+        meter: CostMeter = NULL_METER,
+        checksum_kv=None,
+    ):
+        super().__init__(inner)
+        self.config = config if config is not None else DeltaCFSConfig()
+        self.config.validate()
+        self.server = server
+        self.channel = channel if channel is not None else Channel()
+        self.client_id = client_id
+        self.clock = clock if clock is not None else VirtualClock()
+        self.meter = meter
+
+        self.relations = RelationTable(timeout=self.config.relation_timeout)
+        self.queue = SyncQueue(
+            upload_delay=self.config.upload_delay,
+            capacity=self.config.sync_queue_capacity,
+        )
+        self.versions: Dict[str, Optional[VersionStamp]] = {}
+        self._counter = VersionCounter(client_id)
+        # checksum_kv lets callers back the checksum store with a durable
+        # KV (repro.kvstore.LogStructuredKV — the LevelDB role): that is
+        # what makes the post-crash sweep possible after a real restart.
+        self.checksums: Optional[ChecksumStore] = (
+            ChecksumStore(
+                checksum_kv,
+                block_size=self.config.checksum_block_size,
+                meter=meter,
+            )
+            if self.config.enable_checksums
+            else None
+        )
+        self.undo: Optional[UndoLog] = (
+            UndoLog(meter=meter) if self.config.enable_undo_log else None
+        )
+        self.stats = ClientStats()
+        # Versions whose nodes were removed from the queue before upload
+        # (cancelled creates, delta-replaced writes): the server will never
+        # snapshot them, so they can never serve as a delta's content base.
+        self._dead_versions: set = set()
+        # Paths created while a relation entry matched — their delta runs
+        # when the write node packs (content is complete by then).
+        self._pending_create_delta: Dict[str, RelationEntry] = {}
+        self.conflict_notices: List[ConflictNotice] = []
+
+        if server is not None:
+            server.register_client(client_id, self._receive_forward)
+
+    # ------------------------------------------------------------------
+    # file operations (the FUSE surface)
+    # ------------------------------------------------------------------
+
+    def create(self, path: str) -> None:
+        now = self._tick()
+        existed = self.inner.exists(path)
+        self.inner.create(path)
+        if self._unsynced(path) or existed:
+            return
+        entry = self.relations.match_created(path, now)
+        if entry is not None and self.inner.exists(entry.dst):
+            # Content arrives via later writes; encode at pack time.
+            self._pending_create_delta[path] = entry
+        version = self._mint()
+        self.versions[path] = version
+        self._enqueue_meta("create", path, None, new_version=version, now=now)
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        now = self._tick()
+        if self._unsynced(path):
+            self.inner.write(path, offset, data)
+            return
+        self.stats.writes_intercepted += 1
+        self.stats.bytes_written += len(data)
+        # NFS-like file RPC: the written bytes are captured here, for free.
+        self.meter.charge_bytes("write_io", len(data))
+
+        old_size = self.inner.size(path)
+        if self.undo is not None and offset < old_size:
+            old_slice = self.inner.read(
+                path, offset, min(len(data), old_size - offset)
+            )
+            self.undo.record_write(path, offset, len(data), old_slice, old_size)
+        elif self.undo is not None:
+            self.undo.record_write(path, offset, len(data), b"", old_size)
+
+        self.inner.write(path, offset, data)
+
+        # Writing to a preserved old version invalidates its relations.
+        self.relations.invalidate_dst(path)
+
+        node = self.queue.active_write_node(path)
+        if node is None:
+            if self.queue.full:
+                self.stats.stalls += 1
+                self.pump(now)
+            base = self.versions.get(path)
+            node = WriteNode(
+                path=path, base_version=base, new_version=self._mint()
+            )
+            self.queue.enqueue(node, now)
+            self.versions[path] = node.new_version
+        else:
+            self.queue.note_mutation(node)
+            # The upload delay debounces from the *last* write: an active
+            # node keeps coalescing while the application is still writing
+            # (Figure 6's delay gives delta replacement its window).
+            node.enqueue_time = now
+        node.add_write(offset, data)
+
+        if self.checksums is not None:
+            content = self.inner.read_file(path)
+            self.checksums.update_blocks(path, content, offset, len(data))
+        self._sync_aliases(path, offset, len(data))
+
+    def _sync_aliases(self, path: str, offset: int, length: int) -> None:
+        """Mirror a content change onto hard-linked names.
+
+        Other names of the same inode saw the same bytes change: their
+        synced-version bookkeeping and block checksums must follow, or a
+        later write through the alias would look stale to the server and a
+        verified read through it would false-alarm.
+        """
+        aliases = [p for p in self.inner.linked_paths(path) if p != path]
+        if not aliases:
+            return
+        version = self.versions.get(path)
+        content = self.inner.read_file(path) if self.checksums is not None else b""
+        for alias in aliases:
+            if self._unsynced(alias):
+                continue
+            self.versions[alias] = version
+            if self.checksums is not None:
+                self.checksums.update_blocks(alias, content, offset, length)
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        self._tick()
+        data = self.inner.read(path, offset, length)
+        if self.checksums is not None and not self._unsynced(path):
+            content = self.inner.read_file(path)
+            try:
+                self.checksums.verify_read(path, content, offset, len(data))
+            except CorruptionDetected:
+                self.stats.corruptions_detected += 1
+                recovered = self._recover(path)
+                if recovered is None:
+                    raise
+                if length is None:
+                    return recovered[offset:]
+                return recovered[offset : offset + length]
+        return data
+
+    def truncate(self, path: str, length: int) -> None:
+        now = self._tick()
+        if self._unsynced(path):
+            self.inner.truncate(path, length)
+            return
+        old_size = self.inner.size(path)
+        if self.undo is not None and length < old_size:
+            tail = self.inner.read(path, length, old_size - length)
+            self.undo.record_write(path, length, len(tail), tail, old_size)
+        self.inner.truncate(path, length)
+        self.relations.invalidate_dst(path)
+        self._pack_and_maybe_compress(path, now)
+        base = self.versions.get(path)
+        node = TruncateNode(
+            path=path, length=length, base_version=base, new_version=self._mint()
+        )
+        self.queue.enqueue(node, now)
+        self.versions[path] = node.new_version
+        if self.checksums is not None:
+            self.checksums.reindex(path, self.inner.read_file(path))
+        for alias in self.inner.linked_paths(path):
+            if alias != path and not self._unsynced(alias):
+                self.versions[alias] = node.new_version
+                if self.checksums is not None:
+                    self.checksums.reindex(alias, self.inner.read_file(alias))
+
+    def rename(self, src: str, dst: str) -> None:
+        now = self._tick()
+        if self._unsynced(src) and self._unsynced(dst):
+            self.inner.rename(src, dst)
+            return
+        self._pack_and_maybe_compress(src, now)
+        self.queue.pack(dst)
+
+        dst_existed = self.inner.exists(dst)
+        entry = self.relations.match_created(dst, now)
+        old_content: Optional[bytes] = None
+        old_version: Optional[VersionStamp] = None
+        preserved_tmp: Optional[str] = None
+        if entry is not None and self.inner.exists(entry.dst):
+            # Trigger rule 1: dst matches a live entry's src.
+            old_content = self.inner.read_file(entry.dst)
+            old_version = self.versions.get(entry.dst)
+            if entry.origin == "unlink":
+                preserved_tmp = entry.dst
+        elif dst_existed:
+            # Trigger rule 2: the to-be-created name already exists.
+            old_content = self.inner.read_file(dst)
+            old_version = self.versions.get(dst)
+
+        self.inner.rename(src, dst)
+        self.relations.record_rename(src, dst, now)
+        if self.checksums is not None:
+            self.checksums.rename(src, dst)
+
+        moved_version = self.versions.pop(src, None)
+        self.versions[dst] = moved_version
+        moved_pending = self._pending_create_delta.pop(src, None)
+        if moved_pending is not None:
+            self._pending_create_delta[dst] = moved_pending
+        self._enqueue_meta("rename", src, dst, new_version=None, now=now)
+
+        if old_content is not None:
+            self._try_transactional_delta(
+                dst, old_content, old_version, now, preserved_tmp
+            )
+
+    def link(self, src: str, dst: str) -> None:
+        now = self._tick()
+        self.inner.link(src, dst)
+        if self._unsynced(dst):
+            return
+        self.versions[dst] = self.versions.get(src)
+        if self.checksums is not None:
+            self.checksums.reindex(dst, self.inner.read_file(dst))
+        self._enqueue_meta("link", src, dst, new_version=None, now=now)
+
+    def unlink(self, path: str) -> None:
+        now = self._tick()
+        if self._unsynced(path):
+            self.inner.unlink(path)
+            return
+        self._pack_and_maybe_compress(path, now)
+
+        preserved = self._preserve_unlinked(path, now)
+        if not preserved:
+            self.inner.unlink(path)
+
+        if self.checksums is not None:
+            self.checksums.drop(path)
+        self.versions.pop(path, None)
+
+        # Causality shortcut: a file whose create never left the queue can
+        # vanish without the cloud ever hearing of it (Section III-E) — but
+        # only if no queued namespace edge touches the name: a pending
+        # rename/link into the path would re-materialize it on the cloud,
+        # and a pending rename/link out of it carries effects (another
+        # name's content) that must still ship.
+        pending = self.queue.pending_nodes(path)
+        has_create = any(
+            isinstance(n, MetaNode) and n.kind == "create" for n in pending
+        )
+        entangled = any(
+            isinstance(n, MetaNode)
+            and n.kind in ("rename", "link")
+            and (n.path == path or n.dest == path)
+            for n in self.queue.nodes()
+        )
+        if has_create and not entangled:
+            self.queue.cancel_nodes(pending)
+            self._dead_versions.update(
+                n.new_version for n in pending if n.new_version is not None
+            )
+            self._pending_create_delta.pop(path, None)
+        else:
+            self._enqueue_meta("unlink", path, None, new_version=None, now=now)
+
+    def close(self, path: str) -> None:
+        now = self._tick()
+        self.inner.close(path)
+        if self._unsynced(path):
+            return
+        self._pack_and_maybe_compress(path, now)
+
+    def mkdir(self, path: str) -> None:
+        now = self._tick()
+        self.inner.mkdir(path)
+        if self._unsynced(path):
+            return
+        self._enqueue_meta("mkdir", path, None, new_version=None, now=now)
+
+    def rmdir(self, path: str) -> None:
+        now = self._tick()
+        self.inner.rmdir(path)
+        if self._unsynced(path):
+            return
+        self._enqueue_meta("rmdir", path, None, new_version=None, now=now)
+
+    # ------------------------------------------------------------------
+    # the pump: time-driven work
+    # ------------------------------------------------------------------
+
+    def pump(self, now: Optional[float] = None) -> int:
+        """Expire relations and upload due Sync Queue units.
+
+        Returns the number of upload units shipped. The workload driver
+        calls this as virtual time advances (the real prototype's
+        background threads).
+        """
+        if now is None:
+            now = self.clock.now()
+        self._expire_relations(now)
+        shipped = 0
+        while True:
+            unit = self.queue.next_unit(now)
+            if unit is None:
+                break
+            self._upload_unit(unit, now)
+            shipped += 1
+        return shipped
+
+    def flush(self) -> int:
+        """Drain everything (end of run), regardless of upload delay."""
+        now = self.clock.now()
+        self._expire_relations(now)
+        # Pack any still-active write nodes through the compression check.
+        for path in [n.path for n in self.queue.nodes() if isinstance(n, WriteNode)]:
+            self._pack_and_maybe_compress(path, now)
+        shipped = 0
+        for unit in self.queue.drain_all(now):
+            self._upload_unit(unit, now)
+            shipped += 1
+        return shipped
+
+    # ------------------------------------------------------------------
+    # fine-grained version control (Section III-C)
+    # ------------------------------------------------------------------
+
+    def version_history(self, path: str) -> List[VersionStamp]:
+        """Restorable versions of ``path`` on the cloud, oldest first.
+
+        Versioning granularity is one stamp per Sync Queue node — "a neat
+        tradeoff" between open-to-close and per-write versioning.
+        """
+        if self.server is None:
+            raise RuntimeError("no server attached")
+        from repro.net.messages import HistoryRequest, HistoryResponse
+
+        now = self.clock.now()
+        self.channel.upload(HistoryRequest(path=path), now)
+        versions = self.server.version_history(path)
+        self.channel.download(
+            HistoryResponse(path=path, versions=tuple(versions)), now
+        )
+        return versions
+
+    def restore_version(self, path: str, version: VersionStamp) -> bytes:
+        """Roll ``path`` back to ``version`` (cloud-side) and mirror locally.
+
+        Any locally pending nodes for the path are cancelled first — the
+        restore supersedes them. Returns the restored content.
+        """
+        if self.server is None:
+            raise RuntimeError("no server attached")
+        from repro.net.messages import RestoreRequest
+
+        now = self.clock.now()
+        pending = self.queue.pending_nodes(path)
+        if pending:
+            self.queue.pack(path)
+            self.queue.cancel_nodes(pending)
+            self._dead_versions.update(
+                n.new_version for n in pending if n.new_version is not None
+            )
+        self.channel.upload(RestoreRequest(path=path, version=version), now)
+        content = self.server.restore_version(
+            path, version, origin_client=self.client_id
+        )
+        self.channel.download(
+            FileDownload(path=path, data=content, version=version), now
+        )
+        if not self.inner.exists(path):
+            self.inner.create(path)
+        self.inner.truncate(path, 0)
+        if content:
+            self.inner.write(path, 0, content)
+        self.versions[path] = version
+        if self.checksums is not None:
+            self.checksums.reindex(path, content)
+        return content
+
+    def crash_recovery_scan(self, recently_modified: List[str]) -> List[str]:
+        """Post-crash sweep: verify recently-modified files' checksums.
+
+        Returns the list of paths found crash-inconsistent ("we check every
+        recently modified files by comparing their data blocks with their
+        checksums", Section III-E). The caller decides whether to pull the
+        cloud version (:meth:`recover_file`).
+        """
+        if self.checksums is None:
+            raise RuntimeError("checksum store disabled")
+        bad: List[str] = []
+        for path in recently_modified:
+            if not self.inner.exists(path):
+                continue
+            try:
+                self.checksums.verify_file(path, self.inner.read_file(path))
+            except Exception:
+                bad.append(path)
+        return bad
+
+    def recover_file(self, path: str) -> Optional[bytes]:
+        """Pull the cloud's copy of ``path`` and restore it locally."""
+        return self._recover(path)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> float:
+        self.stats.ops_intercepted += 1
+        self.meter.charge_ops(1)
+        return self.clock.now()
+
+    def _mint(self) -> VersionStamp:
+        return self._counter.next()
+
+    def _unsynced(self, path: str) -> bool:
+        """Paths outside sync scope: the preservation tmp area."""
+        return path.startswith(self.config.tmp_dir + "/") or path == self.config.tmp_dir
+
+    def _enqueue_meta(
+        self,
+        kind: str,
+        path: str,
+        dest: Optional[str],
+        *,
+        new_version: Optional[VersionStamp],
+        now: float,
+    ) -> None:
+        node = MetaNode(path=path, kind=kind, dest=dest, new_version=new_version)
+        self.queue.enqueue(node, now)
+
+    # -- transactional-update delta path ---------------------------------
+
+    def _try_transactional_delta(
+        self,
+        path: str,
+        old_content: bytes,
+        old_version: Optional[VersionStamp],
+        now: float,
+        preserved_tmp: Optional[str],
+    ) -> None:
+        """Run triggered delta encoding for ``path`` against ``old_content``.
+
+        The new content reached the queue as write nodes under the file's
+        *temporary* name; if they are still pending, the (smaller) delta
+        replaces them. If nothing is pending the data already shipped and a
+        delta would be pure overhead.
+        """
+        self.stats.deltas_triggered += 1
+        doomed = sorted(self._pending_data_nodes_for_content(path), key=lambda n: n.seq)
+        doomed_versions = {n.new_version for n in doomed}
+        if (
+            not doomed
+            or old_version is None
+            or old_version in self._dead_versions
+            or old_version in doomed_versions
+        ):
+            # Nothing pending to replace, or the old version will never
+            # exist on the cloud (it died un-uploaded, or it is the product
+            # of the very nodes this delta would remove) — a delta would
+            # reference a base the server cannot resolve.
+            if preserved_tmp is not None:
+                self._drop_preserved(preserved_tmp)
+            return
+        new_content = self.inner.read_file(path)
+        delta = bitwise_delta(
+            old_content, new_content, self.config.block_size, meter=self.meter
+        )
+        replaced_payload = sum(n.payload_bytes() for n in doomed)
+        if delta.wire_size() >= replaced_payload:
+            if preserved_tmp is not None:
+                self._drop_preserved(preserved_tmp)
+            return  # RPC wins; keep the write nodes (adaptivity!)
+        self.stats.deltas_kept += 1
+        node = DeltaNode(
+            path=path,
+            delta=delta,
+            base_version=doomed[0].base_version,
+            content_base=old_version,
+            new_version=self._mint(),
+        )
+        self.queue.replace_with_delta(doomed, node, now)
+        self._dead_versions.update(v for v in doomed_versions if v is not None)
+        self.versions[path] = node.new_version
+        if preserved_tmp is not None:
+            self._drop_preserved(preserved_tmp)
+
+    def _pending_data_nodes_for_content(self, path: str) -> List[QueueNode]:
+        """Queued data nodes that (re-)uploaded this file's new content.
+
+        After ``rename tmp -> f`` the write nodes still carry the temporary
+        name; we trace back through rename meta nodes queued for ``path``.
+        """
+        names = {path}
+        live = self.queue.nodes()
+        for node in live:
+            if isinstance(node, MetaNode) and node.kind == "rename" and node.dest in names:
+                names.add(node.path)
+        return [
+            n
+            for n in live
+            if n.path in names and isinstance(n, (WriteNode, TruncateNode, DeltaNode))
+        ]
+
+    # -- pack-time in-place compression -----------------------------------
+
+    def _pack_and_maybe_compress(self, path: str, now: float) -> None:
+        node = self.queue.pack(path)
+        pending_entry = self._pending_create_delta.pop(path, None)
+        if node is None:
+            if pending_entry is not None and pending_entry.origin == "unlink":
+                self._drop_preserved(pending_entry.dst)
+            if self.undo is not None:
+                self.undo.clear(path)
+            return
+
+        if pending_entry is not None and self.inner.exists(pending_entry.dst):
+            # The file was re-created over a preserved old version
+            # (delete-then-rewrite); encode against that old version.
+            old_content = self.inner.read_file(pending_entry.dst)
+            old_version = self.versions.get(pending_entry.dst)
+            self.stats.deltas_triggered += 1
+            self._compress_node(
+                path, node, old_content, old_version, now,
+                preserved_tmp=pending_entry.dst
+                if pending_entry.origin == "unlink"
+                else None,
+            )
+        elif (
+            self.undo is not None
+            and self.undo.has_log(path)
+            and self.undo.changed_fraction(path) > self.config.inplace_delta_threshold
+        ):
+            # Large in-place update: old version reconstructable locally.
+            current = self.inner.read_file(path)
+            old_content = self.undo.reconstruct_old(path, current)
+            self._compress_node(
+                path, node, old_content, node.base_version, now, count_inplace=True
+            )
+        if self.undo is not None:
+            self.undo.clear(path)
+
+    def _compress_node(
+        self,
+        path: str,
+        node: WriteNode,
+        old_content: bytes,
+        old_version: Optional[VersionStamp],
+        now: float,
+        *,
+        preserved_tmp: Optional[str] = None,
+        count_inplace: bool = False,
+    ) -> None:
+        if old_version is None or old_version in self._dead_versions:
+            # The old version never reached the cloud; no base to delta from.
+            if preserved_tmp is not None:
+                self._drop_preserved(preserved_tmp)
+            return
+        new_content = self.inner.read_file(path)
+        delta = bitwise_delta(
+            old_content, new_content, self.config.block_size, meter=self.meter
+        )
+        if delta.wire_size() < node.payload_bytes():
+            if count_inplace:
+                self.stats.inplace_deltas += 1
+            else:
+                self.stats.deltas_kept += 1
+            replacement = DeltaNode(
+                path=path,
+                delta=delta,
+                base_version=node.base_version,
+                content_base=old_version,
+                new_version=self._mint(),
+            )
+            self.queue.replace_with_delta([node], replacement, now)
+            if node.new_version is not None:
+                self._dead_versions.add(node.new_version)
+            self.versions[path] = replacement.new_version
+        if preserved_tmp is not None:
+            self._drop_preserved(preserved_tmp)
+
+    # -- unlink preservation ------------------------------------------------
+
+    def _preserve_unlinked(self, path: str, now: float) -> bool:
+        """Park an unlinked file in the tmp area; returns success.
+
+        ENOSPC and oversized files fall back to real deletion
+        (Section III-A: "if temporarily preserving the file would result in
+        ENOSPC ... the deleted files will not be preserved").
+        """
+        stat = self.inner.stat(path)
+        if stat.is_dir or stat.size > self.config.preserve_unlinked_max_bytes:
+            return False
+        if not self.inner.exists(self.config.tmp_dir):
+            self.inner.mkdir(self.config.tmp_dir)
+        preserved = posixpath.join(
+            self.config.tmp_dir, path.strip("/").replace("/", "__")
+        )
+        try:
+            if self.inner.exists(preserved):
+                self.inner.unlink(preserved)
+            self.inner.rename(path, preserved)
+        except NoSpaceError:
+            return False
+        # The preserved copy keeps its synced version so a later triggered
+        # delta can name its base snapshot on the server.
+        self.versions[preserved] = self.versions.get(path)
+        self.relations.record_unlink(path, preserved, now)
+        return True
+
+    def _drop_preserved(self, preserved_path: str) -> None:
+        if self.inner.exists(preserved_path) and self._unsynced(preserved_path):
+            self.inner.unlink(preserved_path)
+
+    def _expire_relations(self, now: float) -> None:
+        for entry in self.relations.expire(now):
+            if entry.origin == "unlink":
+                self._drop_preserved(entry.dst)
+            self._pending_create_delta = {
+                p: e for p, e in self._pending_create_delta.items() if e is not entry
+            }
+
+    # -- uploading ---------------------------------------------------------
+
+    def _upload_unit(self, unit: UploadUnit, now: float) -> None:
+        messages = [self._node_to_message(n) for n in unit.nodes]
+        messages = [m for m in messages if m is not None]
+        if not messages:
+            return
+        if unit.transactional and len(messages) > 1:
+            outbound: Message = TxnGroup(members=tuple(messages))
+            self.stats.groups_uploaded += 1
+        else:
+            outbound = messages[0] if len(messages) == 1 else TxnGroup(
+                members=tuple(messages)
+            )
+        self.stats.nodes_uploaded += len(messages)
+        self.channel.upload(outbound, now)
+        if self.server is None:
+            return
+        result = self.server.handle(outbound, origin_client=self.client_id)
+        self._process_replies(result, now)
+
+    def _node_to_message(self, node: QueueNode) -> Optional[Message]:
+        if isinstance(node, WriteNode):
+            runs = node.merged_writes()
+            if not runs:
+                return None
+            if len(runs) == 1:
+                offset, data = runs[0]
+                return UploadWrite(
+                    path=node.path,
+                    offset=offset,
+                    data=data,
+                    base_version=node.base_version,
+                    new_version=node.new_version,
+                )
+            return UploadWriteBatch(
+                path=node.path,
+                runs=tuple(runs),
+                base_version=node.base_version,
+                new_version=node.new_version,
+            )
+        if isinstance(node, TruncateNode):
+            return UploadTruncate(
+                path=node.path,
+                length=node.length,
+                base_version=node.base_version,
+                new_version=node.new_version,
+            )
+        if isinstance(node, DeltaNode):
+            return UploadDelta(
+                path=node.path,
+                delta=node.delta,
+                base_version=node.base_version,
+                new_version=node.new_version,
+                content_base=node.content_base,
+            )
+        if isinstance(node, MetaNode):
+            return MetaOp(
+                kind=node.kind,
+                path=node.path,
+                dest=node.dest,
+                new_version=node.new_version,
+            )
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+
+    def _process_replies(self, result: ApplyResult, now: float) -> None:
+        for reply in result.replies:
+            self.channel.download(reply, now)
+            if isinstance(reply, ConflictNotice):
+                self.stats.conflicts += 1
+                self.conflict_notices.append(reply)
+
+    # -- downloads: forwards and recovery -----------------------------------
+
+    def _receive_forward(self, origin_client: int, message: Forward) -> None:
+        """Apply another client's update, forwarded verbatim by the cloud."""
+        self.channel.download(message, self.clock.now())
+        self.stats.forwards_applied += 1
+        inner_msg = message.inner
+        self._apply_remote(inner_msg)
+
+    def _apply_remote(self, message: Message) -> None:
+        from repro.net.messages import (  # local import to avoid cycle noise
+            MetaOp as _MetaOp,
+            TxnGroup as _TxnGroup,
+            UploadDelta as _UploadDelta,
+            UploadFull as _UploadFull,
+            UploadTruncate as _UploadTruncate,
+            UploadWrite as _UploadWrite,
+            UploadWriteBatch as _UploadWriteBatch,
+        )
+
+        if isinstance(message, _TxnGroup):
+            for member in message.members:
+                self._apply_remote(member)
+            return
+        path = getattr(message, "path", "")
+        if not path:
+            return
+        pending = self.queue.pending_nodes(path)
+        if pending:
+            # Local concurrent edit: the forwarded update conflicts with
+            # pending local changes (Section III-D); the server reconciles,
+            # we keep local state and count the conflict.
+            self.stats.conflicts += 1
+            return
+        if isinstance(message, _MetaOp):
+            self._replay_remote_meta(message)
+        elif isinstance(message, _UploadWrite):
+            self._ensure_exists(path)
+            self.inner.write(path, message.offset, message.data)
+            self.versions[path] = message.new_version
+        elif isinstance(message, _UploadWriteBatch):
+            self._ensure_exists(path)
+            for offset, data in message.runs:
+                self.inner.write(path, offset, data)
+            self.versions[path] = message.new_version
+        elif isinstance(message, _UploadTruncate):
+            self._ensure_exists(path)
+            self.inner.truncate(path, message.length)
+            self.versions[path] = message.new_version
+        elif isinstance(message, _UploadDelta):
+            if self.server is not None and self.server.store.exists(path):
+                content = self.server.file_content(path)
+                self.inner.write_file(path, content)
+                self.versions[path] = message.new_version
+        elif isinstance(message, _UploadFull):
+            self.inner.write_file(path, message.data)
+            self.versions[path] = message.new_version
+        if self.checksums is not None and self.inner.exists(path):
+            for alias in self.inner.linked_paths(path):
+                self.checksums.reindex(alias, self.inner.read_file(alias))
+                self.versions[alias] = self.versions.get(path)
+
+    def _replay_remote_meta(self, op: MetaOp) -> None:
+        if op.kind == "create":
+            if not self.inner.exists(op.path):
+                self.inner.create(op.path)
+            self.versions[op.path] = op.new_version
+        elif op.kind == "rename" and self.inner.exists(op.path):
+            self.inner.rename(op.path, op.dest)
+            self.versions[op.dest] = self.versions.pop(op.path, None)
+            if self.checksums is not None:
+                self.checksums.rename(op.path, op.dest)
+        elif op.kind == "link" and self.inner.exists(op.path):
+            if not self.inner.exists(op.dest):
+                self.inner.link(op.path, op.dest)
+            self.versions[op.dest] = self.versions.get(op.path)
+        elif op.kind == "unlink" and self.inner.exists(op.path):
+            self.inner.unlink(op.path)
+            self.versions.pop(op.path, None)
+            if self.checksums is not None:
+                self.checksums.drop(op.path)
+        elif op.kind == "mkdir" and not self.inner.exists(op.path):
+            self.inner.mkdir(op.path)
+        elif op.kind == "rmdir" and self.inner.exists(op.path):
+            self.inner.rmdir(op.path)
+
+    def _ensure_exists(self, path: str) -> None:
+        if not self.inner.exists(path):
+            self.inner.create(path)
+
+    def _recover(self, path: str) -> Optional[bytes]:
+        """Fetch the cloud copy and restore the local file + checksums."""
+        if self.server is None or not self.server.store.exists(path):
+            return None
+        content = self.server.file_content(path)
+        version = self.server.file_version(path)
+        self.channel.download(
+            FileDownload(path=path, data=content, version=version), self.clock.now()
+        )
+        self.inner.write_file(path, content)
+        self.versions[path] = version
+        if self.checksums is not None:
+            self.checksums.reindex(path, content)
+        self.stats.recoveries += 1
+        return content

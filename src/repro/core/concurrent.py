@@ -1,0 +1,111 @@
+"""Thread-safe Sync Queue wrapper.
+
+The paper's C prototype implements the Sync Queue with a lock-free MPSC
+structure [35]: application threads enqueue through the FUSE callbacks
+while one uploader thread drains. The Python reproduction is
+deterministic and single-threaded by design (DESIGN.md), but this wrapper
+provides the same concurrency contract — many producers, one consumer —
+for callers that want to drive a client from real threads, and the stress
+tests in ``tests/core/test_concurrent.py`` check the queue's invariants
+under that interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+from repro.core.sync_queue import DeltaNode, QueueNode, SyncQueue, UploadUnit, WriteNode
+
+
+class ConcurrentSyncQueue:
+    """A :class:`SyncQueue` guarded by one reentrant lock.
+
+    A single coarse lock is the honest Python equivalent of the paper's
+    lock-free queue: under the GIL there is no parallel speedup to chase,
+    only interleaving-correctness to guarantee. Every public SyncQueue
+    operation is atomic with respect to the others.
+    """
+
+    def __init__(self, *, upload_delay: float = 3.0, capacity: int = 4096):
+        self._queue = SyncQueue(upload_delay=upload_delay, capacity=capacity)
+        self._lock = threading.RLock()
+
+    # -- producer side ------------------------------------------------------
+
+    def enqueue(self, node: QueueNode, now: float) -> QueueNode:
+        with self._lock:
+            return self._queue.enqueue(node, now)
+
+    def append_write(self, path: str, offset: int, data: bytes, now: float) -> WriteNode:
+        """Atomic find-or-create-and-append for producer threads.
+
+        This is the operation that *must* be atomic end-to-end: a lookup
+        followed by a separate append could attach a write to a node
+        another thread just packed.
+        """
+        with self._lock:
+            node = self._queue.active_write_node(path)
+            if node is None:
+                node = WriteNode(path=path)
+                self._queue.enqueue(node, now)
+            else:
+                self._queue.note_mutation(node)
+                node.enqueue_time = now
+            node.add_write(offset, data)
+            return node
+
+    def active_write_node(self, path: str) -> Optional[WriteNode]:
+        with self._lock:
+            return self._queue.active_write_node(path)
+
+    def pack(self, path: str) -> Optional[WriteNode]:
+        with self._lock:
+            return self._queue.pack(path)
+
+    def replace_with_delta(
+        self, doomed: Sequence[QueueNode], delta_node: DeltaNode, now: float
+    ) -> DeltaNode:
+        with self._lock:
+            return self._queue.replace_with_delta(doomed, delta_node, now)
+
+    def cancel_nodes(self, doomed: Sequence[QueueNode]) -> None:
+        with self._lock:
+            self._queue.cancel_nodes(doomed)
+
+    # -- consumer side ------------------------------------------------------
+
+    def next_unit(self, now: float) -> Optional[UploadUnit]:
+        with self._lock:
+            return self._queue.next_unit(now)
+
+    def drain_all(self, now: float) -> List[UploadUnit]:
+        with self._lock:
+            return self._queue.drain_all(now)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        with self._lock:
+            return self._queue.full
+
+    def nodes(self) -> List[QueueNode]:
+        with self._lock:
+            return self._queue.nodes()
+
+    def pending_nodes(self, path: str) -> List[QueueNode]:
+        with self._lock:
+            return self._queue.pending_nodes(path)
+
+    def queued_bytes(self) -> int:
+        with self._lock:
+            return self._queue.queued_bytes()
+
+    def spans(self):
+        with self._lock:
+            return self._queue.spans()

@@ -1,0 +1,27 @@
+"""Conflict-copy naming and bookkeeping (paper Section III-C).
+
+First-write-wins: the first update the server receives becomes the latest
+version; the loser is preserved as a *conflict version* under a derived
+name, reconstructed from the base snapshot plus the losing incremental
+data — "a file becoming a conflict version does not mean we have to drop
+the incremental data and transmit this file again."
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.common.version import VersionStamp
+
+
+def conflict_path(path: str, losing_version: VersionStamp) -> str:
+    """Derived name for a conflict copy, unique per losing version.
+
+    ``/docs/report.txt`` lost by client 7's 42nd version becomes
+    ``/docs/report (conflicted copy c7-42).txt`` — the familiar
+    Dropbox-style convention.
+    """
+    directory, name = posixpath.split(path)
+    stem, dot, ext = name.partition(".")
+    tag = f" (conflicted copy c{losing_version.client_id}-{losing_version.counter})"
+    return posixpath.join(directory, f"{stem}{tag}{dot}{ext}")

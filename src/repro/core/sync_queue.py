@@ -1,0 +1,332 @@
+"""The Sync Queue (paper Sections III-B and III-E).
+
+A FIFO of pending upload nodes with three twists:
+
+1. **Write nodes** — all intercepted writes to one file coalesce into a
+   single mutable node (found through a hash table). A write node is
+   *packed* (frozen) when its file's state changes: close, rename, unlink,
+   truncate — or when it comes due for upload.
+2. **Delta replacement** — when the Relation Table triggers delta encoding,
+   the file's write node(s) are removed from the queue and the (much
+   smaller) delta node is appended instead.
+3. **Backindex** — removing or mutating a non-tail node would violate the
+   FIFO order that gives causal consistency for free. Each such surgery
+   records a *backindex span* from the disturbed position to the current
+   tail; all nodes inside a span must be applied transactionally on the
+   cloud, and interleaved spans are merged (Section III-E, Figure 7).
+
+Nodes are uploaded after a short delay (Figure 6: ~3 s) so that coalescing
+and delta replacement get their window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bytesutil import merge_ranges
+from repro.common.version import VersionStamp
+from repro.delta.format import Delta
+
+
+@dataclass
+class QueueNode:
+    """Base of all Sync Queue nodes."""
+
+    path: str
+    seq: int = -1
+    enqueue_time: float = 0.0
+    base_version: Optional[VersionStamp] = None
+    new_version: Optional[VersionStamp] = None
+
+    def payload_bytes(self) -> int:
+        """Approximate bytes this node will put on the wire."""
+        return 0
+
+
+@dataclass
+class WriteNode(QueueNode):
+    """Coalesced intercepted writes to one file (NFS-like file RPC)."""
+
+    writes: List[Tuple[int, bytes]] = field(default_factory=list)
+    packed: bool = False
+
+    def add_write(self, offset: int, data: bytes) -> None:
+        """Attach one write; only legal while unpacked."""
+        if self.packed:
+            raise ValueError("cannot append writes to a packed node")
+        self.writes.append((offset, data))
+
+    def pack(self) -> None:
+        """Freeze the node (file state changed, or upload is imminent)."""
+        self.packed = True
+
+    def merged_writes(self) -> List[Tuple[int, bytes]]:
+        """Writes coalesced for upload: overlapping/adjacent runs merged.
+
+        Later writes win where ranges overlap — replay order is preserved
+        by materializing each merged range in write order.
+        """
+        if not self.writes:
+            return []
+        spans = merge_ranges([(off, len(d)) for off, d in self.writes])
+        out: List[Tuple[int, bytes]] = []
+        for span_off, span_len in spans:
+            buffer = bytearray(span_len)
+            for offset, data in self.writes:
+                rel = offset - span_off
+                if rel + len(data) <= 0 or rel >= span_len:
+                    continue
+                buffer[max(rel, 0) : rel + len(data)] = data[
+                    max(-rel, 0) :
+                ]
+            out.append((span_off, bytes(buffer)))
+        return out
+
+    def payload_bytes(self) -> int:
+        return sum(len(d) for _, d in self.writes)
+
+
+@dataclass
+class TruncateNode(QueueNode):
+    """A truncate to be replayed on the cloud."""
+
+    length: int = 0
+
+
+@dataclass
+class DeltaNode(QueueNode):
+    """A delta produced by triggered (bitwise) delta encoding.
+
+    Carries two base references: ``base_version`` is the version the target
+    path is expected to hold when the node applies (conflict detection —
+    inherited from the write node the delta replaced), while
+    ``content_base`` names the old-version snapshot the delta's COPY
+    instructions read from (the preserved pre-update content).
+    """
+
+    delta: Delta = field(default_factory=Delta)
+    content_base: Optional[VersionStamp] = None
+
+    def payload_bytes(self) -> int:
+        return self.delta.wire_size()
+
+
+@dataclass
+class MetaNode(QueueNode):
+    """A namespace operation: create/rename/link/unlink/mkdir/rmdir."""
+
+    kind: str = ""
+    dest: Optional[str] = None
+
+
+@dataclass
+class UploadUnit:
+    """What the pump hands to the network: one node, or an atomic group."""
+
+    nodes: List[QueueNode]
+    transactional: bool
+
+    @property
+    def single(self) -> QueueNode:
+        if len(self.nodes) != 1:
+            raise ValueError("not a single-node unit")
+        return self.nodes[0]
+
+
+class SyncQueue:
+    """The queue itself. Not thread-safe by design — the reproduction is
+    single-threaded and deterministic; the paper's lock-free MPSC structure
+    is a C-implementation concern, not an algorithmic one (see DESIGN.md).
+    """
+
+    def __init__(self, *, upload_delay: float = 3.0, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.upload_delay = upload_delay
+        self.capacity = capacity
+        self._nodes: List[QueueNode] = []  # live nodes, FIFO by seq
+        self._active_writes: Dict[str, WriteNode] = {}  # the hash table
+        self._spans: List[Tuple[int, int]] = []  # merged backindex spans
+        self._next_seq = 0
+
+    # -- enqueue side ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def full(self) -> bool:
+        """Back-pressure signal (Table III: "Sync Queue becomes full")."""
+        return len(self._nodes) >= self.capacity
+
+    def enqueue(self, node: QueueNode, now: float) -> QueueNode:
+        """Append a node at the tail."""
+        node.seq = self._next_seq
+        self._next_seq += 1
+        node.enqueue_time = now
+        self._nodes.append(node)
+        if isinstance(node, WriteNode) and not node.packed:
+            self._active_writes[node.path] = node
+        return node
+
+    def active_write_node(self, path: str) -> Optional[WriteNode]:
+        """The unpacked write node for ``path``, if any (hash-table lookup)."""
+        return self._active_writes.get(path)
+
+    def pack(self, path: str) -> Optional[WriteNode]:
+        """Pack ``path``'s active write node; returns it if one existed.
+
+        Called whenever the file's state changes (close/rename/delete/
+        truncate) so a recreated file with the same name gets a fresh node
+        (Section III-B's corruption scenario).
+        """
+        node = self._active_writes.pop(path, None)
+        if node is not None:
+            node.pack()
+        return node
+
+    def pending_nodes(self, path: str) -> List[QueueNode]:
+        """All queued nodes for ``path`` in FIFO order."""
+        return [n for n in self._nodes if n.path == path]
+
+    def nodes(self) -> List[QueueNode]:
+        """Snapshot of all live nodes in FIFO order."""
+        return list(self._nodes)
+
+    # -- node surgery (the backindex-generating operations) ----------------
+
+    def replace_with_delta(
+        self, doomed: Sequence[QueueNode], delta_node: "DeltaNode", now: float
+    ) -> DeltaNode:
+        """Delta replacement: remove ``doomed``, append the delta at the tail.
+
+        Records the backindex span from the earliest removed position to the
+        delta node — the delta logically *is* those writes, so everything
+        between must apply transactionally with it (Figure 7).
+        """
+        self._remove(doomed)
+        self.enqueue(delta_node, now)
+        if doomed:
+            self._add_span(min(n.seq for n in doomed), delta_node.seq)
+        return delta_node
+
+    def cancel_nodes(self, doomed: Sequence[QueueNode]) -> None:
+        """Drop never-uploaded nodes (e.g. create+writes of a deleted file).
+
+        The hole left behind gets a backindex span to the current tail so
+        the cloud never observes a prefix that skips the removed effects
+        (the create-a/b/c-delete-a example of Section III-E).
+        """
+        if not doomed:
+            return
+        first = min(n.seq for n in doomed)
+        self._remove(doomed)
+        if self._nodes and self._nodes[-1].seq > first:
+            covered = [n for n in self._nodes if n.seq > first]
+            if covered:
+                self._add_span(covered[0].seq, self._nodes[-1].seq)
+
+    def _remove(self, doomed: Sequence[QueueNode]) -> None:
+        doomed_seqs = {n.seq for n in doomed}
+        self._nodes = [n for n in self._nodes if n.seq not in doomed_seqs]
+        for node in doomed:
+            active = self._active_writes.get(node.path)
+            if active is node:
+                del self._active_writes[node.path]
+
+    def note_mutation(self, node: QueueNode) -> None:
+        """A non-tail node was modified in place; record its span.
+
+        Used when writes batch onto an older write node while newer nodes
+        already sit behind it (the Figure 7 situation).
+        """
+        if self._nodes and node.seq < self._nodes[-1].seq:
+            self._add_span(node.seq, self._nodes[-1].seq)
+
+    def _add_span(self, start: int, end: int) -> None:
+        if end < start:
+            return
+        self._spans.append((start, end))
+        self._spans.sort()
+        merged = [self._spans[0]]
+        for s, e in self._spans[1:]:
+            ls, le = merged[-1]
+            if s <= le:
+                merged[-1] = (ls, max(le, e))
+            else:
+                merged.append((s, e))
+        self._spans = merged
+
+    def spans(self) -> List[Tuple[int, int]]:
+        """Current merged backindex spans (for inspection/tests)."""
+        return list(self._spans)
+
+    # -- upload side -------------------------------------------------------
+
+    def next_unit(self, now: float) -> Optional[UploadUnit]:
+        """The next FIFO upload unit whose delay has elapsed, or ``None``.
+
+        A node inside a backindex span only ships when every live node of
+        the span is due, and then the whole span ships as one transactional
+        unit. FIFO order is never violated: if the head isn't ready,
+        nothing ships.
+        """
+        if not self._nodes:
+            return None
+        head = self._nodes[0]
+        span = self._span_containing(head.seq)
+        if span is None:
+            if not self._due(head, now):
+                return None
+            self._nodes.pop(0)
+            if isinstance(head, WriteNode):
+                self._pack_for_upload(head)
+            return UploadUnit(nodes=[head], transactional=False)
+
+        start, end = span
+        members = [n for n in self._nodes if start <= n.seq <= end]
+        if not members:
+            self._spans.remove(span)
+            return self.next_unit(now)
+        if not all(self._due(n, now) for n in members):
+            return None
+        member_seqs = {n.seq for n in members}
+        self._nodes = [n for n in self._nodes if n.seq not in member_seqs]
+        self._spans.remove(span)
+        for node in members:
+            if isinstance(node, WriteNode):
+                self._pack_for_upload(node)
+        return UploadUnit(nodes=members, transactional=True)
+
+    def drain_all(self, now: float) -> List[UploadUnit]:
+        """Ship everything regardless of delay (shutdown / final flush)."""
+        units: List[UploadUnit] = []
+        far_future = now + self.upload_delay + 1e9
+        while True:
+            unit = self.next_unit(far_future)
+            if unit is None:
+                break
+            units.append(unit)
+        return units
+
+    def queued_bytes(self) -> int:
+        """Total payload bytes waiting (back-pressure metric)."""
+        return sum(n.payload_bytes() for n in self._nodes)
+
+    # -- internals ---------------------------------------------------------
+
+    def _due(self, node: QueueNode, now: float) -> bool:
+        return now - node.enqueue_time >= self.upload_delay
+
+    def _span_containing(self, seq: int) -> Optional[Tuple[int, int]]:
+        for span in self._spans:
+            if span[0] <= seq <= span[1]:
+                return span
+        return None
+
+    def _pack_for_upload(self, node: WriteNode) -> None:
+        if not node.packed:
+            node.pack()
+        if self._active_writes.get(node.path) is node:
+            del self._active_writes[node.path]

@@ -1,0 +1,8 @@
+"""Re-export shim: the version module lives in :mod:`repro.common.version`
+(it is a leaf shared by the wire protocol, which must not import the core
+package to avoid a cycle). The canonical import path for users remains
+``repro.core.version``."""
+
+from repro.common.version import GENESIS, VersionCounter, VersionStamp
+
+__all__ = ["GENESIS", "VersionCounter", "VersionStamp"]

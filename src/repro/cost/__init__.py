@@ -1,0 +1,22 @@
+"""Deterministic CPU-cost accounting.
+
+The paper reports client/server CPU in "CPU ticks" measured on EC2 and a
+Galaxy Note3. We cannot measure real hardware, so every algorithm in this
+repository *meters the work it actually performs* (bytes rolled, blocks
+hashed, bytes compared, bytes pushed through the network stack) against a
+calibrated tick-per-byte profile. Because each sync solution performs
+categorically different amounts of work per trace, the paper's relative
+shape (Dropbox >> Seafile >> DeltaCFS on client CPU, etc.) emerges from the
+metering rather than being hard-coded.
+"""
+
+from repro.cost.meter import CostMeter, NULL_METER
+from repro.cost.profile import CostProfile, PC_PROFILE, MOBILE_PROFILE
+
+__all__ = [
+    "CostMeter",
+    "NULL_METER",
+    "CostProfile",
+    "PC_PROFILE",
+    "MOBILE_PROFILE",
+]

@@ -1,0 +1,29 @@
+"""Delta encoding: the rsync algorithm and DeltaCFS's local bitwise variant.
+
+- :mod:`repro.delta.format` — the delta instruction stream (COPY/LITERAL)
+  with a compact wire encoding.
+- :mod:`repro.delta.rsync` — classic rsync: block signature of the old file,
+  rolling-checksum scan of the new file, strong-checksum match confirmation.
+- :mod:`repro.delta.bitwise` — the paper's optimization (Section III-A):
+  when old and new versions are both local, candidate matches are confirmed
+  by direct byte comparison, eliminating all MD5 work.
+- :mod:`repro.delta.patch` — applying a delta to a base to reconstruct the
+  new file (what the DeltaCFS server does).
+"""
+
+from repro.delta.format import Copy, Literal, Delta, DeltaOp
+from repro.delta.rsync import compute_signature, compute_delta, rsync_delta
+from repro.delta.bitwise import bitwise_delta
+from repro.delta.patch import apply_delta
+
+__all__ = [
+    "Copy",
+    "Literal",
+    "Delta",
+    "DeltaOp",
+    "compute_signature",
+    "compute_delta",
+    "rsync_delta",
+    "bitwise_delta",
+    "apply_delta",
+]

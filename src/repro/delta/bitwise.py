@@ -1,0 +1,38 @@
+"""DeltaCFS's local delta encoding: rsync without strong checksums.
+
+Paper, Section III-A: "when executing delta encoding we have both the
+file's old version and new version locally ... we use bitwise comparison to
+replace strong checksum. It can reduce a lot of computational cost of
+rsync, as its checksums should be recalculated every time a file is
+modified."
+
+Concretely, versus classic rsync this path:
+
+- skips MD5 over every block of the old file (signature side), and
+- skips MD5 over every candidate window of the new file (scan side),
+
+replacing both with memcmp-speed byte comparison of candidate windows only.
+"""
+
+from __future__ import annotations
+
+from repro.cost.meter import CostMeter, NULL_METER
+from repro.delta.format import Delta
+from repro.delta.rsync import compute_delta, compute_signature
+
+
+def bitwise_delta(
+    old: bytes,
+    new: bytes,
+    block_size: int,
+    *,
+    meter: CostMeter = NULL_METER,
+) -> Delta:
+    """Delta from ``old`` to ``new`` using bitwise match confirmation.
+
+    Both versions must be local (they are, whenever the Relation Table
+    triggers encoding — the old version was preserved by rename/unlink or
+    by the undo log).
+    """
+    signature = compute_signature(old, block_size, with_strong=False, meter=meter)
+    return compute_delta(signature, new, base=old, meter=meter)

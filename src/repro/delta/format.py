@@ -1,0 +1,168 @@
+"""The delta instruction stream and its wire encoding.
+
+A delta is an ordered list of two instruction kinds:
+
+- ``Copy(offset, length)`` — take bytes from the *base* (old) file;
+- ``Literal(data)`` — bytes present only in the new file.
+
+Replaying the instructions in order reconstructs the new file exactly.
+The wire encoding is a simple tagged format (1-byte tag + two varints, or
+1-byte tag + varint + payload); ``wire_size`` is what the network simulator
+charges for transmitting a delta.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, List, Union
+
+_COPY_TAG = 0xC0
+_LITERAL_TAG = 0x11
+
+
+def _encode_varint(value: int) -> bytes:
+    """LEB128-style unsigned varint."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    """Decode a varint at ``pos``; returns ``(value, next_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+@dataclass(frozen=True)
+class Copy:
+    """Copy ``length`` bytes from ``offset`` in the base file."""
+
+    offset: int
+    length: int
+
+    def wire_size(self) -> int:
+        return 1 + len(_encode_varint(self.offset)) + len(_encode_varint(self.length))
+
+    def encode(self) -> bytes:
+        return bytes([_COPY_TAG]) + _encode_varint(self.offset) + _encode_varint(self.length)
+
+
+@dataclass(frozen=True)
+class Literal:
+    """Insert ``data`` verbatim."""
+
+    data: bytes
+
+    def wire_size(self) -> int:
+        return 1 + len(_encode_varint(len(self.data))) + len(self.data)
+
+    def encode(self) -> bytes:
+        return bytes([_LITERAL_TAG]) + _encode_varint(len(self.data)) + self.data
+
+
+DeltaOp = Union[Copy, Literal]
+
+
+@dataclass
+class Delta:
+    """An ordered delta instruction stream plus bookkeeping.
+
+    Attributes:
+        ops: the instruction list.
+        target_size: size of the file the delta reconstructs.
+    """
+
+    ops: List[DeltaOp] = field(default_factory=list)
+    target_size: int = 0
+
+    def append(self, op: DeltaOp) -> None:
+        """Append an instruction, coalescing adjacent compatible ops."""
+        if self.ops:
+            last = self.ops[-1]
+            if isinstance(op, Copy) and isinstance(last, Copy):
+                if last.offset + last.length == op.offset:
+                    self.ops[-1] = Copy(last.offset, last.length + op.length)
+                    self.target_size += op.length
+                    return
+            if isinstance(op, Literal) and isinstance(last, Literal):
+                self.ops[-1] = Literal(last.data + op.data)
+                self.target_size += len(op.data)
+                return
+        self.ops.append(op)
+        self.target_size += op.length if isinstance(op, Copy) else len(op.data)
+
+    @property
+    def literal_bytes(self) -> int:
+        """Total bytes carried as literals (the "real" incremental data)."""
+        return sum(len(op.data) for op in self.ops if isinstance(op, Literal))
+
+    @property
+    def copied_bytes(self) -> int:
+        """Total bytes reused from the base file."""
+        return sum(op.length for op in self.ops if isinstance(op, Copy))
+
+    def wire_size(self) -> int:
+        """Serialized size in bytes — what crosses the network."""
+        return sum(op.wire_size() for op in self.ops) + 8  # + fixed header
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        body = b"".join(op.encode() for op in self.ops)
+        return struct.pack("<II", len(self.ops), self.target_size) + body
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "Delta":
+        """Parse a serialized delta; raises ``ValueError`` on malformed input."""
+        if len(buf) < 8:
+            raise ValueError("truncated delta header")
+        op_count, target_size = struct.unpack_from("<II", buf, 0)
+        pos = 8
+        ops: List[DeltaOp] = []
+        for _ in range(op_count):
+            if pos >= len(buf):
+                raise ValueError("truncated delta body")
+            tag = buf[pos]
+            pos += 1
+            if tag == _COPY_TAG:
+                offset, pos = _decode_varint(buf, pos)
+                length, pos = _decode_varint(buf, pos)
+                ops.append(Copy(offset, length))
+            elif tag == _LITERAL_TAG:
+                length, pos = _decode_varint(buf, pos)
+                if pos + length > len(buf):
+                    raise ValueError("truncated literal")
+                ops.append(Literal(buf[pos : pos + length]))
+                pos += length
+            else:
+                raise ValueError(f"unknown delta op tag 0x{tag:02x}")
+        delta = cls()
+        for op in ops:
+            delta.ops.append(op)
+        delta.target_size = target_size
+        return delta
+
+    @classmethod
+    def from_ops(cls, ops: Iterable[DeltaOp]) -> "Delta":
+        """Build a delta from raw ops, coalescing as it goes."""
+        delta = cls()
+        for op in ops:
+            delta.append(op)
+        return delta

@@ -1,0 +1,16 @@
+"""Fault injection for the reliability experiments (paper Section IV-E).
+
+Both injectors mutate file content *beneath* the operation-interception
+layer, exactly like the paper's debugfs-based injection: no file operation
+reports the change, so only checksum-based detection can catch it.
+"""
+
+from repro.faults.corruption import flip_bit, corrupt_random_block
+from repro.faults.crash import inject_crash_inconsistency, simulate_crash
+
+__all__ = [
+    "flip_bit",
+    "corrupt_random_block",
+    "inject_crash_inconsistency",
+    "simulate_crash",
+]

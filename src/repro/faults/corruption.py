@@ -1,0 +1,32 @@
+"""Silent data corruption injection.
+
+"we inject corrupted data by flipping a bit in a file ... using the
+debugfs tool to find out a file's physical location, then directly write
+the dev disk file" — our equivalent writes the inode bytes directly,
+bypassing every interception layer.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import DeterministicRandom
+from repro.vfs.filesystem import MemoryFileSystem
+
+
+def flip_bit(fs: MemoryFileSystem, path: str, byte_offset: int, bit: int = 0) -> None:
+    """Flip one bit of ``path`` at ``byte_offset`` beneath the stack."""
+    if not 0 <= bit < 8:
+        raise ValueError("bit must be in [0, 8)")
+    fs.corrupt(path, byte_offset, flip_mask=1 << bit)
+
+
+def corrupt_random_block(
+    fs: MemoryFileSystem, path: str, *, seed: int = 0, block_size: int = 4096
+) -> int:
+    """Flip a bit in a random block of ``path``; returns the block index."""
+    rng = DeterministicRandom(seed).fork("corrupt")
+    size = fs.stat(path).size
+    if size == 0:
+        raise ValueError("cannot corrupt an empty file")
+    offset = rng.randint(0, size - 1)
+    flip_bit(fs, path, offset, bit=rng.randint(0, 7))
+    return offset // block_size

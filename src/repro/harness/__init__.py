@@ -1,0 +1,12 @@
+"""The experiment harness: build systems, replay traces, collect results.
+
+- :mod:`repro.harness.runner` — construct any of the five sync systems
+  behind a uniform facade and run a trace against it.
+- :mod:`repro.harness.experiments` — one driver per paper table/figure.
+- :mod:`repro.harness.microbench` — the local-IO latency model behind
+  Table III.
+"""
+
+from repro.harness.runner import SystemUnderTest, build_system, run_trace, SOLUTIONS
+
+__all__ = ["SystemUnderTest", "build_system", "run_trace", "SOLUTIONS"]

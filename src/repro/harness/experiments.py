@@ -1,0 +1,348 @@
+"""Per-table/figure experiment drivers (see DESIGN.md section 4).
+
+Each function regenerates one table or figure of the paper at a reduced
+(but structure-preserving) scale and returns structured results the
+benchmarks print and sanity-check. Scales divide file sizes; op counts,
+op sequences, and the write-size-tied granularities (4 KB blocks/pages)
+are kept at paper values, while structural granularities (4 MB dedup
+units, 1 MB CDC chunks) scale with the files (see ``build_system``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import VirtualClock
+from repro.cost.profile import MOBILE_PROFILE, PC_PROFILE
+from repro.harness.runner import build_system, run_trace
+from repro.metrics.collector import RunResult
+from repro.net.transport import MOBILE_NETWORK, PC_NETWORK
+from repro.workloads import (
+    append_write_trace,
+    random_write_trace,
+    wechat_trace,
+    word_trace,
+)
+from repro.workloads.traces import Trace
+
+# Benchmark scales: chosen so every run finishes in seconds while keeping
+# file >> seafile chunk >> rsync block and dedup unit < file.
+APPEND_SCALE = 4
+RANDOM_SCALE = 4
+WORD_SCALE = 8
+WECHAT_SCALE = 16
+
+PC_SOLUTIONS = ("dropbox", "seafile", "nfs", "deltacfs")
+MOBILE_SOLUTIONS = ("fullsync", "deltacfs")
+
+
+def bench_traces(fast: bool = False) -> Dict[str, Tuple[Trace, int]]:
+    """The four traces at benchmark scale; returns {name: (trace, scale)}.
+
+    ``fast=True`` further trims op counts for smoke tests.
+    """
+    word_saves = 12 if fast else 61
+    wechat_mods = 40 if fast else 373
+    appends = 10 if fast else 40
+    writes = 10 if fast else 40
+    return {
+        "append_write": (
+            append_write_trace(scale=APPEND_SCALE, appends=appends),
+            APPEND_SCALE,
+        ),
+        "random_write": (
+            random_write_trace(scale=RANDOM_SCALE, writes=writes),
+            RANDOM_SCALE,
+        ),
+        "word": (word_trace(scale=WORD_SCALE, saves=word_saves), WORD_SCALE),
+        "wechat": (
+            wechat_trace(scale=WECHAT_SCALE, modifications=wechat_mods),
+            WECHAT_SCALE,
+        ),
+    }
+
+
+def _scaled_kwargs(scale: int) -> Dict[str, int]:
+    return {
+        "dropbox_dedup_size": max(64 * 1024, 4 * 1024 * 1024 // scale),
+        "seafile_chunk_size": max(16 * 1024, 1024 * 1024 // scale),
+    }
+
+
+def _table2_config():
+    """Plain DeltaCFS, as in Tables II and Figures 8/9.
+
+    The paper treats the checksum store as a separate variant ("DeltaCFSc"
+    appears only in Table III), so the headline CPU/traffic rows use the
+    plain client.
+    """
+    from repro.common.config import DeltaCFSConfig
+
+    return DeltaCFSConfig(enable_checksums=False)
+
+
+# One (solution, trace, setting) run serves every table/figure that needs
+# it — Table II and Figure 8 report different columns of the same runs, as
+# in the paper ("During measuring CPU consumption ... we also measured
+# their data transmission"). The key fingerprints the trace's actual
+# content, not just its name, so differently-parameterized variants of the
+# same workload never collide.
+_run_cache: Dict[Tuple, RunResult] = {}
+
+
+def _trace_fingerprint(trace: Trace) -> Tuple:
+    return (
+        trace.name,
+        len(trace.ops),
+        trace.stats.bytes_written,
+        trace.stats.update_bytes,
+    )
+
+
+def run_pc(name: str, trace: Trace, scale: int, fast: bool = False, **kwargs) -> RunResult:
+    """One PC-setting run (EC2-to-EC2 in the paper). Cached per trace."""
+    key = (name, _trace_fingerprint(trace), "pc")
+    if not kwargs and key in _run_cache:
+        return _run_cache[key]
+    result = run_trace(
+        name,
+        trace,
+        profile=PC_PROFILE,
+        network=PC_NETWORK,
+        config=_table2_config() if name == "deltacfs" else None,
+        **_scaled_kwargs(scale),
+        **kwargs,
+    )
+    if not kwargs:
+        _run_cache[key] = result
+    return result
+
+
+def run_mobile(name: str, trace: Trace, scale: int, fast: bool = False, **kwargs) -> RunResult:
+    """One mobile-setting run (Galaxy Note3 on a WAN). Cached per trace."""
+    key = (name, _trace_fingerprint(trace), "mobile")
+    if not kwargs and key in _run_cache:
+        return _run_cache[key]
+    result = run_trace(
+        name,
+        trace,
+        profile=MOBILE_PROFILE,
+        network=MOBILE_NETWORK,
+        config=_table2_config() if name == "deltacfs" else None,
+        **_scaled_kwargs(scale),
+        **kwargs,
+    )
+    if not kwargs:
+        _run_cache[key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table II — CPU usage of different sync solutions
+# ---------------------------------------------------------------------------
+
+
+def table2_cpu(fast: bool = False) -> List[RunResult]:
+    """CPU ticks, client and server, PC rows then mobile rows."""
+    results: List[RunResult] = []
+    for trace_name, (trace, scale) in bench_traces(fast).items():
+        for solution in PC_SOLUTIONS:
+            results.append(run_pc(solution, trace, scale, fast))
+    for trace_name, (trace, scale) in bench_traces(fast).items():
+        for solution in MOBILE_SOLUTIONS:
+            result = run_mobile(solution, trace, scale, fast)
+            result.extra["setting"] = "mobile"
+            results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — network transmission on PC
+# ---------------------------------------------------------------------------
+
+
+def fig8_network_pc(fast: bool = False) -> List[RunResult]:
+    """Upload/download bytes for the four traces x four PC solutions."""
+    results: List[RunResult] = []
+    for trace_name, (trace, scale) in bench_traces(fast).items():
+        for solution in PC_SOLUTIONS:
+            results.append(run_pc(solution, trace, scale, fast))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — network traffic on mobile
+# ---------------------------------------------------------------------------
+
+
+def fig9_network_mobile(fast: bool = False) -> List[RunResult]:
+    """Upload/download bytes for the four traces, Dropsync vs DeltaCFS."""
+    results: List[RunResult] = []
+    for trace_name, (trace, scale) in bench_traces(fast).items():
+        for solution in MOBILE_SOLUTIONS:
+            results.append(run_mobile(solution, trace, scale, fast))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — motivation: client resource consumption (Dropbox vs Seafile)
+# ---------------------------------------------------------------------------
+
+
+def fig1_motivation(fast: bool = False) -> List[RunResult]:
+    """The intro experiment: a Word file saved 23x and a chat SQLite file.
+
+    Reports client CPU ticks, network traffic, and data *read* from disk
+    (the IO cost the paper calls out: Dropbox issued >700 MB of reads for
+    a 130 MB database).
+    """
+    # Figure 1's workloads: a Word file saved 23 times, and the SQLite file
+    # "modified 4 times (composed of 85 write operations)".
+    saves = 8 if fast else 23
+    mods = 2 if fast else 4
+    word = word_trace(scale=WORD_SCALE, saves=saves, seed=30)
+    chat = wechat_trace(
+        scale=WECHAT_SCALE, modifications=mods, seed=31, rewrites_range=(18, 24)
+    )
+    results: List[RunResult] = []
+    for trace, scale in ((word, WORD_SCALE), (chat, WECHAT_SCALE)):
+        for solution in ("dropbox", "seafile"):
+            system = build_system(
+                solution, profile=PC_PROFILE, network=PC_NETWORK,
+                **_scaled_kwargs(scale),
+            )
+            from repro.harness.runner import _preload
+            from repro.workloads.traces import replay
+
+            _preload(system, trace)
+
+            # The paper's Figure 1 subplots are CPU-over-time series whose
+            # spikes line up with the saves; sample per-window tick deltas.
+            window = 5.0
+            timeline: List[float] = []
+            state = {"last_sample": 0.0, "last_total": system.client_meter.total}
+
+            def sampling_pump(now: float):
+                system.pump(now)
+                if now - state["last_sample"] >= window:
+                    total = system.client_meter.total
+                    timeline.append(total - state["last_total"])
+                    state["last_total"] = total
+                    state["last_sample"] = now
+
+            replay(trace, system.fs, system.clock, pump=sampling_pump)
+            for _ in range(10):
+                system.clock.advance(1.0)
+                sampling_pump(system.clock.now())
+            system.flush()
+            result = RunResult(
+                solution=solution,
+                trace=trace.name,
+                client_ticks=system.client_meter.total,
+                server_ticks=system.server_meter.total,
+                up_bytes=system.channel.stats.up_bytes,
+                down_bytes=system.channel.stats.down_bytes,
+                update_bytes=trace.stats.update_bytes,
+            )
+            result.extra["read_bytes"] = system.client_meter.bytes_by_category.get(
+                "scan_read", 0
+            )
+            result.extra["cpu_timeline"] = timeline
+            result.extra["cpu_active_windows"] = sum(
+                1 for ticks in timeline if ticks > 0.01
+            )
+            results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — WeChat via Dropsync on mobile: traffic, TUE, CPU timeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig2Result:
+    """Dropsync-on-mobile characterization."""
+
+    total_traffic: int = 0
+    update_bytes: int = 0
+    tue: float = 0.0
+    cpu_ticks: float = 0.0
+    # cumulative uploaded bytes sampled once per virtual minute
+    traffic_timeline: List[Tuple[float, int]] = field(default_factory=list)
+
+
+def fig2_dropsync_mobile(fast: bool = False) -> Fig2Result:
+    """Replay the WeChat trace through Dropsync on the mobile setting."""
+    mods = 30 if fast else 120
+    trace = wechat_trace(scale=WECHAT_SCALE, modifications=mods, seed=32)
+    system = build_system(
+        "fullsync",
+        profile=MOBILE_PROFILE,
+        network=MOBILE_NETWORK,
+        **_scaled_kwargs(WECHAT_SCALE),
+    )
+    from repro.harness.runner import _preload
+    from repro.workloads.traces import replay
+
+    _preload(system, trace)
+    timeline: List[Tuple[float, int]] = []
+    last_sample = [0.0]
+
+    def pump_and_sample(now: float):
+        system.pump(now)
+        if now - last_sample[0] >= 60.0:
+            timeline.append((now, system.channel.stats.up_bytes))
+            last_sample[0] = now
+
+    replay(trace, system.fs, system.clock, pump=pump_and_sample)
+    for _ in range(30):
+        system.clock.advance(1.0)
+        system.pump(system.clock.now())
+    system.flush()
+    total = system.channel.stats.total_bytes
+    update = trace.stats.update_bytes
+    return Fig2Result(
+        total_traffic=total,
+        update_bytes=update,
+        tue=total / update if update else float("inf"),
+        cpu_ticks=system.client_meter.total,
+        traffic_timeline=timeline,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV — reliability tests
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReliabilityOutcome:
+    """One service's behaviour in the three reliability scenarios."""
+
+    service: str
+    corrupted: str = ""  # "upload" | "detect"
+    inconsistent: str = ""  # "upload" | "detect"
+    causal_order: str = ""  # "Y" | "N"
+
+
+def table4_reliability() -> List[ReliabilityOutcome]:
+    """Run the corruption / crash-inconsistency / causal-order tests."""
+    from repro.harness.reliability import (
+        causal_order_test,
+        corruption_test,
+        crash_inconsistency_test,
+    )
+
+    outcomes = []
+    for service in ("dropbox", "seafile", "deltacfs"):
+        outcomes.append(
+            ReliabilityOutcome(
+                service=service,
+                corrupted=corruption_test(service),
+                inconsistent=crash_inconsistency_test(service),
+                causal_order="Y" if causal_order_test(service) else "N",
+            )
+        )
+    return outcomes

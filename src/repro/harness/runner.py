@@ -1,0 +1,256 @@
+"""Uniform construction and trace execution for all five sync systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.baselines.dropbox import DropboxClient
+from repro.baselines.fullsync import FullUploadClient
+from repro.baselines.nfs import NFSClient
+from repro.baselines.seafile import SeafileClient
+from repro.common.clock import VirtualClock
+from repro.common.config import DeltaCFSConfig
+from repro.core.client import DeltaCFSClient
+from repro.cost.meter import CostMeter
+from repro.cost.profile import CostProfile, PC_PROFILE
+from repro.metrics.collector import RunResult
+from repro.net.transport import Channel, NetworkModel, NetworkStats, PC_NETWORK
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import FileSystemAPI, MemoryFileSystem
+from repro.workloads.traces import Trace, replay
+
+SOLUTIONS = ("deltacfs", "dropbox", "seafile", "nfs", "fullsync")
+
+
+@dataclass
+class SystemUnderTest:
+    """One sync system wired to a simulated cloud, ready to replay a trace."""
+
+    name: str
+    fs: FileSystemAPI  # the surface the workload writes to
+    clock: VirtualClock
+    channel: Channel
+    client_meter: CostMeter
+    server_meter: CostMeter
+    server: CloudServer
+    pump: Callable[[float], object]
+    flush: Callable[[], object]
+    client: object  # the underlying client, for system-specific inspection
+
+    def reset_counters(self) -> None:
+        """Zero meters and traffic counters (after preload)."""
+        self.client_meter.reset()
+        self.server_meter.reset()
+        self.channel.stats = NetworkStats()
+
+
+def build_system(
+    name: str,
+    *,
+    profile: CostProfile = PC_PROFILE,
+    network: NetworkModel = PC_NETWORK,
+    config: Optional[DeltaCFSConfig] = None,
+    clock: Optional[VirtualClock] = None,
+    sync_interval: Optional[float] = None,
+    wait_for_idle_link: Optional[bool] = None,
+    dropbox_dedup_size: int = 4 * 1024 * 1024,
+    seafile_chunk_size: int = 1024 * 1024,
+) -> SystemUnderTest:
+    """Construct a sync system by name.
+
+    ``profile`` selects PC vs mobile CPU costs; ``network`` the link model
+    (slow WAN for mobile). ``wait_for_idle_link`` defaults to True for the
+    fullsync (Dropsync) client, False otherwise.
+
+    When a trace is generated at ``1/scale`` of the paper's file sizes, the
+    *structural* baseline granularities (Dropbox's 4 MB dedup unit,
+    Seafile's 1 MB chunk) should be scaled by the same factor so the
+    file-to-chunk ratios stay faithful; granularities tied to absolute
+    write sizes (the 4 KB rsync block and NFS page) are not scaled.
+    """
+    if name not in SOLUTIONS:
+        raise ValueError(f"unknown solution {name!r}; pick one of {SOLUTIONS}")
+    clock = clock if clock is not None else VirtualClock()
+    client_meter = CostMeter(profile)
+    server_meter = CostMeter(profile if name == "fullsync" else PC_PROFILE)
+    server = CloudServer(meter=server_meter)
+    channel = Channel(
+        model=network, client_meter=client_meter, server_meter=server_meter
+    )
+
+    if name == "deltacfs":
+        client = DeltaCFSClient(
+            MemoryFileSystem(),
+            server=server,
+            channel=channel,
+            clock=clock,
+            meter=client_meter,
+            config=config,
+        )
+        return SystemUnderTest(
+            name=name,
+            fs=client,
+            clock=clock,
+            channel=channel,
+            client_meter=client_meter,
+            server_meter=server_meter,
+            server=server,
+            pump=client.pump,
+            flush=client.flush,
+            client=client,
+        )
+
+    if name == "nfs":
+        # NFS traffic is not TLS-wrapped.
+        channel = Channel(
+            model=NetworkModel(
+                bandwidth_up=network.bandwidth_up,
+                bandwidth_down=network.bandwidth_down,
+                latency=network.latency,
+                encrypted=False,
+            ),
+            client_meter=client_meter,
+            server_meter=server_meter,
+        )
+        client = NFSClient(
+            MemoryFileSystem(),
+            server=server,
+            channel=channel,
+            meter=client_meter,
+        )
+        return SystemUnderTest(
+            name=name,
+            fs=client,
+            clock=clock,
+            channel=channel,
+            client_meter=client_meter,
+            server_meter=server_meter,
+            server=server,
+            pump=client.pump,
+            flush=lambda: client.flush(clock.now()),
+            client=client,
+        )
+
+    idle_gate = wait_for_idle_link if wait_for_idle_link is not None else (
+        name == "fullsync"
+    )
+    if sync_interval is None:
+        # Dropbox syncs eagerly on inotify events — it repeatedly re-scans
+        # files that are *still being written* ("triggered by file
+        # modification events which occurs much more frequently than our
+        # relation triggered delta encoding", Section IV-B). Seafile
+        # commits on a longer quiescence window.
+        sync_interval = {"dropbox": 0.45, "seafile": 2.0}.get(name, 1.0)
+    if name == "dropbox":
+        client = DropboxClient(
+            server=server,
+            channel=channel,
+            meter=client_meter,
+            sync_interval=sync_interval,
+            wait_for_idle_link=idle_gate,
+            dedup_size=dropbox_dedup_size,
+        )
+    elif name == "seafile":
+        client = SeafileClient(
+            server=server,
+            channel=channel,
+            meter=client_meter,
+            sync_interval=sync_interval,
+            wait_for_idle_link=idle_gate,
+            chunk_size=seafile_chunk_size,
+        )
+    else:  # fullsync
+        client = FullUploadClient(
+            server=server,
+            channel=channel,
+            meter=client_meter,
+            sync_interval=sync_interval,
+            wait_for_idle_link=idle_gate,
+            # Dropsync rides Dropbox's transport, which compresses uploads.
+            compression_ratio=0.8,
+        )
+    return SystemUnderTest(
+        name=name,
+        fs=client.fs,
+        clock=clock,
+        channel=channel,
+        client_meter=client_meter,
+        server_meter=server_meter,
+        server=server,
+        pump=client.pump,
+        flush=lambda: client.flush(clock.now()),
+        client=client,
+    )
+
+
+def _preload(system: SystemUnderTest, trace: Trace) -> None:
+    """Install preloaded files and let them sync outside the measurement."""
+    if not trace.preload:
+        return
+    for path, content in sorted(trace.preload.items()):
+        system.fs.create(path)
+        if content:
+            system.fs.write(path, 0, content)
+        system.fs.close(path)
+    # give time-based engines room to upload the seed content
+    for _ in range(12):
+        system.clock.advance(1.0)
+        system.pump(system.clock.now())
+    system.flush()
+    system.reset_counters()
+
+
+def run_trace(
+    name: str,
+    trace: Trace,
+    *,
+    profile: CostProfile = PC_PROFILE,
+    network: NetworkModel = PC_NETWORK,
+    config: Optional[DeltaCFSConfig] = None,
+    sync_interval: Optional[float] = None,
+    pump_interval: float = 1.0,
+    dropbox_dedup_size: int = 4 * 1024 * 1024,
+    seafile_chunk_size: int = 1024 * 1024,
+) -> RunResult:
+    """Build ``name``, preload, replay ``trace``, flush, and collect."""
+    system = build_system(
+        name,
+        profile=profile,
+        network=network,
+        config=config,
+        sync_interval=sync_interval,
+        dropbox_dedup_size=dropbox_dedup_size,
+        seafile_chunk_size=seafile_chunk_size,
+    )
+    _preload(system, trace)
+    replay(trace, system.fs, system.clock, pump=system.pump, pump_interval=pump_interval)
+    # settle: let upload delays elapse under normal pumping, then drain
+    for _ in range(10):
+        system.clock.advance(1.0)
+        system.pump(system.clock.now())
+    system.flush()
+
+    extra = {}
+    if name == "deltacfs":
+        stats = system.client.stats
+        extra = {
+            "deltas_triggered": stats.deltas_triggered,
+            "deltas_kept": stats.deltas_kept,
+            "inplace_deltas": stats.inplace_deltas,
+            "nodes_uploaded": stats.nodes_uploaded,
+            "conflicts": stats.conflicts,
+        }
+    elif hasattr(system.client, "sync_rounds"):
+        extra = {"sync_rounds": system.client.sync_rounds}
+    return RunResult(
+        solution=name,
+        trace=trace.name,
+        client_ticks=system.client_meter.total,
+        server_ticks=system.server_meter.total,
+        up_bytes=system.channel.stats.up_bytes,
+        down_bytes=system.channel.stats.down_bytes,
+        update_bytes=trace.stats.update_bytes,
+        duration=system.clock.now(),
+        extra=extra,
+    )

@@ -1,0 +1,12 @@
+"""A small persistent key-value store — the LevelDB substitute.
+
+DeltaCFS stores block checksums in LevelDB (paper Section III-E). We provide
+the same contract: ordered string/bytes keys, get/put/delete, iteration,
+and crash-safe persistence via a checksummed write-ahead log with
+compaction. ``MemoryKV`` is the no-persistence variant used in tests and
+simulations that don't exercise crashes.
+"""
+
+from repro.kvstore.kv import KVStore, MemoryKV, LogStructuredKV
+
+__all__ = ["KVStore", "MemoryKV", "LogStructuredKV"]

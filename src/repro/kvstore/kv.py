@@ -1,0 +1,143 @@
+"""The KV store implementations."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, Tuple
+
+from repro.kvstore import wal
+
+
+class KVStore:
+    """Abstract ordered byte-key/byte-value store (the LevelDB contract)."""
+
+    def get(self, key: bytes) -> bytes | None:
+        """Value for ``key`` or ``None``."""
+        raise NotImplementedError
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite."""
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` if present (idempotent)."""
+        raise NotImplementedError
+
+    def items(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, value) pairs with the given prefix, in key order."""
+        raise NotImplementedError
+
+    def delete_prefix(self, prefix: bytes) -> int:
+        """Remove every key with ``prefix``; returns the count removed."""
+        doomed = [k for k, _ in self.items(prefix)]
+        for key in doomed:
+            self.delete(key)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+
+class MemoryKV(KVStore):
+    """Dict-backed store with no persistence."""
+
+    def __init__(self):
+        self._data: Dict[bytes, bytes] = {}
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._data[bytes(key)] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        self._data.pop(key, None)
+
+    def items(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        for key in sorted(k for k in self._data if k.startswith(prefix)):
+            yield key, self._data[key]
+
+
+class LogStructuredKV(KVStore):
+    """Durable store: in-memory index + append-only checksummed WAL.
+
+    Every mutation appends a WAL record before updating the index; reopen
+    replays the log, discarding any torn tail. ``compact()`` rewrites the
+    log to current state (atomic via rename) once dead records accumulate.
+    """
+
+    def __init__(self, path: str, *, auto_compact_ratio: float = 4.0):
+        self._path = path
+        self._auto_compact_ratio = auto_compact_ratio
+        self._data: Dict[bytes, bytes] = {}
+        self._records = 0
+        if os.path.exists(path):
+            with open(path, "rb") as fh:
+                buf = fh.read()
+            for op, key, value in wal.iter_records(buf):
+                self._records += 1
+                if op == wal.PUT:
+                    self._data[key] = value
+                else:
+                    self._data.pop(key, None)
+            # Drop any torn tail so future appends start on a clean record
+            # boundary.
+            self._rewrite()
+        self._fh = open(path, "ab")
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        self._append(wal.PUT, key, value)
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        key = bytes(key)
+        if key not in self._data:
+            return
+        self._append(wal.DELETE, key)
+        self._data.pop(key, None)
+
+    def items(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        for key in sorted(k for k in self._data if k.startswith(prefix)):
+            yield key, self._data[key]
+
+    def compact(self) -> None:
+        """Rewrite the log to hold exactly the live records."""
+        self._fh.close()
+        self._rewrite()
+        self._fh = open(self._path, "ab")
+
+    def close(self) -> None:
+        """Flush and close the log file."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "LogStructuredKV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _append(self, op: int, key: bytes, value: bytes = b"") -> None:
+        self._fh.write(wal.encode_record(op, key, value))
+        self._fh.flush()
+        self._records += 1
+        live = max(1, len(self._data))
+        if self._records > live * self._auto_compact_ratio and self._records > 64:
+            self.compact()
+
+    def _rewrite(self) -> None:
+        tmp_path = self._path + ".compact"
+        with open(tmp_path, "wb") as out:
+            for key in sorted(self._data):
+                out.write(wal.encode_record(wal.PUT, key, self._data[key]))
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp_path, self._path)
+        self._records = len(self._data)

@@ -1,0 +1,52 @@
+"""Write-ahead log record format.
+
+Each record is ``[length u32][crc32 u32][payload]`` where payload is
+``[op u8][klen u32][key][value]``. A torn final record (crash mid-append)
+fails its CRC or length check and is ignored on replay — the standard WAL
+recovery contract.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Tuple
+
+PUT = 1
+DELETE = 2
+
+_HEADER = struct.Struct("<II")
+_PAYLOAD_HEADER = struct.Struct("<BI")
+
+
+def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
+    """Serialize one WAL record."""
+    if op not in (PUT, DELETE):
+        raise ValueError(f"unknown op {op}")
+    payload = _PAYLOAD_HEADER.pack(op, len(key)) + key + value
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_records(buf: bytes) -> Iterator[Tuple[int, bytes, bytes]]:
+    """Yield ``(op, key, value)`` for every intact record in ``buf``.
+
+    Stops silently at the first torn or corrupt record — everything after
+    a partial write is untrustworthy.
+    """
+    pos = 0
+    n = len(buf)
+    while pos + _HEADER.size <= n:
+        length, crc = _HEADER.unpack_from(buf, pos)
+        start = pos + _HEADER.size
+        end = start + length
+        if end > n:
+            return  # torn tail
+        payload = buf[start:end]
+        if zlib.crc32(payload) != crc:
+            return  # corrupt tail
+        op, klen = _PAYLOAD_HEADER.unpack_from(payload, 0)
+        key_start = _PAYLOAD_HEADER.size
+        key = payload[key_start : key_start + klen]
+        value = payload[key_start + klen :]
+        yield op, key, value
+        pos = end

@@ -1,0 +1,6 @@
+"""Result collection and table/figure formatting for the benchmark harness."""
+
+from repro.metrics.collector import RunResult
+from repro.metrics.report import format_table, format_bytes, series_summary
+
+__all__ = ["RunResult", "format_table", "format_bytes", "series_summary"]

@@ -1,0 +1,45 @@
+"""The per-run result record every experiment produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunResult:
+    """Measurements from one (solution, trace) run.
+
+    Attributes:
+        solution: system name ("deltacfs", "dropbox", "seafile", "nfs",
+            "fullsync").
+        trace: trace name.
+        client_ticks: client CPU (Table II client columns).
+        server_ticks: server CPU (Table II server columns).
+        up_bytes / down_bytes: network transfer (Figures 8/9).
+        update_bytes: the trace's logical update size (TUE denominator).
+        duration: virtual seconds the run covered.
+        extra: free-form per-system counters (deltas triggered, sync
+            rounds, ...).
+    """
+
+    solution: str
+    trace: str
+    client_ticks: float = 0.0
+    server_ticks: float = 0.0
+    up_bytes: int = 0
+    down_bytes: int = 0
+    update_bytes: int = 0
+    duration: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.up_bytes + self.down_bytes
+
+    @property
+    def tue(self) -> float:
+        """Traffic Usage Efficiency: total sync traffic / update size [2]."""
+        if self.update_bytes <= 0:
+            return float("inf")
+        return self.total_bytes / self.update_bytes

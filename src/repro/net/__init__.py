@@ -1,0 +1,48 @@
+"""Simulated wide-area network: messages, byte accounting, bandwidth model.
+
+The paper measures network transmission (Figures 8 and 9) by counting bytes
+on the wire between an EC2 client and server. We reproduce that with a
+message protocol whose every message knows its serialized size, and a
+:class:`Channel` that accounts bytes per direction, charges CPU for the
+network stack and OpenSSL encryption, and models transfer time against the
+link bandwidth (which is what produces the mobile batching effect in
+Figure 9).
+"""
+
+from repro.net.messages import (
+    Message,
+    UploadFull,
+    UploadWrite,
+    UploadWriteBatch,
+    UploadTruncate,
+    UploadDelta,
+    MetaOp,
+    TxnGroup,
+    SignatureMessage,
+    ChunkHave,
+    ChunkData,
+    Ack,
+    ConflictNotice,
+    FileDownload,
+)
+from repro.net.transport import Channel, NetworkModel, NetworkStats
+
+__all__ = [
+    "Message",
+    "UploadFull",
+    "UploadWrite",
+    "UploadWriteBatch",
+    "UploadTruncate",
+    "UploadDelta",
+    "MetaOp",
+    "TxnGroup",
+    "SignatureMessage",
+    "ChunkHave",
+    "ChunkData",
+    "Ack",
+    "ConflictNotice",
+    "FileDownload",
+    "Channel",
+    "NetworkModel",
+    "NetworkStats",
+]

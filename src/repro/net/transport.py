@@ -1,0 +1,111 @@
+"""Byte accounting and transfer-time modelling for a client<->server link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.meter import CostMeter, NULL_METER
+from repro.net.messages import Message
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Link characteristics.
+
+    Attributes:
+        bandwidth_up: client-to-server bytes/second.
+        bandwidth_down: server-to-client bytes/second.
+        latency: one-way propagation delay in seconds.
+        encrypted: model OpenSSL on both ends (the prototype encrypts all
+            messages).
+    """
+
+    bandwidth_up: float = 10e6
+    bandwidth_down: float = 20e6
+    latency: float = 0.02
+    encrypted: bool = True
+
+
+# The paper's two settings: EC2-to-EC2 (fast LAN-ish link) and a phone on a
+# WAN ("the bandwidth of wide area network is very low", Section IV-B2).
+PC_NETWORK = NetworkModel(bandwidth_up=10e6, bandwidth_down=20e6, latency=0.02)
+MOBILE_NETWORK = NetworkModel(bandwidth_up=250e3, bandwidth_down=1e6, latency=0.08)
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative traffic counters for one link."""
+
+    up_bytes: int = 0
+    down_bytes: int = 0
+    up_messages: int = 0
+    down_messages: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.up_bytes + self.down_bytes
+
+
+class Channel:
+    """One client<->server link with accounting and a busy-time model.
+
+    ``upload``/``download`` charge the traffic counters, bill network-stack
+    and encryption CPU to both end meters, and advance the per-direction
+    busy horizon so callers can ask "when would this transfer finish?" —
+    which is how the mobile experiments exhibit their batching behaviour
+    (a slow link still transmitting when the next update lands).
+    """
+
+    def __init__(
+        self,
+        model: NetworkModel = PC_NETWORK,
+        *,
+        client_meter: CostMeter = NULL_METER,
+        server_meter: CostMeter = NULL_METER,
+    ):
+        self.model = model
+        self.client_meter = client_meter
+        self.server_meter = server_meter
+        self.stats = NetworkStats()
+        self._up_busy_until = 0.0
+        self._down_busy_until = 0.0
+
+    # -- transfers ---------------------------------------------------------
+
+    def upload(self, message: Message, now: float = 0.0) -> float:
+        """Account a client-to-server message; returns its completion time."""
+        size = message.wire_size()
+        self.stats.up_bytes += size
+        self.stats.up_messages += 1
+        self._charge(self.client_meter, "network_send", size)
+        self._charge(self.server_meter, "network_recv", size)
+        start = max(now, self._up_busy_until)
+        self._up_busy_until = start + size / self.model.bandwidth_up
+        return self._up_busy_until + self.model.latency
+
+    def download(self, message: Message, now: float = 0.0) -> float:
+        """Account a server-to-client message; returns its completion time."""
+        size = message.wire_size()
+        self.stats.down_bytes += size
+        self.stats.down_messages += 1
+        self._charge(self.server_meter, "network_send", size)
+        self._charge(self.client_meter, "network_recv", size)
+        start = max(now, self._down_busy_until)
+        self._down_busy_until = start + size / self.model.bandwidth_down
+        return self._down_busy_until + self.model.latency
+
+    def upload_idle_at(self, now: float) -> bool:
+        """True when the uplink has drained everything handed to it."""
+        return self._up_busy_until <= now
+
+    @property
+    def up_busy_until(self) -> float:
+        """Virtual time at which the uplink finishes its queued transfers."""
+        return self._up_busy_until
+
+    # -- internals -----------------------------------------------------------
+
+    def _charge(self, meter: CostMeter, category: str, size: int) -> None:
+        meter.charge_bytes(category, size)
+        if self.model.encrypted:
+            meter.charge_bytes("encrypt", size)

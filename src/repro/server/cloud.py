@@ -1,0 +1,467 @@
+"""The DeltaCFS cloud server.
+
+Applies incremental data to versioned files, reconciles concurrent updates
+with first-write-wins, applies backindex groups transactionally, and
+forwards accepted incremental data verbatim to other clients sharing the
+namespace (Section III-D — "client B is virtually equivalent to the
+cloud").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.bytesutil import apply_write, truncate as truncate_bytes
+from repro.core.conflict import conflict_path
+from repro.common.version import VersionStamp
+from repro.cost.meter import CostMeter, NULL_METER
+from repro.delta.patch import apply_delta
+from repro.net.messages import (
+    Ack,
+    ConflictNotice,
+    Forward,
+    Message,
+    MetaOp,
+    TxnGroup,
+    UploadDelta,
+    UploadFull,
+    UploadTruncate,
+    UploadWrite,
+    UploadWriteBatch,
+)
+from repro.server.storage import VersionedStore
+
+
+@dataclass
+class ApplyResult:
+    """Outcome of applying one message (or group)."""
+
+    status: str  # "applied" | "conflict"
+    path: str = ""
+    version: Optional[VersionStamp] = None
+    conflict_paths: List[str] = field(default_factory=list)
+    replies: List[Message] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "applied"
+
+
+# A forward sink receives (origin_client_id, message) for fan-out.
+ForwardSink = Callable[[int, Message], None]
+
+
+class CloudServer:
+    """Message application endpoint.
+
+    Args:
+        meter: server-side CPU meter (the Table II "Server" columns).
+        store: the versioned backing store (created if not given).
+    """
+
+    def __init__(
+        self,
+        *,
+        meter: CostMeter = NULL_METER,
+        store: VersionedStore | None = None,
+    ):
+        self.meter = meter
+        self.store = store if store is not None else VersionedStore()
+        self.dirs: Set[str] = {"/"}
+        self._sinks: Dict[int, ForwardSink] = {}
+        self._shares: Dict[int, Tuple[str, ...]] = {}
+        self.apply_log: List[ApplyResult] = []
+        # Order in which paths reached their current content — used by the
+        # causal-ordering reliability test (Table IV "Causal" column).
+        self.upload_order: List[str] = []
+
+    # -- client registry (multi-client sync) --------------------------------
+
+    def register_client(
+        self,
+        client_id: int,
+        sink: ForwardSink,
+        *,
+        shares: Tuple[str, ...] = ("/",),
+    ) -> None:
+        """Attach a client; it receives forwards of others' updates.
+
+        ``shares`` lists the path prefixes this client subscribes to —
+        Section III-D's sharing is selective ("if this client A also
+        shares these files with another client B"). The default subscribes
+        to everything, matching a whole-account sync folder.
+        """
+        self._sinks[client_id] = sink
+        self._shares[client_id] = shares
+
+    def unregister_client(self, client_id: int) -> None:
+        """Detach a client from fan-out."""
+        self._sinks.pop(client_id, None)
+        self._shares.pop(client_id, None)
+
+    # -- entry point ---------------------------------------------------------
+
+    def handle(self, message: Message, origin_client: int = 0) -> ApplyResult:
+        """Apply one message from ``origin_client``; fan out on success."""
+        if isinstance(message, TxnGroup):
+            result = self._apply_group(message, origin_client)
+        else:
+            result = self._apply_one(message, {})
+        self.apply_log.append(result)
+        if result.ok:
+            self._forward(message, origin_client)
+        return result
+
+    # -- transactional groups -------------------------------------------------
+
+    def _apply_group(self, group: TxnGroup, origin_client: int) -> ApplyResult:
+        """Apply members atomically: any conflict rolls back all of them.
+
+        "if one file in this atomic operation has conflict, we label all
+        the files in this operation as conflict" (Section III-E).
+        """
+        touched = self._touched_paths(group)
+        backup: Dict[str, Optional[Tuple[bytes, Optional[VersionStamp]]]] = {}
+        for path in touched:
+            stored = self.store.lookup(path)
+            backup[path] = None if stored is None else (stored.content, stored.version)
+
+        placed: Dict[str, Set[Optional[VersionStamp]]] = {}
+        results: List[ApplyResult] = []
+        failed = False
+        for member in group.members:
+            result = self._apply_one(member, placed)
+            results.append(result)
+            if not result.ok:
+                failed = True
+                break
+
+        if not failed:
+            versions = [r.version for r in results if r.version is not None]
+            return ApplyResult(
+                status="applied",
+                path=results[-1].path if results else "",
+                version=versions[-1] if versions else None,
+                replies=[Ack(path=r.path, version=r.version) for r in results],
+            )
+
+        # Roll back and materialize every incremental member as a conflict.
+        for path, saved in backup.items():
+            if saved is None:
+                if self.store.exists(path):
+                    self.store.delete(path)
+            else:
+                self.store.put(path, saved[0], saved[1])
+        conflicts: List[str] = []
+        replies: List[Message] = []
+        for member in group.members:
+            copy = self._materialize_conflict(member)
+            if copy is not None:
+                conflicts.append(copy)
+                replies.append(
+                    ConflictNotice(
+                        path=self._path_of(member),
+                        conflict_path=copy,
+                        winning_version=self._current_version(self._path_of(member)),
+                    )
+                )
+        return ApplyResult(
+            status="conflict",
+            path=self._path_of(group.members[0]) if group.members else "",
+            conflict_paths=conflicts,
+            replies=replies,
+        )
+
+    # -- single-message application -------------------------------------------
+
+    def _apply_one(
+        self,
+        message: Message,
+        placed: Dict[str, Set[Optional[VersionStamp]]],
+    ) -> ApplyResult:
+        if isinstance(message, MetaOp):
+            return self._apply_meta(message, placed)
+        if isinstance(message, UploadWrite):
+            return self._apply_incremental(
+                message,
+                placed,
+                lambda base: apply_write(base, message.offset, message.data),
+            )
+        if isinstance(message, UploadWriteBatch):
+            def _apply_runs(base: bytes) -> bytes:
+                for offset, data in message.runs:
+                    base = apply_write(base, offset, data)
+                return base
+
+            return self._apply_incremental(message, placed, _apply_runs)
+        if isinstance(message, UploadTruncate):
+            return self._apply_incremental(
+                message, placed, lambda base: truncate_bytes(base, message.length)
+            )
+        if isinstance(message, UploadDelta):
+            return self._apply_delta_message(message, placed)
+        if isinstance(message, UploadFull):
+            return self._apply_incremental(
+                message, placed, lambda base: message.data
+            )
+        raise TypeError(f"server cannot apply {type(message).__name__}")
+
+    def _apply_meta(
+        self, op: MetaOp, placed: Dict[str, Set[Optional[VersionStamp]]]
+    ) -> ApplyResult:
+        if op.kind == "create":
+            self.store.put(op.path, b"", op.new_version)
+            self._mark_placed(placed, op.path, op.new_version)
+            self._note_upload(op.path)
+        elif op.kind == "mkdir":
+            self.dirs.add(op.path)
+        elif op.kind == "rmdir":
+            self.dirs.discard(op.path)
+        elif op.kind == "rename":
+            if self.store.exists(op.path):
+                self.store.rename(op.path, op.dest)
+                moved = self.store.get(op.dest)
+                self._mark_placed(placed, op.dest, moved.version)
+                self._note_upload(op.dest)
+        elif op.kind == "link":
+            if self.store.exists(op.path):
+                self.store.copy(op.path, op.dest)
+                self._mark_placed(placed, op.dest, self.store.get(op.dest).version)
+        elif op.kind == "unlink":
+            if self.store.exists(op.path):
+                self.store.delete(op.path)
+        else:
+            raise ValueError(f"unknown meta op kind {op.kind!r}")
+        return ApplyResult(status="applied", path=op.path, version=op.new_version)
+
+    def _apply_incremental(
+        self,
+        message,
+        placed: Dict[str, Set[Optional[VersionStamp]]],
+        transform: Callable[[bytes], bytes],
+    ) -> ApplyResult:
+        path = message.path
+        stored = self.store.lookup(path)
+
+        if not self._base_ok(path, message.base_version, placed):
+            return self._lone_conflict(message)
+
+        base = stored.content if stored is not None else b""
+        new_content = transform(base)
+        self.meter.charge_bytes("apply_delta", self._payload_size(message))
+        self.store.put(path, new_content, message.new_version)
+        self._note_upload(path)
+        return ApplyResult(
+            status="applied",
+            path=path,
+            version=message.new_version,
+            replies=[Ack(path=path, version=message.new_version)],
+        )
+
+    def _apply_delta_message(
+        self,
+        message: UploadDelta,
+        placed: Dict[str, Set[Optional[VersionStamp]]],
+    ) -> ApplyResult:
+        """Apply a delta: conflict-check against ``base_version``, read COPY
+        bytes from the ``content_base`` snapshot (the preserved old
+        version — possibly renamed away or overwritten in the namespace by
+        now, which is exactly why the snapshot window exists)."""
+        path = message.path
+        if not self._base_ok(path, message.base_version, placed):
+            return self._lone_conflict(message)
+        base = self._snapshot_or_none(message.content_base)
+        if base is None:
+            return self._lone_conflict(message)
+        new_content = apply_delta(base, message.delta, meter=self.meter)
+        self.store.put(path, new_content, message.new_version)
+        self._note_upload(path)
+        return ApplyResult(
+            status="applied",
+            path=path,
+            version=message.new_version,
+            replies=[Ack(path=path, version=message.new_version)],
+        )
+
+    # -- conflict machinery ------------------------------------------------
+
+    def _base_ok(
+        self,
+        path: str,
+        base_version: Optional[VersionStamp],
+        placed: Dict[str, Set[Optional[VersionStamp]]],
+    ) -> bool:
+        stored = self.store.lookup(path)
+        if stored is None:
+            return base_version is None or self._snapshot_or_none(base_version) is not None
+        if stored.version == base_version:
+            return True
+        return stored.version in placed.get(path, set())
+
+    def _lone_conflict(self, message) -> ApplyResult:
+        copy = self._materialize_conflict(message)
+        path = self._path_of(message)
+        notice = ConflictNotice(
+            path=path,
+            conflict_path=copy or "",
+            winning_version=self._current_version(path),
+        )
+        return ApplyResult(
+            status="conflict",
+            path=path,
+            conflict_paths=[copy] if copy else [],
+            replies=[notice],
+        )
+
+    def _materialize_conflict(self, message) -> Optional[str]:
+        """Rebuild the losing content from its base snapshot + increment."""
+        if isinstance(message, MetaOp) or message is None:
+            return None
+        base = (
+            b""
+            if message.base_version is None
+            else self._snapshot_or_none(message.base_version)
+        )
+        if base is None:
+            return None  # base aged out of the snapshot window
+        if isinstance(message, UploadWrite):
+            content = apply_write(base, message.offset, message.data)
+        elif isinstance(message, UploadWriteBatch):
+            content = base
+            for offset, data in message.runs:
+                content = apply_write(content, offset, data)
+        elif isinstance(message, UploadTruncate):
+            content = truncate_bytes(base, message.length)
+        elif isinstance(message, UploadDelta):
+            content_base = self._snapshot_or_none(message.content_base)
+            if content_base is None:
+                return None
+            content = apply_delta(content_base, message.delta, meter=self.meter)
+        elif isinstance(message, UploadFull):
+            content = message.data
+        else:
+            return None
+        version = message.new_version or VersionStamp(0, 0)
+        copy = conflict_path(message.path, version)
+        self.store.put(copy, content, version)
+        return copy
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _forward(self, message: Message, origin_client: int) -> None:
+        paths = self._message_paths(message)
+        for client_id, sink in self._sinks.items():
+            if client_id == origin_client:
+                continue
+            shares = self._shares.get(client_id, ("/",))
+            if paths and not any(
+                path.startswith(prefix.rstrip("/") + "/") or path == prefix
+                or prefix == "/"
+                for path in paths
+                for prefix in shares
+            ):
+                continue
+            sink(origin_client, Forward(origin_client=origin_client, inner=message))
+
+    def _message_paths(self, message: Message) -> List[str]:
+        if isinstance(message, TxnGroup):
+            out: List[str] = []
+            for member in message.members:
+                out.extend(self._message_paths(member))
+            return out
+        paths = []
+        path = getattr(message, "path", "")
+        if path:
+            paths.append(path)
+        dest = getattr(message, "dest", None)
+        if dest:
+            paths.append(dest)
+        return paths
+
+    def _touched_paths(self, group: TxnGroup) -> Set[str]:
+        touched: Set[str] = set()
+        for member in group.members:
+            touched.add(self._path_of(member))
+            dest = getattr(member, "dest", None)
+            if dest:
+                touched.add(dest)
+        touched.discard("")
+        return touched
+
+    @staticmethod
+    def _path_of(message) -> str:
+        return getattr(message, "path", "")
+
+    def _current_version(self, path: str) -> Optional[VersionStamp]:
+        stored = self.store.lookup(path)
+        return stored.version if stored is not None else None
+
+    def _snapshot_or_none(self, version: Optional[VersionStamp]) -> Optional[bytes]:
+        if version is None:
+            return b""
+        return self.store.snapshot(version)
+
+    @staticmethod
+    def _payload_size(message) -> int:
+        if isinstance(message, (UploadWrite, UploadFull)):
+            return len(message.data)
+        if isinstance(message, UploadWriteBatch):
+            return sum(len(data) for _, data in message.runs)
+        return 0
+
+    def _mark_placed(
+        self,
+        placed: Dict[str, Set[Optional[VersionStamp]]],
+        path: str,
+        version: Optional[VersionStamp],
+    ) -> None:
+        placed.setdefault(path, set()).add(version)
+
+    def _note_upload(self, path: str) -> None:
+        self.upload_order.append(path)
+
+    # -- fine-grained version control (Section III-C) ------------------------
+
+    def version_history(self, path: str) -> List[VersionStamp]:
+        """Restorable versions of ``path``, oldest first."""
+        return self.store.restorable_history(path)
+
+    def restore_version(
+        self,
+        path: str,
+        version: VersionStamp,
+        *,
+        as_version: Optional[VersionStamp] = None,
+        origin_client: int = 0,
+    ) -> bytes:
+        """Roll ``path`` back to a recent ``version``.
+
+        Restoring is itself an update: the old content becomes the new
+        head under ``as_version`` (defaults to re-using ``version``) and
+        fans out to shared clients like any other change. Raises
+        ``NotFoundError`` if the version aged out of the snapshot window.
+        """
+        from repro.common.errors import NotFoundError
+
+        content = self.store.snapshot(version)
+        if content is None:
+            raise NotFoundError(f"version {version} of {path} is not restorable")
+        new_version = as_version if as_version is not None else version
+        self.store.put(path, content, new_version)
+        self._note_upload(path)
+        message = UploadFull(
+            path=path, data=content, base_version=None, new_version=new_version
+        )
+        self._forward(message, origin_client)
+        return content
+
+    # -- read access for tests and recovery downloads -----------------------
+
+    def file_content(self, path: str) -> bytes:
+        """Current content of ``path`` (raises if absent)."""
+        return self.store.get(path).content
+
+    def file_version(self, path: str) -> Optional[VersionStamp]:
+        """Current version of ``path`` (raises if absent)."""
+        return self.store.get(path).version

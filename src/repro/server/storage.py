@@ -1,0 +1,140 @@
+"""Versioned cloud file storage.
+
+Keeps, per path, the current content and version stamp, plus a bounded
+window of recent version snapshots addressable *by stamp*. Snapshots are
+what let the server (a) apply a delta whose base content has already been
+renamed or overwritten in the namespace, and (b) materialize a losing
+update as a conflict copy (Section III-C: "servers keep recent versions of
+files, the incremental data can still be applied to the proper file").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import NotFoundError
+from repro.common.version import VersionStamp
+
+
+@dataclass
+class StoredFile:
+    """Current state of one path on the cloud."""
+
+    content: bytes = field(repr=False, default=b"")
+    version: Optional[VersionStamp] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+
+class VersionedStore:
+    """Path namespace + stamp-addressed snapshot window."""
+
+    def __init__(self, *, snapshot_window: int = 64):
+        if snapshot_window <= 0:
+            raise ValueError("snapshot_window must be positive")
+        self._files: Dict[str, StoredFile] = {}
+        self._snapshots: "OrderedDict[VersionStamp, bytes]" = OrderedDict()
+        self._snapshot_window = snapshot_window
+        # Per-path version lineage (newest last) — the fine-grained version
+        # control of Section III-C: one entry per applied Sync Queue node.
+        self._history: Dict[str, List[VersionStamp]] = {}
+
+    # -- namespace ---------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def get(self, path: str) -> StoredFile:
+        stored = self._files.get(path)
+        if stored is None:
+            raise NotFoundError(f"cloud has no file {path}")
+        return stored
+
+    def lookup(self, path: str) -> Optional[StoredFile]:
+        """Like :meth:`get` but returns ``None`` when absent."""
+        return self._files.get(path)
+
+    def put(self, path: str, content: bytes, version: Optional[VersionStamp]) -> None:
+        """Set current content+version and snapshot the new version.
+
+        An existing entry is mutated *in place*: other names hard-linked to
+        the same file (see :meth:`copy`) observe the update, mirroring the
+        client file system's inode semantics.
+        """
+        stored = self._files.get(path)
+        if stored is None:
+            self._files[path] = StoredFile(content=content, version=version)
+        else:
+            stored.content = content
+            stored.version = version
+        if version is not None:
+            self._remember(version, content)
+            lineage = self._history.setdefault(path, [])
+            if not lineage or lineage[-1] != version:
+                lineage.append(version)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Move a path (replacing any existing destination).
+
+        Version lineage is *copied* to the destination, extending any
+        lineage the destination already has, and the source keeps a copy
+        too: in the transactional-save dance (rename f -> t0; rename
+        t1 -> f) the document's history must survive both hops so that
+        "restore yesterday's version of f" stays meaningful.
+        """
+        stored = self._files.pop(src, None)
+        if stored is None:
+            raise NotFoundError(f"cloud has no file {src}")
+        self._files[dst] = stored
+        src_lineage = self._history.get(src, [])
+        dst_lineage = self._history.setdefault(dst, [])
+        for version in src_lineage:
+            if not dst_lineage or dst_lineage[-1] != version:
+                dst_lineage.append(version)
+
+    def copy(self, src: str, dst: str) -> None:
+        """Bind ``dst`` to the same file as ``src`` (hard-link replay).
+
+        The two names share one :class:`StoredFile`, so in-place updates
+        through either name are visible through both — until a rename or
+        a fresh create rebinds one of them (exactly POSIX's detachment
+        semantics, which is what the gedit backup pattern relies on).
+        """
+        self._files[dst] = self.get(src)
+
+    def delete(self, path: str) -> None:
+        """Remove a path; snapshots of its versions survive the window."""
+        if path not in self._files:
+            raise NotFoundError(f"cloud has no file {path}")
+        del self._files[path]
+
+    def paths(self) -> List[str]:
+        """All live paths, sorted."""
+        return sorted(self._files)
+
+    # -- version history (fine-grained version control, Section III-C) -----
+
+    def history(self, path: str) -> List[VersionStamp]:
+        """Version lineage of ``path``, oldest first (Sync Queue node
+        granularity — between open-to-close and per-write)."""
+        return list(self._history.get(path, []))
+
+    def restorable_history(self, path: str) -> List[VersionStamp]:
+        """The subset of :meth:`history` whose content is still snapshotted."""
+        return [v for v in self._history.get(path, []) if v in self._snapshots]
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, version: VersionStamp) -> Optional[bytes]:
+        """Content of a recent version, or ``None`` if it aged out."""
+        return self._snapshots.get(version)
+
+    def _remember(self, version: VersionStamp, content: bytes) -> None:
+        self._snapshots[version] = content
+        self._snapshots.move_to_end(version)
+        while len(self._snapshots) > self._snapshot_window:
+            self._snapshots.popitem(last=False)

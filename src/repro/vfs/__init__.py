@@ -1,0 +1,59 @@
+"""A virtual file system with operation interception — the FUSE substitute.
+
+The paper's prototype sits inside the FUSE request path, seeing every file
+operation (with data) before forwarding it to the local file system. We
+reproduce that structure exactly, in-process:
+
+- :mod:`repro.vfs.ops` — typed records of the file operations that flow
+  through the stack.
+- :mod:`repro.vfs.filesystem` — ``MemoryFileSystem``, a POSIX-like
+  in-memory file system with hard links, sparse writes, and rename/unlink
+  semantics.
+- :mod:`repro.vfs.interception` — ``PassthroughFileSystem``, the layering
+  mechanism (DeltaCFS and the NFS client subclass it), and
+  ``OperationLog`` for trace capture.
+- :mod:`repro.vfs.watcher` — inotify-style change notification *without*
+  data, which is all Dropbox-like watchers get (the root cause of the
+  "abuse of delta sync").
+"""
+
+from repro.vfs.filesystem import FileSystemAPI, MemoryFileSystem, Stat
+from repro.vfs.disk import LocalDirFileSystem
+from repro.vfs.interception import PassthroughFileSystem, OperationLog
+from repro.vfs.watcher import InotifyEvent, Watcher, WatchedFileSystem
+from repro.vfs.ops import (
+    FileOp,
+    CreateOp,
+    WriteOp,
+    ReadOp,
+    TruncateOp,
+    RenameOp,
+    LinkOp,
+    UnlinkOp,
+    CloseOp,
+    MkdirOp,
+    RmdirOp,
+)
+
+__all__ = [
+    "FileSystemAPI",
+    "MemoryFileSystem",
+    "LocalDirFileSystem",
+    "Stat",
+    "PassthroughFileSystem",
+    "OperationLog",
+    "InotifyEvent",
+    "Watcher",
+    "WatchedFileSystem",
+    "FileOp",
+    "CreateOp",
+    "WriteOp",
+    "ReadOp",
+    "TruncateOp",
+    "RenameOp",
+    "LinkOp",
+    "UnlinkOp",
+    "CloseOp",
+    "MkdirOp",
+    "RmdirOp",
+]

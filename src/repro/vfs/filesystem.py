@@ -1,0 +1,334 @@
+"""``MemoryFileSystem``: the POSIX-like backing store.
+
+Semantics implemented (the subset the paper's update patterns exercise):
+
+- regular files with sparse writes (zero-fill on gaps) and truncate;
+- hard links via an inode table (``link f f~`` — the gedit pattern);
+- ``rename`` atomically replaces an existing destination;
+- ``unlink`` removes a directory entry; inode data lives until nlink = 0;
+- directories with mkdir/rmdir/listdir;
+- an optional capacity so ENOSPC behaviour is testable (Section III-A's
+  escape hatch for preserving unlinked files).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.common.bytesutil import apply_write, truncate as truncate_bytes
+from repro.common.errors import NoSpaceError, NotFoundError
+
+
+@dataclass(frozen=True)
+class Stat:
+    """File metadata snapshot."""
+
+    path: str
+    size: int
+    nlink: int
+    is_dir: bool
+    inode: int
+
+
+class _Inode:
+    __slots__ = ("data", "nlink")
+
+    def __init__(self, data: bytes = b""):
+        self.data = data
+        self.nlink = 1
+
+
+def _norm(path: str) -> str:
+    """Normalize to an absolute, canonical POSIX path."""
+    if not path.startswith("/"):
+        path = "/" + path
+    return posixpath.normpath(path)
+
+
+class FileSystemAPI:
+    """The operation surface every layer of the stack implements.
+
+    ``PassthroughFileSystem`` forwards these verbatim; ``MemoryFileSystem``
+    terminates them. Paths are absolute POSIX paths.
+    """
+
+    def create(self, path: str) -> None:
+        """Create a regular file; a no-op if it already exists (O_CREAT)."""
+        raise NotImplementedError
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, zero-filling any gap (sparse)."""
+        raise NotImplementedError
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        """Read ``length`` bytes at ``offset`` (to EOF when ``None``)."""
+        raise NotImplementedError
+
+    def truncate(self, path: str, length: int) -> None:
+        """Set the file length: shrink, or zero-extend when growing."""
+        raise NotImplementedError
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move ``src`` to ``dst``, replacing any existing dst."""
+        raise NotImplementedError
+
+    def link(self, src: str, dst: str) -> None:
+        """Create a hard link: ``dst`` becomes another name for ``src``."""
+        raise NotImplementedError
+
+    def unlink(self, path: str) -> None:
+        """Remove the directory entry; data lives while other links do."""
+        raise NotImplementedError
+
+    def close(self, path: str) -> None:
+        """Close the (path-addressed) file; packs its Sync Queue node."""
+        raise NotImplementedError
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory (parent must exist)."""
+        raise NotImplementedError
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        """Whether a file or directory exists at ``path``."""
+        raise NotImplementedError
+
+    def stat(self, path: str) -> Stat:
+        """Metadata snapshot (size, nlink, inode, is_dir)."""
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> List[str]:
+        """Names directly under the directory ``path``, sorted."""
+        raise NotImplementedError
+
+    def linked_paths(self, path: str) -> List[str]:
+        """All names bound to the same file as ``path`` (hard links).
+
+        Always contains ``path`` itself. Layers without inode knowledge
+        return just ``[path]``.
+        """
+        return [path]
+
+    # convenience built on the primitives -------------------------------
+
+    def size(self, path: str) -> int:
+        """File size in bytes."""
+        return self.stat(path).size
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """create-if-missing + truncate + single write + close."""
+        if not self.exists(path):
+            self.create(path)
+        self.truncate(path, 0)
+        self.write(path, 0, data)
+        self.close(path)
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file read."""
+        return self.read(path, 0, None)
+
+
+class MemoryFileSystem(FileSystemAPI):
+    """In-memory file system with inode-based hard links.
+
+    Args:
+        capacity: total data bytes allowed across all inodes; ``None``
+            means unlimited. Exceeding it raises :class:`NoSpaceError`,
+            which the DeltaCFS unlink-preservation logic must tolerate.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self._entries: Dict[str, int] = {}  # path -> inode id
+        self._inodes: Dict[int, _Inode] = {}
+        self._dirs = {"/"}
+        self._next_inode = 1
+        self._capacity = capacity
+        self._used = 0
+
+    # -- internals -------------------------------------------------------
+
+    def _inode_of(self, path: str) -> _Inode:
+        path = _norm(path)
+        inode_id = self._entries.get(path)
+        if inode_id is None:
+            raise NotFoundError(f"no such file: {path}")
+        return self._inodes[inode_id]
+
+    def _charge(self, delta_bytes: int) -> None:
+        if self._capacity is not None and self._used + delta_bytes > self._capacity:
+            raise NoSpaceError(
+                f"device full: used {self._used}, need {delta_bytes}, "
+                f"capacity {self._capacity}"
+            )
+        self._used += delta_bytes
+
+    def _require_parent(self, path: str) -> None:
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            raise NotFoundError(f"no such directory: {parent}")
+
+    # -- FileSystemAPI ----------------------------------------------------
+
+    def create(self, path: str) -> None:
+        path = _norm(path)
+        if path in self._dirs:
+            raise FileExistsError(f"is a directory: {path}")
+        self._require_parent(path)
+        if path in self._entries:
+            # POSIX open(O_CREAT) on an existing file: keep its data.
+            return
+        inode_id = self._next_inode
+        self._next_inode += 1
+        self._inodes[inode_id] = _Inode()
+        self._entries[path] = inode_id
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        inode = self._inode_of(path)
+        new_data = apply_write(inode.data, offset, data)
+        self._charge(len(new_data) - len(inode.data))
+        inode.data = new_data
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        inode = self._inode_of(path)
+        if length is None:
+            return inode.data[offset:]
+        return inode.data[offset : offset + length]
+
+    def truncate(self, path: str, length: int) -> None:
+        inode = self._inode_of(path)
+        new_data = truncate_bytes(inode.data, length)
+        self._charge(len(new_data) - len(inode.data))
+        inode.data = new_data
+
+    def rename(self, src: str, dst: str) -> None:
+        src, dst = _norm(src), _norm(dst)
+        if src not in self._entries:
+            raise NotFoundError(f"no such file: {src}")
+        self._require_parent(dst)
+        if src == dst:
+            return
+        if dst in self._entries:
+            self._drop_entry(dst)
+        self._entries[dst] = self._entries.pop(src)
+
+    def link(self, src: str, dst: str) -> None:
+        src, dst = _norm(src), _norm(dst)
+        inode_id = self._entries.get(src)
+        if inode_id is None:
+            raise NotFoundError(f"no such file: {src}")
+        self._require_parent(dst)
+        if dst in self._entries:
+            raise FileExistsError(f"link target exists: {dst}")
+        self._entries[dst] = inode_id
+        self._inodes[inode_id].nlink += 1
+
+    def unlink(self, path: str) -> None:
+        path = _norm(path)
+        if path not in self._entries:
+            raise NotFoundError(f"no such file: {path}")
+        self._drop_entry(path)
+
+    def close(self, path: str) -> None:
+        # MemoryFileSystem is path-addressed; close is a no-op here but is
+        # forwarded through the stack because DeltaCFS packs write nodes on
+        # it (Section III-B).
+        self._inode_of(path)
+
+    def mkdir(self, path: str) -> None:
+        path = _norm(path)
+        if path in self._dirs:
+            raise FileExistsError(f"directory exists: {path}")
+        if path in self._entries:
+            raise FileExistsError(f"file exists: {path}")
+        self._require_parent(path)
+        self._dirs.add(path)
+
+    def rmdir(self, path: str) -> None:
+        path = _norm(path)
+        if path == "/":
+            raise ValueError("cannot remove root")
+        if path not in self._dirs:
+            raise NotFoundError(f"no such directory: {path}")
+        if any(p != path and self._is_under(p, path) for p in self._dirs) or any(
+            self._is_under(p, path) for p in self._entries
+        ):
+            raise OSError(f"directory not empty: {path}")
+        self._dirs.discard(path)
+
+    def exists(self, path: str) -> bool:
+        path = _norm(path)
+        return path in self._entries or path in self._dirs
+
+    def stat(self, path: str) -> Stat:
+        path = _norm(path)
+        if path in self._dirs:
+            return Stat(path=path, size=0, nlink=1, is_dir=True, inode=0)
+        inode_id = self._entries.get(path)
+        if inode_id is None:
+            raise NotFoundError(f"no such file: {path}")
+        inode = self._inodes[inode_id]
+        return Stat(
+            path=path,
+            size=len(inode.data),
+            nlink=inode.nlink,
+            is_dir=False,
+            inode=inode_id,
+        )
+
+    def listdir(self, path: str) -> List[str]:
+        path = _norm(path)
+        if path not in self._dirs:
+            raise NotFoundError(f"no such directory: {path}")
+        out = set()
+        for entry in list(self._entries) + [d for d in self._dirs if d != "/"]:
+            if posixpath.dirname(entry) == path:
+                out.add(posixpath.basename(entry))
+        return sorted(out)
+
+    def linked_paths(self, path: str) -> List[str]:
+        path = _norm(path)
+        inode_id = self._entries.get(path)
+        if inode_id is None:
+            raise NotFoundError(f"no such file: {path}")
+        return sorted(p for p, i in self._entries.items() if i == inode_id)
+
+    # -- extras used by fault injection and tests --------------------------
+
+    def corrupt(self, path: str, byte_offset: int, flip_mask: int = 0x01) -> None:
+        """Flip bits in a file *bypassing* the operation stack.
+
+        This models the paper's debugfs-based corruption injection
+        (Section IV-E): the change is invisible to any interception layer.
+        """
+        inode = self._inode_of(path)
+        if not 0 <= byte_offset < len(inode.data):
+            raise ValueError("corruption offset outside file")
+        data = bytearray(inode.data)
+        data[byte_offset] ^= flip_mask
+        inode.data = bytes(data)
+
+    def walk_files(self) -> Iterator[str]:
+        """All regular-file paths, sorted."""
+        return iter(sorted(self._entries))
+
+    @property
+    def used_bytes(self) -> int:
+        """Total data bytes across inodes (what capacity limits)."""
+        return self._used
+
+    @staticmethod
+    def _is_under(path: str, directory: str) -> bool:
+        return path.startswith(directory.rstrip("/") + "/")
+
+    def _drop_entry(self, path: str) -> None:
+        inode_id = self._entries.pop(path)
+        inode = self._inodes[inode_id]
+        inode.nlink -= 1
+        if inode.nlink == 0:
+            self._used -= len(inode.data)
+            del self._inodes[inode_id]

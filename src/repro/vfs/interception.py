@@ -1,0 +1,144 @@
+"""Operation interception: the layering mechanism of the stack.
+
+``PassthroughFileSystem`` plays the role FUSE plays in the paper's Figure 4:
+every file operation arrives at the layer *with its data*, the layer may act
+on it (DeltaCFS enqueues it, the NFS client ships it), and then forwards it
+to the layer below, terminating at a ``MemoryFileSystem``.
+
+``OperationLog`` is the trace-capture layer ("we use a loopback user-space
+file system to collect file operations including the content of the written
+data", Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vfs.filesystem import FileSystemAPI, Stat
+from repro.vfs.ops import (
+    CloseOp,
+    CreateOp,
+    FileOp,
+    LinkOp,
+    MkdirOp,
+    ReadOp,
+    RenameOp,
+    RmdirOp,
+    TruncateOp,
+    UnlinkOp,
+    WriteOp,
+)
+
+
+class PassthroughFileSystem(FileSystemAPI):
+    """Forwards every operation to ``inner``; subclasses override to act.
+
+    Overrides should do their work and then call ``super()`` (or forward
+    explicitly) so the operation reaches the backing store — exactly how
+    the FUSE request path works.
+    """
+
+    def __init__(self, inner: FileSystemAPI):
+        self.inner = inner
+
+    def create(self, path: str) -> None:
+        self.inner.create(path)
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        self.inner.write(path, offset, data)
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        return self.inner.read(path, offset, length)
+
+    def truncate(self, path: str, length: int) -> None:
+        self.inner.truncate(path, length)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.inner.rename(src, dst)
+
+    def link(self, src: str, dst: str) -> None:
+        self.inner.link(src, dst)
+
+    def unlink(self, path: str) -> None:
+        self.inner.unlink(path)
+
+    def close(self, path: str) -> None:
+        self.inner.close(path)
+
+    def mkdir(self, path: str) -> None:
+        self.inner.mkdir(path)
+
+    def rmdir(self, path: str) -> None:
+        self.inner.rmdir(path)
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def stat(self, path: str) -> Stat:
+        return self.inner.stat(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return self.inner.listdir(path)
+
+    def linked_paths(self, path: str) -> List[str]:
+        return self.inner.linked_paths(path)
+
+
+class OperationLog(PassthroughFileSystem):
+    """Records every mutating operation that flows through it.
+
+    The recorded list replays through :func:`repro.workloads.traces.replay`,
+    which is how the benchmark harness feeds one identical operation stream
+    to every sync solution.
+    """
+
+    def __init__(self, inner: FileSystemAPI, clock=None):
+        super().__init__(inner)
+        self.ops: List[FileOp] = []
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
+
+    def create(self, path: str) -> None:
+        super().create(path)
+        self.ops.append(CreateOp(path, timestamp=self._now()))
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        super().write(path, offset, data)
+        self.ops.append(WriteOp(path, offset, data, timestamp=self._now()))
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        data = super().read(path, offset, length)
+        self.ops.append(
+            ReadOp(path, offset, len(data), timestamp=self._now())
+        )
+        return data
+
+    def truncate(self, path: str, length: int) -> None:
+        super().truncate(path, length)
+        self.ops.append(TruncateOp(path, length, timestamp=self._now()))
+
+    def rename(self, src: str, dst: str) -> None:
+        super().rename(src, dst)
+        self.ops.append(RenameOp(src, dst, timestamp=self._now()))
+
+    def link(self, src: str, dst: str) -> None:
+        super().link(src, dst)
+        self.ops.append(LinkOp(src, dst, timestamp=self._now()))
+
+    def unlink(self, path: str) -> None:
+        super().unlink(path)
+        self.ops.append(UnlinkOp(path, timestamp=self._now()))
+
+    def close(self, path: str) -> None:
+        super().close(path)
+        self.ops.append(CloseOp(path, timestamp=self._now()))
+
+    def mkdir(self, path: str) -> None:
+        super().mkdir(path)
+        self.ops.append(MkdirOp(path, timestamp=self._now()))
+
+    def rmdir(self, path: str) -> None:
+        super().rmdir(path)
+        self.ops.append(RmdirOp(path, timestamp=self._now()))

@@ -1,0 +1,123 @@
+"""Typed file-operation records.
+
+These are the events that flow through the interception stack and make up
+replayable traces (the Word/WeChat traces of Section IV-A are sequences of
+these). ``WriteOp`` carries the written payload — the whole point of
+NFS-like file RPC is that the payload is available at interception time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class CreateOp:
+    """Create an empty regular file."""
+
+    path: str
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write ``data`` at ``offset``; extends the file if needed."""
+
+    path: str
+    offset: int
+    data: bytes = field(repr=False)
+    timestamp: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # keep giant payloads out of test output
+        return (
+            f"WriteOp(path={self.path!r}, offset={self.offset}, "
+            f"length={len(self.data)}, timestamp={self.timestamp})"
+        )
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read ``length`` bytes at ``offset``."""
+
+    path: str
+    offset: int
+    length: int
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class TruncateOp:
+    """Set the file length (shrink or zero-extend)."""
+
+    path: str
+    length: int
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class RenameOp:
+    """Atomically rename ``src`` to ``dst`` (replacing ``dst`` if present)."""
+
+    src: str
+    dst: str
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class LinkOp:
+    """Create a hard link ``dst`` to the file at ``src``."""
+
+    src: str
+    dst: str
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class UnlinkOp:
+    """Remove the directory entry at ``path``."""
+
+    path: str
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class CloseOp:
+    """Close the (path-addressed) file — packs its Sync Queue write node."""
+
+    path: str
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class MkdirOp:
+    """Create a directory."""
+
+    path: str
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class RmdirOp:
+    """Remove an empty directory."""
+
+    path: str
+    timestamp: float = 0.0
+
+
+FileOp = Union[
+    CreateOp,
+    WriteOp,
+    ReadOp,
+    TruncateOp,
+    RenameOp,
+    LinkOp,
+    UnlinkOp,
+    CloseOp,
+    MkdirOp,
+    RmdirOp,
+]

@@ -1,0 +1,95 @@
+"""inotify-style change notification — what Dropbox-like clients see.
+
+The crucial asymmetry the paper exploits: a watcher learns *that* a file
+changed, never *what* changed. A Dropbox-like client must therefore re-scan
+the whole file (chunk, fingerprint, delta-encode) on every event — the
+"abuse of delta sync". DeltaCFS, sitting in the operation path, gets the
+written bytes for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.vfs.filesystem import FileSystemAPI, Stat
+from repro.vfs.interception import PassthroughFileSystem
+
+
+@dataclass(frozen=True)
+class InotifyEvent:
+    """One change notification.
+
+    ``kind`` is one of ``create``, ``modify``, ``delete``, ``move``
+    (mirroring IN_CREATE / IN_MODIFY / IN_DELETE / IN_MOVED_*).
+    For ``move``, ``path`` is the source and ``dest`` the destination.
+    """
+
+    kind: str
+    path: str
+    dest: str | None = None
+    timestamp: float = 0.0
+
+
+class Watcher:
+    """Collects events; sync clients subscribe with a callback or poll."""
+
+    def __init__(self):
+        self.events: List[InotifyEvent] = []
+        self._subscribers: List[Callable[[InotifyEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[InotifyEvent], None]) -> None:
+        """Register a callback invoked synchronously on each event."""
+        self._subscribers.append(callback)
+
+    def emit(self, event: InotifyEvent) -> None:
+        """Record and fan out one event."""
+        self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+
+    def drain(self) -> List[InotifyEvent]:
+        """Return and clear all pending events (poll-style consumption)."""
+        events, self.events = self.events, []
+        return events
+
+
+class WatchedFileSystem(PassthroughFileSystem):
+    """Emits inotify events for mutating operations as they pass through."""
+
+    def __init__(self, inner: FileSystemAPI, watcher: Watcher, clock=None):
+        super().__init__(inner)
+        self.watcher = watcher
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
+
+    def _emit(self, kind: str, path: str, dest: str | None = None) -> None:
+        self.watcher.emit(
+            InotifyEvent(kind=kind, path=path, dest=dest, timestamp=self._now())
+        )
+
+    def create(self, path: str) -> None:
+        super().create(path)
+        self._emit("create", path)
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        super().write(path, offset, data)
+        self._emit("modify", path)
+
+    def truncate(self, path: str, length: int) -> None:
+        super().truncate(path, length)
+        self._emit("modify", path)
+
+    def rename(self, src: str, dst: str) -> None:
+        super().rename(src, dst)
+        self._emit("move", src, dest=dst)
+
+    def link(self, src: str, dst: str) -> None:
+        super().link(src, dst)
+        self._emit("create", dst)
+
+    def unlink(self, path: str) -> None:
+        super().unlink(path)
+        self._emit("delete", path)

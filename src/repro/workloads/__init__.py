@@ -1,0 +1,43 @@
+"""Workload generation: the paper's traces, synthesized deterministically.
+
+Section IV-A's four traces:
+
+- **append write** — 40 appends of ~800 KB, 15 s apart, file grows 0→32 MB.
+- **random write** — 40 writes of 1010 bytes into a preloaded 20 MB file.
+- **Word trace** — 61 transactional saves of a document growing
+  12.1→16.7 MB (the rename-dance of Figure 3).
+- **WeChat trace** — 373 journaled SQLite modifications of a chat database
+  growing 131→137 MB.
+
+Real traces are not redistributable; these synthesizers match the published
+statistics (file sizes, op counts, op sequences, update volumes) — see
+DESIGN.md's substitution table. All take a ``scale`` divisor so tests can
+run the same shapes at a fraction of the size.
+"""
+
+from repro.workloads.traces import Trace, TraceStats, replay
+from repro.workloads.generators import append_write_trace, random_write_trace
+from repro.workloads.word import word_trace
+from repro.workloads.wechat import wechat_trace
+from repro.workloads.gedit import gedit_trace
+from repro.workloads.filebench import (
+    FilebenchOp,
+    fileserver_ops,
+    varmail_ops,
+    webserver_ops,
+)
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "replay",
+    "append_write_trace",
+    "random_write_trace",
+    "word_trace",
+    "wechat_trace",
+    "gedit_trace",
+    "FilebenchOp",
+    "fileserver_ops",
+    "varmail_ops",
+    "webserver_ops",
+]

@@ -1,0 +1,155 @@
+"""filebench-style microbenchmark op streams (paper Table III).
+
+Three canonical personalities with their standard mixes:
+
+- **fileserver** — metadata- and write-heavy: create/write whole files,
+  append, whole-file read, delete. This is the workload that fills the
+  Sync Queue fastest ("Sync Queue becomes full very quickly").
+- **varmail** — mail-spool: many small files, create-write-fsync-read-
+  delete cycles; latencies dominated by (simulated) disk seeks.
+- **webserver** — read-dominated: whole-file reads plus a small append to
+  a shared log file; barely touches the write path, which is why FUSE and
+  DeltaCFS tie in Table III.
+
+The streams are pure op sequences; :mod:`repro.harness.microbench` runs
+them through a file-system stack under a latency model to produce the MB/s
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.rng import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class FilebenchOp:
+    """One microbenchmark operation.
+
+    ``kind`` is one of create/write/append/read/delete/open/close/fsync;
+    ``size`` is the byte count moved (0 for metadata ops).
+    """
+
+    kind: str
+    path: str
+    size: int = 0
+    offset: int = 0
+
+
+def _file_size(rng: DeterministicRandom, mean: int) -> int:
+    """File sizes around the mean (uniform half-to-double, like filebench's
+    gamma-ish spread at this fidelity)."""
+    return max(1, rng.randint(mean // 2, mean * 2))
+
+
+def fileserver_ops(
+    *,
+    nfiles: int = 64,
+    mean_file_size: int = 64 * 1024,
+    append_size: int = 16 * 1024,
+    operations: int = 400,
+    seed: int = 10,
+) -> List[FilebenchOp]:
+    """The fileserver personality: create/append/read/delete mix."""
+    rng = DeterministicRandom(seed).fork("fileserver")
+    ops: List[FilebenchOp] = []
+    live: List[str] = []
+    counter = 0
+    for i in range(nfiles // 2):
+        path = f"/fset/f{counter:05d}"
+        counter += 1
+        size = _file_size(rng, mean_file_size)
+        ops.append(FilebenchOp("create", path))
+        ops.append(FilebenchOp("write", path, size=size))
+        ops.append(FilebenchOp("close", path))
+        live.append(path)
+    for _ in range(operations):
+        roll = rng.random()
+        if roll < 0.25 or not live:
+            path = f"/fset/f{counter:05d}"
+            counter += 1
+            size = _file_size(rng, mean_file_size)
+            ops.append(FilebenchOp("create", path))
+            ops.append(FilebenchOp("write", path, size=size))
+            ops.append(FilebenchOp("close", path))
+            live.append(path)
+        elif roll < 0.50:
+            path = rng.choice(live)
+            ops.append(FilebenchOp("append", path, size=append_size))
+            ops.append(FilebenchOp("close", path))
+        elif roll < 0.75:
+            path = rng.choice(live)
+            ops.append(FilebenchOp("read", path))
+        else:
+            path = rng.choice(live)
+            live.remove(path)
+            ops.append(FilebenchOp("delete", path))
+    return ops
+
+
+def varmail_ops(
+    *,
+    nfiles: int = 128,
+    mean_file_size: int = 16 * 1024,
+    operations: int = 400,
+    seed: int = 11,
+) -> List[FilebenchOp]:
+    """The varmail personality: small-file create/fsync/read/delete."""
+    rng = DeterministicRandom(seed).fork("varmail")
+    ops: List[FilebenchOp] = []
+    live: List[str] = []
+    counter = 0
+    for _ in range(operations):
+        roll = rng.random()
+        if roll < 0.4 or not live:
+            path = f"/mail/m{counter:05d}"
+            counter += 1
+            size = _file_size(rng, mean_file_size)
+            ops.append(FilebenchOp("create", path))
+            ops.append(FilebenchOp("write", path, size=size))
+            ops.append(FilebenchOp("fsync", path))
+            ops.append(FilebenchOp("close", path))
+            live.append(path)
+            if len(live) > nfiles:
+                doomed = live.pop(0)
+                ops.append(FilebenchOp("delete", doomed))
+        elif roll < 0.7:
+            path = rng.choice(live)
+            ops.append(FilebenchOp("read", path))
+        else:
+            path = rng.choice(live)
+            size = _file_size(rng, mean_file_size) // 2
+            ops.append(FilebenchOp("append", path, size=size))
+            ops.append(FilebenchOp("fsync", path))
+            ops.append(FilebenchOp("close", path))
+    return ops
+
+
+def webserver_ops(
+    *,
+    nfiles: int = 128,
+    mean_file_size: int = 16 * 1024,
+    log_append_size: int = 8 * 1024,
+    operations: int = 600,
+    seed: int = 12,
+) -> List[FilebenchOp]:
+    """The webserver personality: whole-file reads + a log append per cycle."""
+    rng = DeterministicRandom(seed).fork("webserver")
+    ops: List[FilebenchOp] = []
+    pages = []
+    for i in range(nfiles):
+        path = f"/htdocs/p{i:05d}.html"
+        size = _file_size(rng, mean_file_size)
+        ops.append(FilebenchOp("create", path))
+        ops.append(FilebenchOp("write", path, size=size))
+        ops.append(FilebenchOp("close", path))
+        pages.append(path)
+    ops.append(FilebenchOp("create", "/weblog"))
+    for _ in range(operations):
+        for _ in range(10):  # 10 reads per log append, the standard mix
+            ops.append(FilebenchOp("read", rng.choice(pages)))
+        ops.append(FilebenchOp("append", "/weblog", size=log_append_size))
+        ops.append(FilebenchOp("close", "/weblog"))
+    return ops

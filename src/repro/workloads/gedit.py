@@ -1,0 +1,59 @@
+"""The gedit save pattern (Figure 3): link-based transactional update.
+
+    1-2 create-write tmp, 3 link f f~, 4 rename tmp f
+
+Used by the relation-table tests and the quickstart example; the paper does
+not benchmark it separately but cites it as the second transactional-update
+shape (trigger rule 2: "file's name already exists").
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import DeterministicRandom
+from repro.vfs.ops import CloseOp, CreateOp, LinkOp, RenameOp, UnlinkOp, WriteOp
+from repro.workloads.traces import Trace, TraceStats
+
+
+def gedit_trace(
+    *,
+    saves: int = 10,
+    file_size: int = 256 * 1024,
+    edit_size: int = 2048,
+    save_interval: float = 10.0,
+    seed: int = 5,
+    path: str = "/notes.txt",
+) -> Trace:
+    """A text file saved ``saves`` times via the gedit link/rename dance."""
+    rng = DeterministicRandom(seed).fork("gedit")
+    trace = Trace(name="gedit")
+    content = rng.random_bytes(file_size)
+    trace.preload[path] = content
+
+    backup = path + "~"
+    total_written = 0
+    total_update = 0
+    t = 0.0
+    for save in range(saves):
+        t += save_interval
+        data = bytearray(content)
+        pos = rng.randint(0, max(0, len(data) - edit_size - 1))
+        data[pos : pos + edit_size] = rng.random_bytes(edit_size)
+        content = bytes(data)
+        total_update += edit_size
+
+        tmp = f"/.goutputstream-{save:04d}"
+        step = 0.01
+        trace.ops.append(CreateOp(tmp, timestamp=t))
+        trace.ops.append(WriteOp(tmp, 0, content, timestamp=t + step))
+        trace.ops.append(CloseOp(tmp, timestamp=t + 2 * step))
+        total_written += len(content)
+        if save > 0:
+            trace.ops.append(UnlinkOp(backup, timestamp=t + 3 * step))
+        trace.ops.append(LinkOp(path, backup, timestamp=t + 3.5 * step))
+        trace.ops.append(RenameOp(tmp, path, timestamp=t + 4 * step))
+    trace.stats = TraceStats(
+        op_count=len(trace.ops),
+        bytes_written=total_written,
+        update_bytes=total_update,
+    )
+    return trace

@@ -1,0 +1,78 @@
+"""The two artificial traces (paper Section IV-A).
+
+"The two artificial traces are append write (40 append operations, each
+append is around 800KB, the final size of the file is 32MB) and random
+write (40 write operations to a 20MB file, each write is 1010 bytes)
+respectively, the interval of the writes are 15 sec."
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import DeterministicRandom
+from repro.vfs.ops import CloseOp, CreateOp, WriteOp
+from repro.workloads.traces import Trace, TraceStats
+
+
+def append_write_trace(
+    *,
+    scale: int = 1,
+    appends: int = 40,
+    append_size: int = 800 * 1024,
+    interval: float = 15.0,
+    seed: int = 1,
+    path: str = "/append.dat",
+) -> Trace:
+    """The append-write trace: the file grows from zero, one append a tick.
+
+    ``scale`` divides the append size (op count and timing are preserved so
+    sync scheduling behaves identically at any scale).
+    """
+    rng = DeterministicRandom(seed).fork("append")
+    size = max(1, append_size // scale)
+    trace = Trace(name="append_write")
+    trace.ops.append(CreateOp(path, timestamp=0.0))
+    offset = 0
+    for i in range(appends):
+        t = (i + 1) * interval
+        data = rng.random_bytes(size)
+        trace.ops.append(WriteOp(path, offset, data, timestamp=t))
+        trace.ops.append(CloseOp(path, timestamp=t))
+        offset += len(data)
+    trace.stats = TraceStats(
+        op_count=len(trace.ops), bytes_written=offset, update_bytes=offset
+    )
+    return trace
+
+
+def random_write_trace(
+    *,
+    scale: int = 1,
+    writes: int = 40,
+    write_size: int = 1010,
+    file_size: int = 20 * 1024 * 1024,
+    interval: float = 15.0,
+    seed: int = 2,
+    path: str = "/random.dat",
+) -> Trace:
+    """The random-write trace: small writes into a preloaded 20 MB file.
+
+    The file is preloaded (already synced) so the measured traffic is pure
+    update cost — the paper's Figure 8(b) regime where Dropbox's 4 KB block
+    granularity makes it upload ~4× the logical update.
+    """
+    rng = DeterministicRandom(seed).fork("random")
+    fsize = max(write_size + 1, file_size // scale)
+    trace = Trace(name="random_write")
+    trace.preload[path] = rng.random_bytes(fsize)
+    total = 0
+    for i in range(writes):
+        t = (i + 1) * interval
+        offset = rng.randint(0, fsize - write_size - 1)
+        data = rng.random_bytes(write_size)
+        trace.ops.append(WriteOp(path, offset, data, timestamp=t))
+        trace.ops.append(CloseOp(path, timestamp=t))
+        total += write_size
+    trace.stats = TraceStats(
+        op_count=len(trace.ops), bytes_written=total, update_bytes=total
+    )
+    return trace

@@ -1,0 +1,200 @@
+"""Trace (de)serialization.
+
+The paper publishes its evaluation traces alongside the prototype; this
+module provides the equivalent: a compact, versioned binary format for
+operation streams (including write payloads), so captured or synthesized
+traces can be stored, shared, and replayed byte-identically.
+
+Format: an 8-byte magic+version header, a JSON metadata block (name,
+stats, preload index), then one length-prefixed record per operation:
+
+    [kind u8][timestamp f64][path len u16][path][fields...]
+
+Payload-carrying records append ``[length u32][bytes]``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import BinaryIO, Dict
+
+from repro.vfs.ops import (
+    CloseOp,
+    CreateOp,
+    FileOp,
+    LinkOp,
+    MkdirOp,
+    ReadOp,
+    RenameOp,
+    RmdirOp,
+    TruncateOp,
+    UnlinkOp,
+    WriteOp,
+)
+from repro.workloads.traces import Trace, TraceStats
+
+_MAGIC = b"DCFSTRC1"
+
+_KINDS = {
+    CreateOp: 1,
+    WriteOp: 2,
+    ReadOp: 3,
+    TruncateOp: 4,
+    RenameOp: 5,
+    LinkOp: 6,
+    UnlinkOp: 7,
+    CloseOp: 8,
+    MkdirOp: 9,
+    RmdirOp: 10,
+}
+_BY_KIND = {v: k for k, v in _KINDS.items()}
+
+_HEAD = struct.Struct("<Bd")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    raw = text.encode()
+    out.write(_U16.pack(len(raw)))
+    out.write(raw)
+
+
+def _read_str(buf: BinaryIO) -> str:
+    (n,) = _U16.unpack(buf.read(2))
+    raw = buf.read(n)
+    if len(raw) != n:
+        raise ValueError("truncated string field")
+    return raw.decode()
+
+
+def _write_bytes(out: BinaryIO, data: bytes) -> None:
+    out.write(_U32.pack(len(data)))
+    out.write(data)
+
+
+def _read_bytes(buf: BinaryIO) -> bytes:
+    (n,) = _U32.unpack(buf.read(4))
+    data = buf.read(n)
+    if len(data) != n:
+        raise ValueError("truncated payload")
+    return data
+
+
+def dump_trace(trace: Trace, out: BinaryIO) -> None:
+    """Serialize ``trace`` (ops, stats, and preload content) to ``out``."""
+    out.write(_MAGIC)
+    meta = {
+        "name": trace.name,
+        "stats": {
+            "op_count": trace.stats.op_count,
+            "bytes_written": trace.stats.bytes_written,
+            "update_bytes": trace.stats.update_bytes,
+        },
+        "preload_paths": sorted(trace.preload),
+        "op_records": len(trace.ops),
+    }
+    raw_meta = json.dumps(meta).encode()
+    out.write(_U32.pack(len(raw_meta)))
+    out.write(raw_meta)
+    for path in sorted(trace.preload):
+        _write_bytes(out, trace.preload[path])
+    for op in trace.ops:
+        kind = _KINDS.get(type(op))
+        if kind is None:
+            raise TypeError(f"cannot serialize {type(op).__name__}")
+        out.write(_HEAD.pack(kind, op.timestamp))
+        if isinstance(op, (RenameOp, LinkOp)):
+            _write_str(out, op.src)
+            _write_str(out, op.dst)
+        else:
+            _write_str(out, op.path)
+        if isinstance(op, WriteOp):
+            out.write(_U64.pack(op.offset))
+            _write_bytes(out, op.data)
+        elif isinstance(op, ReadOp):
+            out.write(_U64.pack(op.offset))
+            out.write(_U64.pack(op.length))
+        elif isinstance(op, TruncateOp):
+            out.write(_U64.pack(op.length))
+
+
+def load_trace(buf: BinaryIO) -> Trace:
+    """Parse a trace written by :func:`dump_trace`.
+
+    Raises ``ValueError`` on a bad magic or truncated stream.
+    """
+    try:
+        return _load_trace(buf)
+    except struct.error as exc:  # short read inside a record
+        raise ValueError(f"truncated trace stream: {exc}") from exc
+
+
+def _load_trace(buf: BinaryIO) -> Trace:
+    magic = buf.read(len(_MAGIC))
+    if magic != _MAGIC:
+        raise ValueError(f"not a DeltaCFS trace (magic {magic!r})")
+    (meta_len,) = _U32.unpack(buf.read(4))
+    meta = json.loads(buf.read(meta_len).decode())
+
+    preload: Dict[str, bytes] = {}
+    for path in meta["preload_paths"]:
+        preload[path] = _read_bytes(buf)
+
+    trace = Trace(name=meta["name"], preload=preload)
+    trace.stats = TraceStats(**meta["stats"])
+    for _ in range(meta["op_records"]):
+        head = buf.read(_HEAD.size)
+        if len(head) != _HEAD.size:
+            raise ValueError("truncated op stream")
+        kind, timestamp = _HEAD.unpack(head)
+        op_type = _BY_KIND.get(kind)
+        if op_type is None:
+            raise ValueError(f"unknown op kind {kind}")
+        if op_type in (RenameOp, LinkOp):
+            src = _read_str(buf)
+            dst = _read_str(buf)
+            trace.ops.append(op_type(src, dst, timestamp=timestamp))
+            continue
+        path = _read_str(buf)
+        if op_type is WriteOp:
+            (offset,) = _U64.unpack(buf.read(8))
+            data = _read_bytes(buf)
+            trace.ops.append(WriteOp(path, offset, data, timestamp=timestamp))
+        elif op_type is ReadOp:
+            (offset,) = _U64.unpack(buf.read(8))
+            (length,) = _U64.unpack(buf.read(8))
+            trace.ops.append(ReadOp(path, offset, length, timestamp=timestamp))
+        elif op_type is TruncateOp:
+            (length,) = _U64.unpack(buf.read(8))
+            trace.ops.append(TruncateOp(path, length, timestamp=timestamp))
+        else:
+            trace.ops.append(op_type(path, timestamp=timestamp))
+    return trace
+
+
+def save_trace_file(trace: Trace, path: str) -> None:
+    """Write a trace to ``path``."""
+    with open(path, "wb") as fh:
+        dump_trace(trace, fh)
+
+
+def load_trace_file(path: str) -> Trace:
+    """Read a trace from ``path``."""
+    with open(path, "rb") as fh:
+        return load_trace(fh)
+
+
+def trace_to_bytes(trace: Trace) -> bytes:
+    """Serialize to an in-memory buffer."""
+    out = io.BytesIO()
+    dump_trace(trace, out)
+    return out.getvalue()
+
+
+def trace_from_bytes(raw: bytes) -> Trace:
+    """Deserialize from an in-memory buffer."""
+    return load_trace(io.BytesIO(raw))

@@ -1,0 +1,95 @@
+"""Tests for the shared watcher-client machinery."""
+
+from repro.baselines.base import WatcherSyncClient
+from repro.net.transport import Channel, NetworkModel
+
+
+class RecordingClient(WatcherSyncClient):
+    """Minimal concrete client that records its sync calls."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.synced = []
+        self.deleted = []
+
+    def _sync_file(self, path, now):
+        self.synced.append((path, now))
+
+    def _sync_delete(self, path, now):
+        self.deleted.append((path, now))
+
+
+def test_dirty_tracking_and_debounce():
+    client = RecordingClient(sync_interval=5.0)
+    client.fs.create("/f")
+    client.fs.write("/f", 0, b"x")
+    assert client.pump(now=0.0) == 1
+    client.fs.write("/f", 0, b"y")
+    assert client.pump(now=2.0) == 0  # inside the debounce window
+    assert client.pump(now=6.0) == 1
+
+
+def test_delete_clears_dirty():
+    client = RecordingClient(sync_interval=0.0)
+    client.fs.create("/f")
+    client.fs.unlink("/f")
+    client.pump(now=1.0)
+    assert client.synced == []
+    assert [p for p, _ in client.deleted] == ["/f"]
+
+
+def test_rename_redirects_dirtiness():
+    client = RecordingClient(sync_interval=0.0)
+    client.fs.create("/a")
+    client.fs.write("/a", 0, b"x")
+    client.fs.rename("/a", "/b")
+    client.pump(now=1.0)
+    assert [p for p, _ in client.synced] == ["/b"]
+
+
+def test_vanished_file_skipped():
+    client = RecordingClient(sync_interval=0.0)
+    client.fs.create("/f")
+    client.fs.write("/f", 0, b"x")
+    # delete beneath the event horizon (no event)
+    client.fs.inner.unlink("/f")
+    client.pump(now=1.0)
+    assert client.synced == []
+
+
+def test_idle_link_gating():
+    channel = Channel(model=NetworkModel(bandwidth_up=10))
+    client = RecordingClient(
+        sync_interval=0.0, wait_for_idle_link=True, channel=channel
+    )
+    client.fs.create("/f")
+    client.fs.write("/f", 0, b"x")
+    from repro.net.messages import UploadFull
+
+    channel.upload(UploadFull(path="/busy", data=b"z" * 1000), now=0.0)
+    assert client.pump(now=1.0) == 0  # uplink busy for 100s
+    assert client.pump(now=200.0) == 1
+
+
+def test_flush_overrides_everything():
+    channel = Channel(model=NetworkModel(bandwidth_up=10))
+    client = RecordingClient(
+        sync_interval=100.0, wait_for_idle_link=True, channel=channel
+    )
+    client.fs.create("/f")
+    client.fs.write("/f", 0, b"x")
+    from repro.net.messages import UploadFull
+
+    channel.upload(UploadFull(path="/busy", data=b"z" * 1000), now=0.0)
+    assert client.flush(now=0.5) == 1
+    # gating restored afterwards
+    assert client.wait_for_idle_link is True
+    assert client.sync_interval == 100.0
+
+
+def test_sync_rounds_counter():
+    client = RecordingClient(sync_interval=0.0)
+    for i in range(3):
+        client.fs.create(f"/f{i}")
+    client.pump(now=1.0)
+    assert client.sync_rounds == 3

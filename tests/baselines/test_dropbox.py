@@ -1,0 +1,107 @@
+"""Tests for the Dropbox-like baseline."""
+
+from repro.common.rng import DeterministicRandom
+from repro.cost.meter import CostMeter
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+from repro.baselines.dropbox import DropboxClient
+
+
+def build(dedup_size=64 * 1024, block_size=4096):
+    server = CloudServer()
+    meter = CostMeter()
+    channel = Channel(client_meter=meter)
+    client = DropboxClient(
+        server=server,
+        channel=channel,
+        meter=meter,
+        sync_interval=0.0,
+        dedup_size=dedup_size,
+        block_size=block_size,
+    )
+    return client, server, channel, meter
+
+
+def test_first_sync_uploads_content():
+    client, server, channel, _ = build()
+    data = DeterministicRandom(1).random_bytes(100_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    assert server.store.get("/f").content == data
+    assert channel.stats.up_bytes > 50_000  # compressed full upload
+
+
+def test_unchanged_units_dedup():
+    client, server, channel, _ = build()
+    data = DeterministicRandom(2).random_bytes(256 * 1024)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    before = channel.stats.up_bytes
+    # touch one byte: only the containing 64KB unit re-ships (as a delta)
+    client.fs.write("/f", 100_000, b"\x00")
+    client.pump(now=2.0)
+    uploaded = channel.stats.up_bytes - before
+    assert uploaded < 16 * 1024  # a delta inside one unit, not 256KB
+
+
+def test_rsync_confined_to_units():
+    # an edit in unit 0 must not cause unit 1..3 traffic
+    client, server, channel, _ = build()
+    data = DeterministicRandom(3).random_bytes(256 * 1024)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    before = channel.stats.up_bytes
+    client.fs.write("/f", 10, b"edit!")
+    client.pump(now=2.0)
+    delta_bytes = channel.stats.up_bytes - before
+    assert delta_bytes < 64 * 1024
+
+
+def test_inotify_blindness_costs_scans():
+    # every sync round re-reads the whole file: the paper's IO observation
+    client, server, channel, meter = build()
+    data = DeterministicRandom(4).random_bytes(500_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    for i in range(5):
+        client.fs.write("/f", 0, b"x")
+        client.pump(now=2.0 + i)
+    assert meter.bytes_by_category["scan_read"] >= 6 * len(data)
+
+
+def test_strong_checksums_paid_every_round():
+    client, server, channel, meter = build()
+    data = DeterministicRandom(5).random_bytes(200_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    before = meter.by_category.get("strong_checksum", 0.0)
+    client.fs.write("/f", 0, b"y")
+    client.pump(now=2.0)
+    assert meter.by_category["strong_checksum"] > before
+
+
+def test_delete_propagates():
+    client, server, channel, _ = build()
+    client.fs.write_file("/f", b"data")
+    client.pump(now=1.0)
+    client.fs.unlink("/f")
+    client.pump(now=2.0)
+    assert not server.store.exists("/f")
+
+
+def test_rename_moves_server_state():
+    client, server, channel, _ = build()
+    client.fs.write_file("/a", b"data")
+    client.pump(now=1.0)
+    client.fs.rename("/a", "/b")
+    client.pump(now=2.0)
+    assert server.store.exists("/b")
+    assert not server.store.exists("/a")
+
+
+def test_compression_shrinks_payload():
+    client, server, channel, _ = build()
+    data = DeterministicRandom(6).random_bytes(128 * 1024)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    assert channel.stats.up_bytes < len(data)  # 0.8 compression model

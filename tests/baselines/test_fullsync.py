@@ -1,0 +1,81 @@
+"""Tests for the full-upload (Dropsync) baseline."""
+
+from repro.baselines.fullsync import FullUploadClient
+from repro.common.rng import DeterministicRandom
+from repro.cost.meter import CostMeter
+from repro.net.transport import Channel, NetworkModel
+from repro.server.cloud import CloudServer
+
+
+def build(bandwidth=1e9, wait_for_idle=True):
+    server = CloudServer()
+    meter = CostMeter()
+    channel = Channel(
+        model=NetworkModel(bandwidth_up=bandwidth), client_meter=meter
+    )
+    client = FullUploadClient(
+        server=server,
+        channel=channel,
+        meter=meter,
+        sync_interval=0.0,
+        wait_for_idle_link=wait_for_idle,
+    )
+    return client, server, channel, meter
+
+
+def test_whole_file_per_change():
+    client, server, channel, _ = build()
+    data = DeterministicRandom(1).random_bytes(100_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    before = channel.stats.up_bytes
+    client.fs.write("/f", 0, b"\x01")  # one byte changed...
+    client.pump(now=2.0)
+    assert channel.stats.up_bytes - before >= len(data)  # ...whole file sent
+
+
+def test_slow_link_batches_updates():
+    # the paper's mobile observation: the saturated uplink skips rounds,
+    # involuntarily batching several edits into one upload
+    client, server, channel, _ = build(bandwidth=1_000)  # 1KB/s
+    data = DeterministicRandom(2).random_bytes(50_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=0.0)
+    assert client.uploads == 1
+    for i in range(20):
+        client.fs.write("/f", i, b"\xaa")
+        client.pump(now=float(i))  # link still busy: all skipped
+    assert client.uploads == 1
+    client.pump(now=1e6)  # link finally idle
+    assert client.uploads == 2  # 20 edits collapsed into one round
+
+
+def test_flush_overrides_gating():
+    client, server, channel, _ = build(bandwidth=1_000)
+    client.fs.write_file("/f", b"x" * 10_000)
+    client.pump(now=0.0)
+    client.fs.write("/f", 0, b"y")
+    client.flush(now=0.1)
+    assert server.store.get("/f").content[0:1] == b"y"
+
+
+def test_scan_cost_per_round():
+    client, server, channel, meter = build()
+    data = DeterministicRandom(3).random_bytes(80_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    client.fs.write("/f", 0, b"z")
+    client.pump(now=2.0)
+    assert meter.bytes_by_category["scan_read"] >= 2 * len(data)
+
+
+def test_delete_and_rename_propagate():
+    client, server, channel, _ = build()
+    client.fs.write_file("/a", b"data")
+    client.pump(now=1.0)
+    client.fs.rename("/a", "/b")
+    client.pump(now=2.0)
+    assert server.store.exists("/b") and not server.store.exists("/a")
+    client.fs.unlink("/b")
+    client.pump(now=3.0)
+    assert not server.store.exists("/b")

@@ -1,0 +1,111 @@
+"""Tests for the NFSv4-like baseline."""
+
+from repro.baselines.nfs import NFSClient
+from repro.common.rng import DeterministicRandom
+from repro.net.transport import Channel, NetworkModel
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
+
+PAGE = 4096
+
+
+def build():
+    server = CloudServer()
+    channel = Channel(model=NetworkModel(encrypted=False))
+    client = NFSClient(
+        MemoryFileSystem(), server=server, channel=channel, page_size=PAGE
+    )
+    return client, server, channel
+
+
+def test_writes_are_write_through():
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"hello")
+    assert server.file_content("/f") == b"hello"
+
+
+def test_every_write_crosses_the_wire():
+    client, server, channel = build()
+    client.create("/f")
+    for i in range(10):
+        client.write("/f", i * 100, b"x" * 100)
+    assert channel.stats.up_bytes >= 1000
+
+
+def test_aligned_write_no_fetch():
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"\x00" * PAGE * 4)
+    down_before = channel.stats.down_bytes
+    client.write("/f", PAGE, b"\x01" * PAGE)  # full page overwrite
+    assert channel.stats.down_bytes == down_before
+
+
+def test_fetch_before_write_on_unaligned():
+    # Section IV-C: "the data block is first retrieved from the server"
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"\x00" * PAGE * 4)
+    # simulate a fresh client cache (e.g. after memory pressure)
+    client._cached_pages["/f"] = set()
+    down_before = channel.stats.down_bytes
+    client.write("/f", PAGE + 10, b"partial")
+    assert channel.stats.down_bytes > down_before
+
+
+def test_append_beyond_server_end_no_fetch():
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"x" * 100)
+    client._cached_pages["/f"] = set()
+    down_before = channel.stats.down_bytes
+    client.write("/f", PAGE * 10, b"appended far beyond")  # sparse append
+    assert channel.stats.down_bytes == down_before
+
+
+def test_rename_invalidates_cache():
+    # the Word pathology: after rename tmp->f, reading f re-downloads it
+    client, server, channel = build()
+    data = DeterministicRandom(1).random_bytes(PAGE * 8)
+    client.create("/tmp1")
+    client.write("/tmp1", 0, data)
+    client.rename("/tmp1", "/f")
+    down_before = channel.stats.down_bytes
+    assert client.read("/f", 0, None) == data
+    downloaded = channel.stats.down_bytes - down_before
+    assert downloaded >= len(data)  # full re-fetch despite identical bytes
+
+
+def test_cached_read_free():
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"cached!")
+    down_before = channel.stats.down_bytes
+    assert client.read("/f", 0, None) == b"cached!"  # writes populated cache
+    assert channel.stats.down_bytes == down_before
+
+
+def test_truncate_and_unlink_propagate():
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"0123456789")
+    client.truncate("/f", 4)
+    assert server.file_content("/f") == b"0123"
+    client.unlink("/f")
+    assert not server.store.exists("/f")
+
+
+def test_link_copies_server_side():
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"shared")
+    client.link("/f", "/g")
+    assert server.file_content("/g") == b"shared"
+
+
+def test_traffic_not_encrypted():
+    client, server, channel = build()
+    client.create("/f")
+    client.write("/f", 0, b"x" * 10000)
+    assert channel.client_meter.by_category.get("encrypt", 0) == 0

@@ -1,0 +1,96 @@
+"""Tests for the Seafile-like (CDC) baseline."""
+
+from repro.baselines.seafile import SeafileClient
+from repro.common.rng import DeterministicRandom
+from repro.cost.meter import CostMeter
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+
+CHUNK = 32 * 1024
+
+
+def build():
+    server = CloudServer()
+    meter = CostMeter()
+    channel = Channel(client_meter=meter)
+    client = SeafileClient(
+        server=server,
+        channel=channel,
+        meter=meter,
+        sync_interval=0.0,
+        chunk_size=CHUNK,
+    )
+    return client, server, channel, meter
+
+
+def test_first_sync_ships_all_chunks():
+    client, server, channel, _ = build()
+    data = DeterministicRandom(1).random_bytes(200_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    assert server.store.get("/f").content == data
+    assert channel.stats.up_bytes > len(data)
+
+
+def test_one_byte_edit_ships_whole_chunk():
+    # the paper's criticism: large chunks make small edits expensive
+    client, server, channel, _ = build()
+    data = DeterministicRandom(2).random_bytes(300_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    before = channel.stats.up_bytes
+    client.fs.write("/f", 150_000, b"\x01")
+    client.pump(now=2.0)
+    uploaded = channel.stats.up_bytes - before
+    assert uploaded > CHUNK // 4  # at least a chunk-scale body
+    assert uploaded < len(data) // 2  # but not the whole file
+
+
+def test_unchanged_chunks_skip_hash():
+    # "only needs to compute the checksums of changed blocks"
+    client, server, channel, meter = build()
+    data = DeterministicRandom(3).random_bytes(300_000)
+    client.fs.write_file("/f", data)
+    client.pump(now=1.0)
+    first_hash = meter.bytes_by_category["dedup_hash"]
+    client.fs.write("/f", 10, b"z")
+    client.pump(now=2.0)
+    second_hash = meter.bytes_by_category["dedup_hash"] - first_hash
+    assert second_hash < len(data) // 2
+    assert meter.bytes_by_category["bitwise_compare"] > 0
+
+
+def test_identical_content_different_file_dedups():
+    client, server, channel, _ = build()
+    data = DeterministicRandom(4).random_bytes(100_000)
+    client.fs.write_file("/a", data)
+    client.pump(now=1.0)
+    before = channel.stats.up_bytes
+    client.fs.write_file("/b", data)
+    client.pump(now=2.0)
+    # same chunks: only fingerprints travel
+    assert channel.stats.up_bytes - before < 5000
+
+
+def test_delete_and_rename():
+    client, server, channel, _ = build()
+    client.fs.write_file("/a", b"data")
+    client.pump(now=1.0)
+    client.fs.rename("/a", "/b")
+    client.pump(now=2.0)
+    client.fs.write_file("/c", b"x")
+    client.fs.unlink("/c")
+    client.pump(now=3.0)
+    assert server.store.exists("/b")
+    assert not server.store.exists("/a")
+    assert not server.store.exists("/c")
+
+
+def test_server_does_no_checksum_work():
+    client, server, channel, _ = build()
+    client.fs.write_file("/f", DeterministicRandom(5).random_bytes(100_000))
+    client.pump(now=1.0)
+    categories = server.meter.by_category
+    assert categories.get("strong_checksum", 0) == 0
+    assert categories.get("dedup_hash", 0) == 0
+    assert categories.get("cdc_chunking", 0) == 0

@@ -1,0 +1,165 @@
+"""Tests for content-defined chunking (the Seafile/LBFS substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.cdc import (
+    GearHasher,
+    _gear_hashes,
+    cdc_boundaries,
+    cdc_chunks,
+    gear_hashes_incremental,
+)
+from repro.common.rng import DeterministicRandom
+from repro.cost.meter import CostMeter
+
+
+class TestGearHash:
+    def test_vectorized_matches_sequential(self):
+        data = DeterministicRandom(1).random_bytes(500)
+        hasher = GearHasher()
+        sequential = [hasher.update(b) for b in data]
+        vectorized = _gear_hashes(data)
+        assert all(int(vectorized[i]) == sequential[i] for i in range(len(data)))
+
+    def test_masked_variant_matches_low_bits(self):
+        data = DeterministicRandom(2).random_bytes(400)
+        hasher = GearHasher()
+        sequential = [hasher.update(b) for b in data]
+        for bits in (8, 13, 20):
+            masked = _gear_hashes(data, bits=bits)
+            mask = (1 << bits) - 1
+            assert all(
+                int(masked[i]) == (sequential[i] & mask) for i in range(len(data))
+            ), bits
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_property_vector_equals_sequential(self, data):
+        hasher = GearHasher()
+        sequential = [hasher.update(b) for b in data]
+        vectorized = _gear_hashes(data)
+        assert [int(v) for v in vectorized] == sequential
+
+
+class TestIncrementalGear:
+    def _check(self, prev: bytes, new: bytes, bits: int = 14):
+        ph = _gear_hashes(prev, bits=bits)
+        incremental = gear_hashes_incremental(prev, new, ph, bits)
+        full = _gear_hashes(new, bits=bits)
+        assert np.array_equal(incremental, full)
+
+    def test_identical(self):
+        data = DeterministicRandom(3).random_bytes(10_000)
+        self._check(data, data)
+
+    def test_point_edit(self):
+        rng = DeterministicRandom(4)
+        prev = bytearray(rng.random_bytes(10_000))
+        new = bytearray(prev)
+        new[5000] ^= 0xFF
+        self._check(bytes(prev), bytes(new))
+
+    def test_multiple_scattered_edits(self):
+        rng = DeterministicRandom(5)
+        prev = bytearray(rng.random_bytes(20_000))
+        new = bytearray(prev)
+        for pos in (100, 7000, 7003, 19_999):
+            new[pos] ^= 0x55
+        self._check(bytes(prev), bytes(new))
+
+    def test_growth(self):
+        rng = DeterministicRandom(6)
+        prev = rng.random_bytes(8000)
+        new = prev + rng.random_bytes(3000)
+        self._check(prev, new)
+
+    def test_truncation(self):
+        rng = DeterministicRandom(7)
+        prev = rng.random_bytes(8000)
+        self._check(prev, prev[:5000])
+
+    def test_edit_plus_growth(self):
+        rng = DeterministicRandom(8)
+        prev = bytearray(rng.random_bytes(8000))
+        new = bytearray(prev)
+        new[100:200] = rng.random_bytes(100)
+        new.extend(rng.random_bytes(500))
+        self._check(bytes(prev), bytes(new))
+
+    def test_empty_prev(self):
+        self._check(b"", DeterministicRandom(9).random_bytes(1000))
+
+    def test_mostly_changed_falls_back(self):
+        rng = DeterministicRandom(10)
+        prev = rng.random_bytes(4000)
+        new = rng.random_bytes(4000)
+        self._check(prev, new)
+
+
+class TestBoundaries:
+    def test_cover_exactly(self):
+        data = DeterministicRandom(11).random_bytes(50_000)
+        bounds = cdc_boundaries(data, 2048)
+        assert bounds[-1] == len(data)
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_min_max_respected(self):
+        data = DeterministicRandom(12).random_bytes(100_000)
+        avg = 2048
+        bounds = cdc_boundaries(data, avg)
+        sizes = [b - a for a, b in zip([0] + bounds[:-1], bounds)]
+        assert all(s <= avg * 4 for s in sizes)
+        assert all(s >= avg // 4 for s in sizes[:-1])  # tail may be short
+
+    def test_average_in_ballpark(self):
+        data = DeterministicRandom(13).random_bytes(400_000)
+        avg = 4096
+        bounds = cdc_boundaries(data, avg)
+        actual_avg = len(data) / len(bounds)
+        assert avg / 3 < actual_avg < avg * 3
+
+    def test_empty(self):
+        assert cdc_boundaries(b"", 1024) == []
+
+    def test_invalid_avg(self):
+        with pytest.raises(ValueError):
+            cdc_boundaries(b"abc", 0)
+
+    def test_boundary_shift_is_local(self):
+        # the CDC property: an edit only re-chunks its neighbourhood
+        rng = DeterministicRandom(14)
+        data = rng.random_bytes(200_000)
+        edited = data[:100_000] + b"\x00\x42" + data[100_000:]
+        bounds_a = set(cdc_boundaries(data, 2048))
+        bounds_b = set(cdc_boundaries(edited, 2048))
+        # boundaries well before the edit are identical
+        before_a = {b for b in bounds_a if b < 90_000}
+        before_b = {b for b in bounds_b if b < 90_000}
+        assert before_a == before_b
+        # boundaries after shift by exactly the insertion length
+        after_a = {b + 2 for b in bounds_a if b > 110_000}
+        after_b = {b for b in bounds_b if b > 110_000}
+        assert after_a == after_b
+
+
+class TestCdcChunks:
+    def test_chunks_reassemble(self):
+        data = DeterministicRandom(15).random_bytes(30_000)
+        chunks = cdc_chunks(data, 1024)
+        rebuilt = b"".join(data[c.offset : c.offset + c.length] for c in chunks)
+        assert rebuilt == data
+
+    def test_fingerprints_content_addressed(self):
+        data = DeterministicRandom(16).random_bytes(30_000)
+        chunks_a = cdc_chunks(data, 1024)
+        chunks_b = cdc_chunks(data, 1024)
+        assert [c.fingerprint for c in chunks_a] == [c.fingerprint for c in chunks_b]
+
+    def test_charges_chunking_and_hash(self):
+        meter = CostMeter()
+        data = DeterministicRandom(17).random_bytes(10_000)
+        cdc_chunks(data, 1024, meter=meter)
+        assert meter.bytes_by_category["cdc_chunking"] == len(data)
+        assert meter.bytes_by_category["dedup_hash"] == len(data)

@@ -1,0 +1,95 @@
+"""Property tests pinning the vectorized kernels to their references."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking._fast import (
+    all_offset_weak_checksums,
+    block_weak_checksums,
+    weak_checksum_np,
+)
+from repro.chunking.rolling import weak_checksum
+
+
+def _reference_weak(data: bytes) -> int:
+    a = 0
+    b = 0
+    n = len(data)
+    for i, byte in enumerate(data):
+        a += byte
+        b += (n - i) * byte
+    return ((b % (1 << 16)) << 16) | (a % (1 << 16))
+
+
+class TestWeakChecksumNp:
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=60)
+    def test_matches_reference(self, data):
+        assert weak_checksum_np(data) == _reference_weak(data)
+
+    def test_all_ff(self):
+        assert weak_checksum_np(b"\xff" * 1000) == _reference_weak(b"\xff" * 1000)
+
+
+class TestBlockWeakChecksums:
+    @given(
+        data=st.binary(max_size=2000),
+        block_size=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=60)
+    def test_each_block_matches(self, data, block_size):
+        checksums = block_weak_checksums(data, block_size)
+        expected = [
+            _reference_weak(data[i : i + block_size])
+            for i in range(0, len(data), block_size)
+        ]
+        assert checksums == expected
+
+    def test_empty(self):
+        assert block_weak_checksums(b"", 128) == []
+
+    def test_tail_block_handled(self):
+        data = b"q" * 257
+        checksums = block_weak_checksums(data, 128)
+        assert len(checksums) == 3
+        assert checksums[2] == _reference_weak(b"q")
+
+
+class TestAllOffsets:
+    @given(
+        data=st.binary(min_size=1, max_size=1200),
+        window=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=60)
+    def test_every_offset_matches(self, data, window):
+        out = all_offset_weak_checksums(data, window)
+        if len(data) < window:
+            assert out.size == 0
+            return
+        assert out.size == len(data) - window + 1
+        # spot-check ends and a middle offset (full check on small inputs)
+        offsets = (
+            range(out.size)
+            if out.size <= 64
+            else [0, 1, out.size // 2, out.size - 1]
+        )
+        for o in offsets:
+            assert int(out[o]) == _reference_weak(data[o : o + window]), o
+
+    def test_window_zero_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            all_offset_weak_checksums(b"abc", 0)
+
+    def test_large_input_no_overflow(self):
+        # all-0xff data maximizes intermediate sums; verify tail offsets
+        data = b"\xff" * 300_000
+        window = 4096
+        out = all_offset_weak_checksums(data, window)
+        assert int(out[-1]) == weak_checksum(data[-window:])
+        assert int(out[0]) == weak_checksum(data[:window])
+
+    def test_dtype_is_uint64(self):
+        out = all_offset_weak_checksums(b"abcdef", 3)
+        assert out.dtype == np.uint64

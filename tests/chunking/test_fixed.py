@@ -1,0 +1,67 @@
+"""Tests for fixed-size chunking (the rsync signature side)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.fixed import fixed_chunks
+from repro.chunking.rolling import weak_checksum
+from repro.chunking.strong import strong_checksum
+from repro.cost.meter import CostMeter
+
+
+class TestFixedChunks:
+    def test_covers_whole_file(self):
+        data = bytes(range(256)) * 10
+        chunks = fixed_chunks(data, 300)
+        assert sum(c.length for c in chunks) == len(data)
+        assert chunks[0].offset == 0
+        for prev, cur in zip(chunks, chunks[1:]):
+            assert cur.offset == prev.offset + prev.length
+
+    def test_checksums_correct(self):
+        data = b"hello world, this is block data" * 20
+        chunks = fixed_chunks(data, 100)
+        for chunk in chunks:
+            block = data[chunk.offset : chunk.offset + chunk.length]
+            assert chunk.weak == weak_checksum(block)
+            assert chunk.strong == strong_checksum(block)
+
+    def test_without_strong(self):
+        chunks = fixed_chunks(b"x" * 1000, 256, with_strong=False)
+        assert all(c.strong is None for c in chunks)
+
+    def test_strong_skipped_saves_cpu(self):
+        # the DeltaCFS optimization: no MD5 on the signature side
+        data = b"y" * 100_000
+        with_meter = CostMeter()
+        fixed_chunks(data, 4096, with_strong=True, meter=with_meter)
+        without_meter = CostMeter()
+        fixed_chunks(data, 4096, with_strong=False, meter=without_meter)
+        assert without_meter.by_category.get("strong_checksum", 0) == 0
+        assert with_meter.by_category["strong_checksum"] > 0
+        assert without_meter.total < with_meter.total
+
+    def test_empty_input(self):
+        assert fixed_chunks(b"", 4096) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            fixed_chunks(b"abc", 0)
+
+    def test_indices_sequential(self):
+        chunks = fixed_chunks(b"z" * 1050, 100)
+        assert [c.index for c in chunks] == list(range(11))
+
+    @given(
+        data=st.binary(min_size=1, max_size=3000),
+        block_size=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=40)
+    def test_property_reassembly(self, data, block_size):
+        chunks = fixed_chunks(data, block_size, with_strong=False)
+        rebuilt = b"".join(
+            data[c.offset : c.offset + c.length] for c in chunks
+        )
+        assert rebuilt == data
+        assert all(c.length <= block_size for c in chunks)
+        assert all(c.length == block_size for c in chunks[:-1])

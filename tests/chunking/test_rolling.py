@@ -1,0 +1,78 @@
+"""Tests for the rsync weak rolling checksum."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.rolling import RollingChecksum, weak_checksum
+from repro.cost.meter import CostMeter
+
+
+def _reference_weak(data: bytes) -> int:
+    """Byte-at-a-time reference implementation (Tridgell's definition)."""
+    a = 0
+    b = 0
+    n = len(data)
+    for i, byte in enumerate(data):
+        a += byte
+        b += (n - i) * byte
+    return ((b % (1 << 16)) << 16) | (a % (1 << 16))
+
+
+class TestWeakChecksum:
+    def test_empty(self):
+        assert weak_checksum(b"") == 0
+
+    def test_single_byte(self):
+        assert weak_checksum(b"\x01") == (1 << 16) | 1
+
+    def test_matches_reference_small(self):
+        data = bytes(range(200))
+        assert weak_checksum(data) == _reference_weak(data)
+
+    def test_fast_path_matches_reference(self):
+        # >512 bytes takes the numpy path; must be bit-identical
+        data = bytes((i * 37 + 11) % 256 for i in range(5000))
+        assert weak_checksum(data) == _reference_weak(data)
+
+    def test_is_32_bit(self):
+        data = b"\xff" * 10000
+        assert 0 <= weak_checksum(data) < (1 << 32)
+
+    def test_charges_meter(self):
+        meter = CostMeter()
+        weak_checksum(b"x" * 1000, meter)
+        assert meter.bytes_by_category["rolling_checksum"] == 1000
+
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_property_fast_equals_reference(self, data):
+        assert weak_checksum(data) == _reference_weak(data)
+
+
+class TestRolling:
+    def test_roll_matches_recompute(self):
+        data = bytes((i * 7 + 3) % 256 for i in range(500))
+        window = 64
+        rc = RollingChecksum(data[:window])
+        assert rc.value == weak_checksum(data[:window])
+        for i in range(1, len(data) - window + 1):
+            rc.roll(data[i - 1], data[i - 1 + window])
+            assert rc.value == weak_checksum(data[i : i + window]), i
+
+    def test_window_size_preserved(self):
+        rc = RollingChecksum(b"abcd")
+        assert rc.window_size == 4
+
+    def test_roll_is_o1_per_byte(self):
+        meter = CostMeter()
+        rc = RollingChecksum(b"ab" * 32, meter)
+        base = meter.bytes_by_category["rolling_checksum"]
+        rc.roll(ord("a"), ord("z"))
+        assert meter.bytes_by_category["rolling_checksum"] == base + 1
+
+    @given(st.binary(min_size=17, max_size=300))
+    @settings(max_examples=50)
+    def test_property_roll_equals_scratch(self, data):
+        window = 16
+        rc = RollingChecksum(data[:window])
+        for i in range(1, len(data) - window + 1):
+            rolled = rc.roll(data[i - 1], data[i - 1 + window])
+            assert rolled == weak_checksum(data[i : i + window])

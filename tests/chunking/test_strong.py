@@ -1,0 +1,40 @@
+"""Tests for metered strong checksums."""
+
+import hashlib
+
+from repro.chunking.strong import dedup_hash, strong_checksum
+from repro.cost.meter import CostMeter
+
+
+def test_strong_is_md5():
+    data = b"the strong checksum rsync confirms matches with"
+    assert strong_checksum(data) == hashlib.md5(data).digest()
+
+
+def test_dedup_is_sha256():
+    data = b"the dedup key for a 4MB unit"
+    assert dedup_hash(data) == hashlib.sha256(data).digest()
+
+
+def test_strong_charges_meter():
+    meter = CostMeter()
+    strong_checksum(b"x" * 4096, meter)
+    assert meter.bytes_by_category["strong_checksum"] == 4096
+
+
+def test_dedup_charges_meter():
+    meter = CostMeter()
+    dedup_hash(b"x" * 4096, meter)
+    assert meter.bytes_by_category["dedup_hash"] == 4096
+
+
+def test_strong_costs_more_than_rolling():
+    # the premise of the bitwise optimization
+    meter = CostMeter()
+    assert meter.profile.strong_checksum > meter.profile.rolling_checksum
+    assert meter.profile.strong_checksum > meter.profile.bitwise_compare
+
+
+def test_different_data_different_digest():
+    assert strong_checksum(b"a") != strong_checksum(b"b")
+    assert dedup_hash(b"a") != dedup_hash(b"b")

@@ -1,0 +1,43 @@
+"""Tests for virtual time."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(100.0).now() == 100.0
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(2.5)
+    assert clock.now() == 4.0
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock(1.0)
+    assert clock.advance(2.0) == 3.0
+
+
+def test_sleep_is_advance():
+    clock = VirtualClock()
+    clock.sleep(3.0)
+    assert clock.now() == 3.0
+
+
+def test_time_cannot_go_backwards():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_allowed():
+    clock = VirtualClock(5.0)
+    clock.advance(0.0)
+    assert clock.now() == 5.0

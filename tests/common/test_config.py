@@ -1,0 +1,54 @@
+"""Tests for configuration validation and paper defaults."""
+
+import pytest
+
+from repro.common.config import BaselineConfig, DeltaCFSConfig
+
+
+class TestPaperDefaults:
+    def test_block_size_is_4k(self):
+        assert DeltaCFSConfig().block_size == 4096
+
+    def test_relation_timeout_in_paper_range(self):
+        # "the period can be empirically set in a range of 1 to 3 seconds"
+        assert 1.0 <= DeltaCFSConfig().relation_timeout <= 3.0
+
+    def test_upload_delay_matches_figure6(self):
+        assert DeltaCFSConfig().upload_delay == 3.0
+
+    def test_inplace_threshold_is_half(self):
+        assert DeltaCFSConfig().inplace_delta_threshold == 0.5
+
+    def test_dropbox_parameters(self):
+        baselines = BaselineConfig()
+        assert baselines.dropbox_block_size == 4096
+        assert baselines.dropbox_dedup_size == 4 * 1024 * 1024
+
+    def test_seafile_chunk_is_1mb(self):
+        assert BaselineConfig().seafile_chunk_size == 1024 * 1024
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        DeltaCFSConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("block_size", 0),
+            ("block_size", -4096),
+            ("checksum_block_size", 0),
+            ("inplace_delta_threshold", 0.0),
+            ("inplace_delta_threshold", 1.5),
+            ("relation_timeout", 0.0),
+            ("upload_delay", -1.0),
+            ("sync_queue_capacity", 0),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        config = DeltaCFSConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_threshold_of_one_allowed(self):
+        DeltaCFSConfig(inplace_delta_threshold=1.0).validate()

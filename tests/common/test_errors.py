@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConflictError,
+    CorruptionDetected,
+    DeltaCFSError,
+    InconsistencyDetected,
+    NoSpaceError,
+    NotFoundError,
+    ProtocolError,
+    VersionMismatch,
+)
+
+
+def test_all_derive_from_base():
+    for exc_type in (
+        ConflictError,
+        CorruptionDetected,
+        InconsistencyDetected,
+        NoSpaceError,
+        NotFoundError,
+        ProtocolError,
+        VersionMismatch,
+    ):
+        assert issubclass(exc_type, DeltaCFSError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(DeltaCFSError):
+        raise CorruptionDetected("bad block", path="/f", block_index=3)
+
+
+def test_corruption_carries_location():
+    exc = CorruptionDetected("bad", path="/f", block_index=7)
+    assert exc.path == "/f"
+    assert exc.block_index == 7
+
+
+def test_conflict_carries_loser():
+    exc = ConflictError("conflict", path="/doc", losing_version="v")
+    assert exc.path == "/doc"
+    assert exc.losing_version == "v"
+
+
+def test_version_mismatch_carries_versions():
+    exc = VersionMismatch("stale", expected=1, actual=2)
+    assert exc.expected == 1
+    assert exc.actual == 2
+
+
+def test_inconsistency_carries_path():
+    assert InconsistencyDetected("torn", path="/db").path == "/db"

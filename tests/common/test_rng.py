@@ -1,0 +1,65 @@
+"""Tests for the deterministic random source."""
+
+from repro.common.rng import DeterministicRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(42)
+        b = DeterministicRandom(42)
+        assert a.random_bytes(100) == b.random_bytes(100)
+        assert a.randint(0, 1000) == b.randint(0, 1000)
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRandom(1)
+        b = DeterministicRandom(2)
+        assert a.random_bytes(64) != b.random_bytes(64)
+
+    def test_fork_is_stable(self):
+        # fork must not depend on PYTHONHASHSEED: two forks with the same
+        # label from equal parents produce identical streams
+        a = DeterministicRandom(7).fork("workload")
+        b = DeterministicRandom(7).fork("workload")
+        assert a.random_bytes(32) == b.random_bytes(32)
+
+    def test_fork_labels_independent(self):
+        parent = DeterministicRandom(7)
+        a = parent.fork("one")
+        b = parent.fork("two")
+        assert a.random_bytes(32) != b.random_bytes(32)
+
+    def test_fork_does_not_consume_parent(self):
+        a = DeterministicRandom(9)
+        before = DeterministicRandom(9).random_bytes(16)
+        a.fork("x")
+        assert a.random_bytes(16) == before
+
+
+class TestGeneration:
+    def test_random_bytes_length(self):
+        assert len(DeterministicRandom(0).random_bytes(1234)) == 1234
+
+    def test_text_bytes_length_and_charset(self):
+        text = DeterministicRandom(0).text_bytes(500)
+        assert len(text) == 500
+        assert all(b == ord(" ") or ord("a") <= b <= ord("z") for b in text)
+
+    def test_randint_bounds(self):
+        rng = DeterministicRandom(3)
+        values = [rng.randint(5, 10) for _ in range(200)]
+        assert min(values) >= 5 and max(values) <= 10
+        assert 5 in values and 10 in values  # inclusive both ends
+
+    def test_choice_and_shuffle(self):
+        rng = DeterministicRandom(4)
+        items = list(range(20))
+        assert rng.choice(items) in items
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRandom(5)
+        for _ in range(100):
+            v = rng.uniform(1.5, 2.5)
+            assert 1.5 <= v <= 2.5

@@ -1,0 +1,64 @@
+"""Tests for <CliID, VerCnt> version stamps."""
+
+import pytest
+
+from repro.common.version import GENESIS, VersionCounter, VersionStamp
+
+
+class TestVersionStamp:
+    def test_equality(self):
+        assert VersionStamp(1, 5) == VersionStamp(1, 5)
+        assert VersionStamp(1, 5) != VersionStamp(2, 5)
+        assert VersionStamp(1, 5) != VersionStamp(1, 6)
+
+    def test_hashable(self):
+        stamps = {VersionStamp(1, 1), VersionStamp(1, 1), VersionStamp(2, 1)}
+        assert len(stamps) == 2
+
+    def test_wire_size(self):
+        assert VersionStamp(1, 1).wire_size() == 8
+
+    def test_str(self):
+        assert str(VersionStamp(3, 7)) == "v<3,7>"
+
+    def test_genesis_is_none(self):
+        assert GENESIS is None
+
+    def test_ordering_is_lexicographic(self):
+        assert VersionStamp(1, 9) < VersionStamp(2, 1)
+        assert VersionStamp(1, 1) < VersionStamp(1, 2)
+
+
+class TestVersionCounter:
+    def test_monotonic(self):
+        counter = VersionCounter(client_id=4)
+        stamps = [counter.next() for _ in range(100)]
+        counters = [s.counter for s in stamps]
+        assert counters == sorted(counters)
+        assert len(set(stamps)) == 100
+
+    def test_carries_client_id(self):
+        counter = VersionCounter(client_id=9)
+        assert counter.next().client_id == 9
+
+    def test_distinct_clients_never_collide(self):
+        # the whole point of <CliID, VerCnt>: no coordination needed
+        a = VersionCounter(client_id=1)
+        b = VersionCounter(client_id=2)
+        stamps_a = {a.next() for _ in range(50)}
+        stamps_b = {b.next() for _ in range(50)}
+        assert not stamps_a & stamps_b
+
+    def test_current_tracks_last(self):
+        counter = VersionCounter(client_id=1)
+        counter.next()
+        counter.next()
+        assert counter.current == 2
+
+    def test_negative_client_rejected(self):
+        with pytest.raises(ValueError):
+            VersionCounter(client_id=-1)
+
+    def test_start_offset(self):
+        counter = VersionCounter(client_id=1, start=10)
+        assert counter.next().counter == 11

@@ -1,0 +1,8 @@
+"""Test bootstrap: make the src/ layout importable without installation."""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,123 @@
+"""Tests for the block checksum store (integrity + crash consistency)."""
+
+import pytest
+
+from repro.common.errors import CorruptionDetected, InconsistencyDetected
+from repro.core.checksum_store import ChecksumStore
+from repro.cost.meter import CostMeter
+
+BLOCK = 256
+
+
+@pytest.fixture
+def store():
+    return ChecksumStore(block_size=BLOCK)
+
+
+def _content(n, seed=0):
+    return bytes((i * 31 + seed) % 256 for i in range(n))
+
+
+class TestMaintenance:
+    def test_update_then_verify_clean(self, store):
+        content = _content(BLOCK * 4)
+        store.update_blocks("/f", content, 0, len(content))
+        store.verify_read("/f", content, 0, len(content))  # no raise
+
+    def test_partial_update_covers_touched_blocks_only(self, store):
+        content = _content(BLOCK * 4)
+        store.update_blocks("/f", content, BLOCK, 10)
+        assert store.blocks_of("/f") == [1]
+
+    def test_write_spanning_blocks(self, store):
+        content = _content(BLOCK * 4)
+        store.update_blocks("/f", content, BLOCK - 5, 10)
+        assert store.blocks_of("/f") == [0, 1]
+
+    def test_reindex_replaces_everything(self, store):
+        store.update_blocks("/f", _content(BLOCK * 4), 0, BLOCK * 4)
+        store.reindex("/f", _content(BLOCK * 2, seed=1))
+        assert store.blocks_of("/f") == [0, 1]
+
+    def test_rename_moves_checksums(self, store):
+        content = _content(BLOCK * 3)
+        store.reindex("/a", content)
+        store.rename("/a", "/b")
+        assert store.blocks_of("/a") == []
+        store.verify_read("/b", content, 0, len(content))
+
+    def test_drop(self, store):
+        store.reindex("/f", _content(BLOCK))
+        store.drop("/f")
+        assert store.blocks_of("/f") == []
+
+    def test_zero_length_update_noop(self, store):
+        store.update_blocks("/f", b"", 0, 0)
+        assert store.blocks_of("/f") == []
+
+
+class TestCorruptionDetection:
+    def test_flipped_bit_detected(self, store):
+        content = _content(BLOCK * 4)
+        store.reindex("/f", content)
+        corrupted = bytearray(content)
+        corrupted[BLOCK * 2 + 7] ^= 0x01
+        with pytest.raises(CorruptionDetected) as exc:
+            store.verify_read("/f", bytes(corrupted), BLOCK * 2, 10)
+        assert exc.value.block_index == 2
+
+    def test_corruption_outside_read_range_not_checked(self, store):
+        # read verification only covers the blocks actually read
+        content = _content(BLOCK * 4)
+        store.reindex("/f", content)
+        corrupted = bytearray(content)
+        corrupted[BLOCK * 3] ^= 0xFF
+        store.verify_read("/f", bytes(corrupted), 0, BLOCK)  # block 0: clean
+
+    def test_missing_checksum_is_corruption(self, store):
+        with pytest.raises(CorruptionDetected):
+            store.verify_read("/f", _content(BLOCK), 0, BLOCK)
+
+
+class TestCrashScan:
+    def test_clean_file_passes(self, store):
+        content = _content(BLOCK * 3 + 17)
+        store.reindex("/f", content)
+        store.verify_file("/f", content)
+
+    def test_torn_write_detected(self, store):
+        content = _content(BLOCK * 3)
+        store.reindex("/f", content)
+        torn = content[: BLOCK * 2] + b"\x00" * BLOCK
+        with pytest.raises(InconsistencyDetected):
+            store.verify_file("/f", torn)
+
+    def test_size_mismatch_detected(self, store):
+        content = _content(BLOCK * 3)
+        store.reindex("/f", content)
+        with pytest.raises(InconsistencyDetected):
+            store.verify_file("/f", content + b"extra-tail" * BLOCK)
+
+
+class TestCostModel:
+    def test_uses_rolling_not_strong(self):
+        # "we can reuse the rolling checksum in rsync as the block checksum"
+        meter = CostMeter()
+        store = ChecksumStore(block_size=BLOCK, meter=meter)
+        store.reindex("/f", _content(BLOCK * 8))
+        assert meter.by_category.get("strong_checksum", 0) == 0
+        assert meter.by_category["rolling_checksum"] > 0
+
+    def test_partial_update_cheaper_than_reindex(self):
+        content = _content(BLOCK * 64)
+        reindex_meter = CostMeter()
+        ChecksumStore(block_size=BLOCK, meter=reindex_meter).reindex("/f", content)
+        update_meter = CostMeter()
+        ChecksumStore(block_size=BLOCK, meter=update_meter).update_blocks(
+            "/f", content, 0, 10
+        )
+        assert update_meter.total < reindex_meter.total / 10
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            ChecksumStore(block_size=0)

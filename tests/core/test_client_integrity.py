@@ -1,0 +1,135 @@
+"""Tests for the client's integrity machinery (Section III-E)."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.config import DeltaCFSConfig
+from repro.common.errors import CorruptionDetected
+from repro.common.rng import DeterministicRandom
+from repro.core.client import DeltaCFSClient
+from repro.faults.crash import inject_crash_inconsistency, simulate_crash
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
+
+
+def build(config=None, with_server=True):
+    clock = VirtualClock()
+    server = CloudServer() if with_server else None
+    client = DeltaCFSClient(
+        MemoryFileSystem(),
+        server=server,
+        channel=Channel(),
+        clock=clock,
+        config=config,
+    )
+    return clock, client, server
+
+
+def settle(clock, client, seconds=6):
+    for _ in range(seconds):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+
+
+def _seed(client, clock, path="/f", size=64 * 1024):
+    content = DeterministicRandom(5).random_bytes(size)
+    client.create(path)
+    client.write(path, 0, content)
+    client.close(path)
+    settle(clock, client)
+    return content
+
+
+class TestCorruption:
+    def test_read_detects_and_recovers_from_cloud(self):
+        clock, client, server = build()
+        content = _seed(client, clock)
+        client.inner.corrupt("/f", 10_000)
+        data = client.read("/f", 0, None)
+        assert data == content  # recovered transparently
+        assert client.stats.corruptions_detected == 1
+        assert client.stats.recoveries == 1
+        assert client.inner.read_file("/f") == content  # local repaired
+
+    def test_detection_without_server_raises(self):
+        clock, client, _ = build(with_server=False)
+        client.create("/f")
+        client.write("/f", 0, b"d" * 8192)
+        client.close("/f")
+        client.inner.corrupt("/f", 100)
+        with pytest.raises(CorruptionDetected):
+            client.read("/f", 0, None)
+
+    def test_corruption_never_uploaded(self):
+        clock, client, server = build()
+        content = _seed(client, clock)
+        client.inner.corrupt("/f", 10_000)
+        # a user write elsewhere must not drag the corrupt block upstream
+        client.write("/f", 50_000, b"legit")
+        client.close("/f")
+        settle(clock, client)
+        server_content = server.file_content("/f")
+        assert server_content[10_000] == content[10_000]
+        assert server_content[50_000:50_005] == b"legit"
+
+    def test_checksums_disabled_is_blind(self):
+        config = DeltaCFSConfig(enable_checksums=False)
+        clock, client, server = build(config=config)
+        content = _seed(client, clock)
+        client.inner.corrupt("/f", 10_000)
+        data = client.read("/f", 0, None)  # no detection possible
+        assert data != content
+        assert client.stats.corruptions_detected == 0
+
+
+class TestCrashConsistency:
+    def test_scan_flags_torn_file(self):
+        clock, client, server = build()
+        _seed(client, clock)
+        client.write("/f", 1024, b"in-flight")
+        dirty = simulate_crash(client)
+        inject_crash_inconsistency(client.inner, "/f", seed=1)
+        bad = client.crash_recovery_scan(sorted(set(dirty) | {"/f"}))
+        assert bad == ["/f"]
+
+    def test_clean_crash_passes_scan(self):
+        clock, client, server = build()
+        _seed(client, clock)
+        client.write("/f", 1024, b"in-flight")
+        dirty = simulate_crash(client)
+        # writes that reached the FS match their checksums: no false alarm
+        bad = client.crash_recovery_scan(sorted(set(dirty) | {"/f"}))
+        assert bad == []
+
+    def test_recover_pulls_cloud_version(self):
+        clock, client, server = build()
+        content = _seed(client, clock)
+        client.write("/f", 1024, b"in-flight")
+        simulate_crash(client)
+        inject_crash_inconsistency(client.inner, "/f", seed=2)
+        restored = client.recover_file("/f")
+        assert restored == server.file_content("/f")
+        assert client.inner.read_file("/f") == restored
+        # the restored file passes a fresh scan
+        assert client.crash_recovery_scan(["/f"]) == []
+
+    def test_crash_loses_queue(self):
+        clock, client, server = build()
+        _seed(client, clock)
+        client.write("/f", 0, b"never-uploaded")
+        dirty = simulate_crash(client)
+        assert "/f" in dirty
+        assert len(client.queue) == 0
+
+    def test_scan_requires_checksums(self):
+        config = DeltaCFSConfig(enable_checksums=False)
+        clock, client, _ = build(config=config)
+        with pytest.raises(RuntimeError):
+            client.crash_recovery_scan(["/f"])
+
+    def test_scan_skips_missing_files(self):
+        clock, client, server = build()
+        _seed(client, clock)
+        assert client.crash_recovery_scan(["/ghost", "/f"]) == []

@@ -1,0 +1,302 @@
+"""End-to-end tests of the DeltaCFS client on the paper's update patterns."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.config import DeltaCFSConfig
+from repro.common.rng import DeterministicRandom
+from repro.core.client import DeltaCFSClient
+from repro.cost.meter import CostMeter
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
+
+
+def build(client_id=1, config=None):
+    clock = VirtualClock()
+    cm, sm = CostMeter(), CostMeter()
+    server = CloudServer(meter=sm)
+    channel = Channel(client_meter=cm, server_meter=sm)
+    client = DeltaCFSClient(
+        MemoryFileSystem(),
+        server=server,
+        channel=channel,
+        clock=clock,
+        meter=cm,
+        client_id=client_id,
+        config=config,
+    )
+    return clock, client, server, channel
+
+
+def settle(clock, client, seconds=6.0):
+    for _ in range(int(seconds)):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRandom(99)
+
+
+class TestInPlacePattern:
+    def test_small_write_ships_as_rpc(self, rng):
+        clock, client, server, channel = build()
+        base = rng.random_bytes(100_000)
+        client.create("/db")
+        client.write("/db", 0, base)
+        client.close("/db")
+        settle(clock, client)
+        before = channel.stats.up_bytes
+
+        client.write("/db", 5000, b"tiny update")
+        client.close("/db")
+        settle(clock, client)
+        assert server.file_content("/db") == base[:5000] + b"tiny update" + base[5011:]
+        assert channel.stats.up_bytes - before < 200
+        assert client.stats.deltas_kept == 0
+
+    def test_wechat_journal_cycle(self, rng):
+        clock, client, server, channel = build()
+        base = rng.random_bytes(50_000)
+        client.create("/db")
+        client.write("/db", 0, base)
+        client.close("/db")
+        settle(clock, client)
+
+        client.create("/db-journal")
+        client.write("/db-journal", 0, base[8192:12288])
+        patch = rng.random_bytes(4096)
+        client.write("/db", 8192, patch)
+        client.truncate("/db-journal", 0)
+        client.close("/db")
+        client.close("/db-journal")
+        settle(clock, client)
+        assert server.file_content("/db") == base[:8192] + patch + base[12288:]
+        assert server.file_content("/db-journal") == b""
+
+    def test_writes_coalesce_into_one_node(self, rng):
+        clock, client, server, channel = build()
+        client.create("/log")
+        for i in range(10):
+            client.write("/log", i * 10, b"0123456789")
+        client.close("/log")
+        settle(clock, client)
+        # ten contiguous writes become a single batched upload
+        assert client.stats.nodes_uploaded <= 2  # create + one write node
+        assert server.file_content("/log") == b"0123456789" * 10
+
+
+class TestTransactionalPattern:
+    def _word_save(self, client, old_path, new_content, tag):
+        t0, t1 = f"/t0-{tag}", f"/t1-{tag}"
+        client.rename(old_path, t0)
+        client.create(t1)
+        client.write(t1, 0, new_content)
+        client.close(t1)
+        client.rename(t1, old_path)
+        client.unlink(t0)
+
+    def test_word_dance_triggers_delta(self, rng):
+        clock, client, server, channel = build()
+        old = rng.random_bytes(200_000)
+        client.create("/doc")
+        client.write("/doc", 0, old)
+        client.close("/doc")
+        settle(clock, client)
+        before = channel.stats.up_bytes
+
+        new = old[:100_000] + rng.random_bytes(1000) + old[100_500:]
+        self._word_save(client, "/doc", new, "a")
+        settle(clock, client)
+        assert server.file_content("/doc") == new
+        assert client.stats.deltas_kept == 1
+        # delta, not the whole 200KB file
+        assert channel.stats.up_bytes - before < 25_000
+
+    def test_repeated_saves(self, rng):
+        clock, client, server, channel = build()
+        content = rng.random_bytes(100_000)
+        client.create("/doc")
+        client.write("/doc", 0, content)
+        client.close("/doc")
+        settle(clock, client)
+        for i in range(5):
+            content = content[:50_000] + rng.random_bytes(100) + content[50_100:]
+            self._word_save(client, "/doc", content, str(i))
+            settle(clock, client)
+        assert server.file_content("/doc") == content
+        assert client.stats.deltas_kept == 5
+        assert not any(r.status == "conflict" for r in server.apply_log)
+
+    def test_gedit_link_dance(self, rng):
+        clock, client, server, channel = build()
+        old = rng.random_bytes(80_000)
+        client.create("/notes")
+        client.write("/notes", 0, old)
+        client.close("/notes")
+        settle(clock, client)
+
+        new = old[:40_000] + b"EDIT!" + old[40_000:]
+        client.create("/.tmp123")
+        client.write("/.tmp123", 0, new)
+        client.close("/.tmp123")
+        client.link("/notes", "/notes~")
+        client.rename("/.tmp123", "/notes")
+        settle(clock, client)
+        assert server.file_content("/notes") == new
+        assert server.file_content("/notes~") == old
+        assert client.stats.deltas_kept == 1
+
+    def test_delete_then_rewrite(self, rng):
+        clock, client, server, channel = build()
+        old = rng.random_bytes(60_000)
+        client.create("/cfg")
+        client.write("/cfg", 0, old)
+        client.close("/cfg")
+        settle(clock, client)
+        before = channel.stats.up_bytes
+
+        new = old[:59_000] + rng.random_bytes(200)
+        client.unlink("/cfg")
+        client.create("/cfg")
+        client.write("/cfg", 0, new)
+        client.close("/cfg")
+        settle(clock, client)
+        assert server.file_content("/cfg") == new
+        assert client.stats.deltas_kept == 1
+        assert channel.stats.up_bytes - before < 15_000
+
+    def test_adaptivity_small_rewrite_keeps_rpc(self, rng):
+        # if the "new version" is almost entirely new bytes, the delta is
+        # not worth it and the write nodes ship as-is
+        clock, client, server, channel = build()
+        client.create("/doc")
+        client.write("/doc", 0, rng.random_bytes(50_000))
+        client.close("/doc")
+        settle(clock, client)
+
+        totally_new = rng.random_bytes(50_000)
+        client.rename("/doc", "/t0")
+        client.create("/t1")
+        client.write("/t1", 0, totally_new)
+        client.close("/t1")
+        client.rename("/t1", "/doc")
+        client.unlink("/t0")
+        settle(clock, client)
+        assert server.file_content("/doc") == totally_new
+        assert client.stats.deltas_triggered >= 1
+        assert client.stats.deltas_kept == 0  # delta lost the size contest
+
+
+class TestInPlaceCompression:
+    def test_large_inplace_update_compressed_via_undo(self, rng):
+        clock, client, server, channel = build()
+        old = rng.random_bytes(100_000)
+        client.create("/big")
+        client.write("/big", 0, old)
+        client.close("/big")
+        settle(clock, client)
+        before = channel.stats.up_bytes
+
+        # overwrite 80% with nearly-identical data (sparse real changes)
+        region = bytearray(old[:80_000])
+        for pos in range(0, 80_000, 20_000):
+            region[pos] ^= 0xFF
+        client.write("/big", 0, bytes(region))
+        client.close("/big")
+        settle(clock, client)
+        assert server.file_content("/big") == bytes(region) + old[80_000:]
+        assert client.stats.inplace_deltas == 1
+        assert channel.stats.up_bytes - before < 40_000  # not 80KB
+
+    def test_threshold_respected(self, rng):
+        clock, client, server, channel = build()
+        old = rng.random_bytes(100_000)
+        client.create("/big")
+        client.write("/big", 0, old)
+        client.close("/big")
+        settle(clock, client)
+
+        # 30% < default 50% threshold: no delta attempt
+        client.write("/big", 0, old[:30_000])
+        client.close("/big")
+        settle(clock, client)
+        assert client.stats.inplace_deltas == 0
+
+    def test_disabled_undo_log(self, rng):
+        config = DeltaCFSConfig(enable_undo_log=False)
+        clock, client, server, channel = build(config=config)
+        old = rng.random_bytes(50_000)
+        client.create("/f")
+        client.write("/f", 0, old)
+        client.close("/f")
+        settle(clock, client)
+        client.write("/f", 0, old)  # full overwrite
+        client.close("/f")
+        settle(clock, client)
+        assert client.stats.inplace_deltas == 0
+        assert server.file_content("/f") == old
+
+
+class TestAppendPattern:
+    def test_appends_ship_exactly_once(self, rng):
+        clock, client, server, channel = build()
+        client.create("/log")
+        total = b""
+        for _ in range(10):
+            chunk = rng.random_bytes(5000)
+            client.write("/log", len(total), chunk)
+            total += chunk
+            client.close("/log")
+            settle(clock, client, 4.0)
+        assert server.file_content("/log") == total
+        # traffic ~= payload (no rescans, no delta machinery)
+        assert channel.stats.up_bytes < len(total) * 1.1
+        assert client.stats.deltas_kept == 0
+
+
+class TestRelationHousekeeping:
+    def test_preserved_unlinked_file_gc_after_timeout(self, rng):
+        clock, client, server, channel = build()
+        client.create("/f")
+        client.write("/f", 0, b"x" * 1000)
+        client.close("/f")
+        settle(clock, client)
+        client.unlink("/f")
+        preserved = [
+            p
+            for p in client.inner.walk_files()
+            if p.startswith(client.config.tmp_dir)
+        ]
+        assert len(preserved) == 1
+        settle(clock, client, 5.0)  # relation expires
+        leftover = [
+            p
+            for p in client.inner.walk_files()
+            if p.startswith(client.config.tmp_dir)
+        ]
+        assert leftover == []
+
+    def test_unlink_of_never_synced_file_is_silent(self, rng):
+        # create a, delete a before upload: the cloud never hears about it
+        clock, client, server, channel = build()
+        client.create("/ephemeral")
+        client.write("/ephemeral", 0, b"gone soon")
+        client.unlink("/ephemeral")
+        settle(clock, client)
+        assert not server.store.exists("/ephemeral")
+        assert all(r.status == "applied" for r in server.apply_log)
+
+    def test_tmp_dir_not_synced(self, rng):
+        clock, client, server, channel = build()
+        client.create("/f")
+        client.write("/f", 0, b"data")
+        client.close("/f")
+        client.unlink("/f")
+        settle(clock, client)
+        assert not any(
+            p.startswith(client.config.tmp_dir) for p in server.store.paths()
+        )

@@ -1,0 +1,27 @@
+"""Tests for conflict-copy naming."""
+
+from repro.common.version import VersionStamp
+from repro.core.conflict import conflict_path
+
+
+def test_extension_preserved():
+    path = conflict_path("/docs/report.txt", VersionStamp(7, 42))
+    assert path.startswith("/docs/report (conflicted copy c7-42)")
+    assert path.endswith(".txt")
+
+
+def test_no_extension():
+    path = conflict_path("/data/blob", VersionStamp(1, 1))
+    assert path == "/data/blob (conflicted copy c1-1)"
+
+
+def test_distinct_versions_distinct_names():
+    a = conflict_path("/f.md", VersionStamp(1, 1))
+    b = conflict_path("/f.md", VersionStamp(1, 2))
+    c = conflict_path("/f.md", VersionStamp(2, 1))
+    assert len({a, b, c}) == 3
+
+
+def test_directory_preserved():
+    path = conflict_path("/deep/nested/dir/file.bin", VersionStamp(3, 9))
+    assert path.startswith("/deep/nested/dir/")

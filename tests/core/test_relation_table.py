@@ -1,0 +1,114 @@
+"""Tests for the Relation Table — the Table I rules."""
+
+import pytest
+
+from repro.core.relation_table import RelationTable
+
+
+@pytest.fixture
+def table():
+    return RelationTable(timeout=2.0)
+
+
+class TestEntryCreation:
+    def test_rename_creates_entry(self, table):
+        table.record_rename("/f", "/t0", now=0.0)
+        entries = table.entries()
+        assert len(entries) == 1
+        assert entries[0].src == "/f"
+        assert entries[0].dst == "/t0"
+        assert entries[0].origin == "rename"
+
+    def test_unlink_creates_entry(self, table):
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        entry = table.entries()[0]
+        assert entry.origin == "unlink"
+        assert entry.dst == "/.tmp/f"
+
+    def test_newer_entry_supersedes(self, table):
+        table.record_rename("/f", "/t0", now=0.0)
+        superseded = table.record_rename("/f", "/t1", now=0.5)
+        assert superseded.dst == "/t0"
+        assert len(table) == 1
+        assert table.entries()[0].dst == "/t1"
+
+
+class TestTriggering:
+    def test_create_matching_src_triggers(self, table):
+        # Figure 5(b): rename f->t0, then f created again
+        table.record_rename("/f", "/t0", now=0.0)
+        entry = table.match_created("/f", now=1.0)
+        assert entry is not None
+        assert entry.dst == "/t0"
+
+    def test_triggered_entry_removed(self, table):
+        # Table I: "Remove relation entry: 1) triggered delta encoding"
+        table.record_rename("/f", "/t0", now=0.0)
+        table.match_created("/f", now=1.0)
+        assert len(table) == 0
+        assert table.match_created("/f", now=1.1) is None
+
+    def test_non_matching_name_no_trigger(self, table):
+        table.record_rename("/f", "/t0", now=0.0)
+        assert table.match_created("/other", now=1.0) is None
+        assert len(table) == 1
+
+    def test_expired_entry_does_not_trigger(self, table):
+        # "a file update by operating system usually can be done within 1
+        # second" — stale entries must not fire
+        table.record_rename("/f", "/t0", now=0.0)
+        assert table.match_created("/f", now=5.0) is None
+
+    def test_trigger_exactly_at_timeout_boundary(self, table):
+        table.record_rename("/f", "/t0", now=0.0)
+        assert table.match_created("/f", now=2.0) is not None
+
+
+class TestExpiry:
+    def test_expire_removes_old(self, table):
+        table.record_rename("/a", "/a0", now=0.0)
+        table.record_rename("/b", "/b0", now=3.0)
+        expired = table.expire(now=4.0)
+        assert [e.src for e in expired] == ["/a"]
+        assert len(table) == 1
+
+    def test_expire_returns_unlink_entries_for_gc(self, table):
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        expired = table.expire(now=10.0)
+        assert expired[0].origin == "unlink"
+        assert expired[0].dst == "/.tmp/f"
+
+    def test_nothing_expires_early(self, table):
+        table.record_rename("/a", "/a0", now=0.0)
+        assert table.expire(now=1.0) == []
+
+
+class TestInvalidation:
+    def test_writing_preserved_copy_kills_entry(self, table):
+        # the "dst exists (unchanged)" invariant
+        table.record_rename("/f", "/t0", now=0.0)
+        doomed = table.invalidate_dst("/t0")
+        assert [e.src for e in doomed] == ["/f"]
+        assert table.match_created("/f", now=0.5) is None
+
+    def test_invalidate_unrelated_path_noop(self, table):
+        table.record_rename("/f", "/t0", now=0.0)
+        assert table.invalidate_dst("/elsewhere") == []
+        assert len(table) == 1
+
+
+class TestValidation:
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            RelationTable(timeout=0.0)
+
+    def test_word_sequence_end_to_end(self, table):
+        # full Figure 3 Word sequence at the table level
+        table.record_rename("/f", "/t0", now=0.0)  # 1 rename f t0
+        # 2-3 create-write t1 (no table interaction)
+        assert table.match_created("/t1", now=0.1) is None
+        entry = table.match_created("/f", now=0.4)  # 4 rename t1 f
+        assert entry is not None and entry.dst == "/t0"
+        # 5 delete t0: creates a fresh (harmless) entry
+        table.record_unlink("/t0", "/.tmp/t0", now=0.5)
+        assert table.expire(now=10.0)[0].src == "/t0"

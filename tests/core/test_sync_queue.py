@@ -1,0 +1,264 @@
+"""Tests for the Sync Queue: write nodes, packing, backindex, FIFO upload."""
+
+import pytest
+
+from repro.common.version import VersionStamp
+from repro.core.sync_queue import (
+    DeltaNode,
+    MetaNode,
+    SyncQueue,
+    TruncateNode,
+    WriteNode,
+)
+from repro.delta.format import Delta, Literal
+
+
+def _queue(delay=3.0, capacity=100):
+    return SyncQueue(upload_delay=delay, capacity=capacity)
+
+
+def _write_node(path="/f", **kwargs):
+    return WriteNode(path=path, **kwargs)
+
+
+class TestWriteNodes:
+    def test_writes_attach_to_active_node(self):
+        q = _queue()
+        node = q.enqueue(_write_node(), now=0.0)
+        node.add_write(0, b"aa")
+        node.add_write(2, b"bb")
+        assert q.active_write_node("/f") is node
+        assert node.payload_bytes() == 4
+
+    def test_packed_node_rejects_writes(self):
+        node = _write_node()
+        node.pack()
+        with pytest.raises(ValueError):
+            node.add_write(0, b"x")
+
+    def test_pack_clears_hash_table(self):
+        q = _queue()
+        q.enqueue(_write_node(), now=0.0)
+        packed = q.pack("/f")
+        assert packed is not None and packed.packed
+        assert q.active_write_node("/f") is None
+
+    def test_pack_missing_returns_none(self):
+        assert _queue().pack("/nope") is None
+
+    def test_recreated_file_gets_fresh_node(self):
+        # Section III-B: rename-away + recreate must not reuse the node
+        q = _queue()
+        first = q.enqueue(_write_node(), now=0.0)
+        first.add_write(0, b"old")
+        q.pack("/f")
+        second = q.enqueue(_write_node(), now=0.1)
+        second.add_write(0, b"new")
+        assert q.active_write_node("/f") is second
+        assert first is not second
+
+
+class TestMergedWrites:
+    def test_disjoint_runs(self):
+        node = _write_node()
+        node.add_write(0, b"aa")
+        node.add_write(10, b"bb")
+        assert node.merged_writes() == [(0, b"aa"), (10, b"bb")]
+
+    def test_adjacent_coalesce(self):
+        node = _write_node()
+        node.add_write(0, b"aa")
+        node.add_write(2, b"bb")
+        assert node.merged_writes() == [(0, b"aabb")]
+
+    def test_overlap_later_wins(self):
+        node = _write_node()
+        node.add_write(0, b"aaaa")
+        node.add_write(2, b"BB")
+        assert node.merged_writes() == [(0, b"aaBB")]
+
+    def test_overwrite_completely(self):
+        node = _write_node()
+        node.add_write(0, b"xxxx")
+        node.add_write(0, b"yyyy")
+        assert node.merged_writes() == [(0, b"yyyy")]
+
+    def test_empty(self):
+        assert _write_node().merged_writes() == []
+
+
+class TestFifoUpload:
+    def test_nothing_before_delay(self):
+        q = _queue(delay=3.0)
+        q.enqueue(MetaNode(path="/f", kind="create"), now=0.0)
+        assert q.next_unit(now=1.0) is None
+
+    def test_due_after_delay(self):
+        q = _queue(delay=3.0)
+        q.enqueue(MetaNode(path="/f", kind="create"), now=0.0)
+        unit = q.next_unit(now=3.5)
+        assert unit is not None
+        assert not unit.transactional
+        assert unit.single.kind == "create"
+
+    def test_fifo_order(self):
+        q = _queue(delay=0.0)
+        q.enqueue(MetaNode(path="/a", kind="create"), now=0.0)
+        q.enqueue(MetaNode(path="/b", kind="create"), now=0.0)
+        assert q.next_unit(1.0).single.path == "/a"
+        assert q.next_unit(1.0).single.path == "/b"
+
+    def test_head_blocks_tail(self):
+        # strict FIFO: a not-yet-due head holds everything behind it
+        q = _queue(delay=3.0)
+        q.enqueue(MetaNode(path="/late", kind="create"), now=10.0)
+        q.enqueue(MetaNode(path="/early", kind="create"), now=0.0)
+        assert q.next_unit(now=11.0) is None
+
+    def test_unpacked_write_node_packs_at_upload(self):
+        q = _queue(delay=1.0)
+        node = q.enqueue(_write_node(), now=0.0)
+        node.add_write(0, b"x")
+        unit = q.next_unit(now=2.0)
+        assert unit.single is node
+        assert node.packed
+        assert q.active_write_node("/f") is None
+
+    def test_drain_all_ignores_delay(self):
+        q = _queue(delay=1000.0)
+        q.enqueue(MetaNode(path="/a", kind="create"), now=0.0)
+        q.enqueue(MetaNode(path="/b", kind="create"), now=0.0)
+        units = q.drain_all(now=0.0)
+        assert len(units) == 2
+        assert len(q) == 0
+
+
+class TestDeltaReplacement:
+    def test_replace_removes_and_appends(self):
+        q = _queue(delay=0.0)
+        wn = q.enqueue(_write_node("/t1"), now=0.0)
+        wn.add_write(0, b"big" * 100)
+        rename = q.enqueue(MetaNode(path="/t1", kind="rename", dest="/f"), now=0.1)
+        dn = DeltaNode(path="/f", delta=Delta.from_ops([Literal(b"small")]))
+        q.replace_with_delta([wn], dn, now=0.2)
+        assert wn.seq not in [n.seq for n in q.nodes()]
+        assert q.nodes()[-1] is dn
+
+    def test_replacement_creates_span_over_intervening(self):
+        q = _queue(delay=0.0)
+        wn = q.enqueue(_write_node("/t1"), now=0.0)
+        wn.add_write(0, b"data")
+        q.enqueue(MetaNode(path="/t1", kind="rename", dest="/f"), now=0.1)
+        dn = DeltaNode(path="/f")
+        q.replace_with_delta([wn], dn, now=0.2)
+        spans = q.spans()
+        assert len(spans) == 1
+        start, end = spans[0]
+        assert start == wn.seq and end == dn.seq
+
+    def test_span_uploads_as_transaction(self):
+        q = _queue(delay=0.0)
+        wn = q.enqueue(_write_node("/t1"), now=0.0)
+        wn.add_write(0, b"data")
+        rename = q.enqueue(MetaNode(path="/t1", kind="rename", dest="/f"), now=0.0)
+        dn = DeltaNode(path="/f")
+        q.replace_with_delta([wn], dn, now=0.0)
+        unit = q.next_unit(now=1.0)
+        assert unit.transactional
+        assert unit.nodes == [rename, dn]
+        assert len(q) == 0
+
+    def test_span_waits_for_all_members_due(self):
+        q = _queue(delay=3.0)
+        wn = q.enqueue(_write_node("/t1"), now=0.0)
+        wn.add_write(0, b"d")
+        q.enqueue(MetaNode(path="/t1", kind="rename", dest="/f"), now=0.0)
+        dn = DeltaNode(path="/f")
+        q.replace_with_delta([wn], dn, now=5.0)  # delta enqueued late
+        assert q.next_unit(now=6.0) is None  # delta not due yet
+        assert q.next_unit(now=8.5) is not None
+
+    def test_interleaved_spans_merge(self):
+        # Section III-E: "If there is interleaving between two backindexes,
+        # we merge them"
+        q = _queue(delay=0.0)
+        w1 = q.enqueue(_write_node("/a"), now=0.0)
+        w1.add_write(0, b"1")
+        w2 = q.enqueue(_write_node("/b"), now=0.0)
+        w2.add_write(0, b"2")
+        m = q.enqueue(MetaNode(path="/x", kind="create"), now=0.0)
+        d1 = DeltaNode(path="/a")
+        q.replace_with_delta([w1], d1, now=0.0)
+        d2 = DeltaNode(path="/b")
+        q.replace_with_delta([w2], d2, now=0.0)
+        assert len(q.spans()) == 1
+        unit = q.next_unit(now=1.0)
+        assert unit.transactional
+        assert set(n.seq for n in unit.nodes) == {m.seq, d1.seq, d2.seq}
+
+
+class TestCancellation:
+    def test_cancel_create_chain(self):
+        # create a, create b, create c, delete a (Section III-E example)
+        q = _queue(delay=0.0)
+        ca = q.enqueue(MetaNode(path="/a", kind="create"), now=0.0)
+        cb = q.enqueue(MetaNode(path="/b", kind="create"), now=0.0)
+        cc = q.enqueue(MetaNode(path="/c", kind="create"), now=0.0)
+        q.cancel_nodes([ca])
+        # b and c must now ship transactionally (no prefix shows b without c
+        # in any state "a" could have been observed in)
+        unit = q.next_unit(now=1.0)
+        assert unit.transactional
+        assert [n.path for n in unit.nodes] == ["/b", "/c"]
+
+    def test_cancel_tail_leaves_no_span(self):
+        q = _queue(delay=0.0)
+        ca = q.enqueue(MetaNode(path="/a", kind="create"), now=0.0)
+        q.cancel_nodes([ca])
+        assert q.spans() == []
+        assert q.next_unit(now=1.0) is None
+
+
+class TestMutationBackindex:
+    def test_write_to_non_tail_node_creates_span(self):
+        # Figure 7: batching writes onto an older node
+        q = _queue(delay=0.0)
+        wn = q.enqueue(_write_node("/a"), now=0.0)
+        wn.add_write(0, b"1")
+        tail = q.enqueue(MetaNode(path="/b", kind="create"), now=0.0)
+        q.note_mutation(wn)
+        wn.add_write(1, b"2")
+        assert q.spans() == [(wn.seq, tail.seq)]
+
+    def test_mutating_tail_no_span(self):
+        q = _queue(delay=0.0)
+        wn = q.enqueue(_write_node("/a"), now=0.0)
+        q.note_mutation(wn)
+        assert q.spans() == []
+
+
+class TestBookkeeping:
+    def test_queued_bytes(self):
+        q = _queue()
+        wn = q.enqueue(_write_node(), now=0.0)
+        wn.add_write(0, b"x" * 100)
+        tn = q.enqueue(TruncateNode(path="/f", length=0), now=0.0)
+        assert q.queued_bytes() == 100
+
+    def test_full_flag(self):
+        q = _queue(capacity=2)
+        assert not q.full
+        q.enqueue(MetaNode(path="/a", kind="create"), now=0.0)
+        q.enqueue(MetaNode(path="/b", kind="create"), now=0.0)
+        assert q.full
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SyncQueue(capacity=0)
+
+    def test_pending_nodes_by_path(self):
+        q = _queue()
+        q.enqueue(MetaNode(path="/a", kind="create"), now=0.0)
+        q.enqueue(MetaNode(path="/b", kind="create"), now=0.0)
+        q.enqueue(MetaNode(path="/a", kind="unlink"), now=0.0)
+        assert [n.kind for n in q.pending_nodes("/a")] == ["create", "unlink"]

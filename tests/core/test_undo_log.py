@@ -1,0 +1,101 @@
+"""Tests for physical undo logging."""
+
+from repro.core.undo_log import UndoLog
+from repro.cost.meter import CostMeter
+
+
+def _record(log, path, offset, data, old_content):
+    """Helper mirroring what the client does before a write."""
+    old_size = len(old_content)
+    overlap_end = min(offset + len(data), old_size)
+    old_slice = old_content[offset:overlap_end] if offset < old_size else b""
+    log.record_write(path, offset, len(data), old_slice, old_size)
+
+
+class TestReconstruction:
+    def test_single_overwrite(self):
+        log = UndoLog()
+        old = b"the quick brown fox"
+        new = b"the SLOW  brown fox"
+        _record(log, "/f", 4, b"SLOW ", old)
+        assert log.reconstruct_old("/f", new) == old
+
+    def test_multiple_overlapping_writes(self):
+        log = UndoLog()
+        content = bytearray(b"0123456789")
+        original = bytes(content)
+        for offset, data in [(2, b"AB"), (3, b"XY"), (0, b"zz")]:
+            _record(log, "/f", offset, data, bytes(content))
+            content[offset : offset + len(data)] = data
+        assert log.reconstruct_old("/f", bytes(content)) == original
+
+    def test_append_recorded_but_not_preserved(self):
+        log = UndoLog()
+        old = b"base"
+        _record(log, "/f", 4, b"tail", old)
+        assert log.reconstruct_old("/f", b"basetail") == old
+
+    def test_truncation_to_base_size(self):
+        # reconstructed old version has exactly the pre-update length
+        log = UndoLog()
+        old = b"abcdef"
+        _record(log, "/f", 0, b"XYZ", old)
+        _record(log, "/f", 6, b"grown", old)
+        assert log.reconstruct_old("/f", b"XYZdefgrown") == old
+
+    def test_no_log_returns_current(self):
+        log = UndoLog()
+        assert log.reconstruct_old("/f", b"whatever") == b"whatever"
+
+
+class TestChangedFraction:
+    def test_zero_for_fresh_file(self):
+        # appends to an empty file must not look like in-place churn
+        log = UndoLog()
+        _record(log, "/f", 0, b"x" * 100, b"")
+        assert log.changed_fraction("/f") == 0.0
+
+    def test_appends_beyond_base_dont_count(self):
+        log = UndoLog()
+        old = b"x" * 100
+        _record(log, "/f", 100, b"y" * 900, old)
+        assert log.changed_fraction("/f") == 0.0
+
+    def test_full_overwrite_is_one(self):
+        log = UndoLog()
+        old = b"x" * 100
+        _record(log, "/f", 0, b"y" * 100, old)
+        assert log.changed_fraction("/f") == 1.0
+
+    def test_partial(self):
+        log = UndoLog()
+        old = b"x" * 100
+        _record(log, "/f", 0, b"y" * 30, old)
+        assert abs(log.changed_fraction("/f") - 0.3) < 1e-9
+
+    def test_unknown_path_zero(self):
+        assert UndoLog().changed_fraction("/nope") == 0.0
+
+
+class TestLifecycle:
+    def test_clear(self):
+        log = UndoLog()
+        _record(log, "/f", 0, b"x", b"old")
+        log.clear("/f")
+        assert not log.has_log("/f")
+        assert log.reconstruct_old("/f", b"x") == b"x"
+
+    def test_per_path_isolation(self):
+        log = UndoLog()
+        _record(log, "/a", 0, b"x", b"old-a")
+        _record(log, "/b", 0, b"y", b"old-b")
+        log.clear("/a")
+        assert log.has_log("/b")
+
+    def test_copy_out_charged_as_memcpy(self):
+        # "the data to be copied out are usually already cached in memory"
+        meter = CostMeter()
+        log = UndoLog(meter=meter)
+        _record(log, "/f", 0, b"x" * 1000, b"o" * 1000)
+        assert meter.bytes_by_category["write_io"] == 1000
+        assert meter.by_category.get("scan_read", 0) == 0

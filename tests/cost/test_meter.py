@@ -1,0 +1,87 @@
+"""Tests for CPU-tick metering."""
+
+import pytest
+
+from repro.cost.meter import CostMeter, NULL_METER
+from repro.cost.profile import MOBILE_PROFILE, PC_PROFILE
+
+
+class TestCharging:
+    def test_per_byte_charge(self):
+        meter = CostMeter()
+        ticks = meter.charge_bytes("rolling_checksum", 1024 * 1024)
+        assert ticks == pytest.approx(PC_PROFILE.rolling_checksum)
+        assert meter.total == pytest.approx(ticks)
+
+    def test_accumulates_by_category(self):
+        meter = CostMeter()
+        meter.charge_bytes("encrypt", 100)
+        meter.charge_bytes("encrypt", 200)
+        assert meter.bytes_by_category["encrypt"] == 300
+
+    def test_op_overhead(self):
+        meter = CostMeter()
+        meter.charge_ops(10)
+        assert meter.total == pytest.approx(10 * PC_PROFILE.op_overhead)
+
+    def test_negative_rejected(self):
+        meter = CostMeter()
+        with pytest.raises(ValueError):
+            meter.charge_bytes("encrypt", -1)
+        with pytest.raises(ValueError):
+            meter.charge_ops(-1)
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.charge_bytes("compress", 1000)
+        meter.reset()
+        assert meter.total == 0.0
+        assert meter.by_category == {}
+
+    def test_merge(self):
+        a, b = CostMeter(), CostMeter()
+        a.charge_bytes("encrypt", 100)
+        b.charge_bytes("encrypt", 200)
+        b.charge_bytes("compress", 50)
+        a.merge(b)
+        assert a.bytes_by_category["encrypt"] == 300
+        assert a.bytes_by_category["compress"] == 50
+
+    def test_unknown_category_raises(self):
+        meter = CostMeter()
+        with pytest.raises(AttributeError):
+            meter.charge_bytes("not_a_category", 10)
+
+
+class TestNullMeter:
+    def test_discards_everything(self):
+        NULL_METER.charge_bytes("encrypt", 1_000_000)
+        NULL_METER.charge_ops(1000)
+        assert NULL_METER.total == 0.0
+
+    def test_still_validates(self):
+        with pytest.raises(ValueError):
+            NULL_METER.charge_bytes("encrypt", -1)
+
+
+class TestProfiles:
+    def test_mobile_scales_everything_up(self):
+        assert MOBILE_PROFILE.rolling_checksum > PC_PROFILE.rolling_checksum
+        assert MOBILE_PROFILE.network_send > PC_PROFILE.network_send
+
+    def test_relative_costs_match_paper_premises(self):
+        # strong checksum (MD5) must dominate; bitwise compare must be the
+        # cheapest; CDC cheaper than rolling+strong (Seafile < Dropbox)
+        p = PC_PROFILE
+        assert p.strong_checksum > p.rolling_checksum > p.bitwise_compare
+        assert p.cdc_chunking < p.rolling_checksum + p.strong_checksum
+
+    def test_scaled_profile_has_name(self):
+        scaled = PC_PROFILE.scaled(2.0, name="double")
+        assert scaled.name == "double"
+        assert scaled.encrypt == pytest.approx(PC_PROFILE.encrypt * 2)
+
+    def test_per_byte_helper(self):
+        assert PC_PROFILE.per_byte("encrypt", 1024 * 1024) == pytest.approx(
+            PC_PROFILE.encrypt
+        )

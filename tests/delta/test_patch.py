@@ -1,0 +1,54 @@
+"""Tests for delta application (the server side)."""
+
+import pytest
+
+from repro.cost.meter import CostMeter
+from repro.delta.format import Copy, Delta, Literal
+from repro.delta.patch import apply_delta
+
+
+def test_literal_only():
+    delta = Delta.from_ops([Literal(b"hello")])
+    assert apply_delta(b"", delta) == b"hello"
+
+
+def test_copy_only():
+    delta = Delta.from_ops([Copy(2, 3)])
+    assert apply_delta(b"abcdef", delta) == b"cde"
+
+
+def test_interleaved():
+    delta = Delta.from_ops([Copy(0, 3), Literal(b"-X-"), Copy(3, 3)])
+    assert apply_delta(b"abcdef", delta) == b"abc-X-def"
+
+
+def test_copy_out_of_range_rejected():
+    delta = Delta.from_ops([Copy(4, 10)])
+    with pytest.raises(ValueError):
+        apply_delta(b"abcdef", delta)
+
+
+def test_negative_copy_rejected():
+    delta = Delta()
+    delta.ops.append(Copy(-1, 2))
+    delta.target_size = 2
+    with pytest.raises(ValueError):
+        apply_delta(b"abcdef", delta)
+
+
+def test_size_mismatch_rejected():
+    delta = Delta.from_ops([Literal(b"abc")])
+    delta.target_size = 99  # tamper
+    with pytest.raises(ValueError):
+        apply_delta(b"", delta)
+
+
+def test_charges_apply_cost():
+    meter = CostMeter()
+    delta = Delta.from_ops([Literal(b"x" * 1000)])
+    apply_delta(b"", delta, meter=meter)
+    assert meter.bytes_by_category["apply_delta"] == 1000
+
+
+def test_empty_delta_empty_output():
+    assert apply_delta(b"base", Delta()) == b""

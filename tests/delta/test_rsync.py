@@ -1,0 +1,147 @@
+"""Tests for the classic rsync pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import DeterministicRandom
+from repro.cost.meter import CostMeter
+from repro.delta.format import Copy, Literal
+from repro.delta.patch import apply_delta
+from repro.delta.rsync import compute_delta, compute_signature, rsync_delta
+
+BLOCK = 1024
+
+
+def _rng(seed=1):
+    return DeterministicRandom(seed)
+
+
+class TestSignature:
+    def test_only_full_blocks_signed(self):
+        sig = compute_signature(b"x" * (BLOCK * 3 + 100), BLOCK)
+        assert len(sig.blocks) == 3
+
+    def test_wire_size_scales_with_blocks(self):
+        small = compute_signature(b"x" * BLOCK, BLOCK)
+        large = compute_signature(b"x" * (BLOCK * 10), BLOCK)
+        assert large.wire_size() > small.wire_size()
+
+    def test_weak_index_groups_duplicates(self):
+        data = b"A" * BLOCK * 3  # identical blocks share a weak sum
+        sig = compute_signature(data, BLOCK)
+        index = sig.weak_index()
+        assert len(index) == 1
+        assert len(next(iter(index.values()))) == 3
+
+    def test_without_strong_has_none(self):
+        sig = compute_signature(b"x" * BLOCK * 2, BLOCK, with_strong=False)
+        assert all(b.strong is None for b in sig.blocks)
+
+
+class TestComputeDelta:
+    def test_identical_files_all_copy(self):
+        data = _rng(2).random_bytes(BLOCK * 8)
+        delta = rsync_delta(data, data, BLOCK)
+        assert delta.literal_bytes == 0
+        assert delta.copied_bytes == len(data)
+        assert apply_delta(data, delta) == data
+
+    def test_completely_different_all_literal(self):
+        old = _rng(3).random_bytes(BLOCK * 4)
+        new = _rng(4).random_bytes(BLOCK * 4)
+        delta = rsync_delta(old, new, BLOCK)
+        assert delta.copied_bytes == 0
+        assert apply_delta(old, delta) == new
+
+    def test_shifted_content_found(self):
+        # rsync's defining property: matches at any byte offset
+        old = _rng(5).random_bytes(BLOCK * 8)
+        new = b"\x99" * 17 + old  # shift by 17 bytes
+        delta = rsync_delta(old, new, BLOCK)
+        assert delta.copied_bytes >= BLOCK * 7
+        assert delta.literal_bytes <= BLOCK + 17
+        assert apply_delta(old, delta) == new
+
+    def test_middle_edit(self):
+        old = _rng(6).random_bytes(BLOCK * 10)
+        new = old[: BLOCK * 4] + b"EDIT" + old[BLOCK * 4 + 4 :]
+        delta = rsync_delta(old, new, BLOCK)
+        assert apply_delta(old, delta) == new
+        assert delta.literal_bytes <= BLOCK * 2
+
+    def test_deletion(self):
+        old = _rng(7).random_bytes(BLOCK * 10)
+        new = old[: BLOCK * 3] + old[BLOCK * 5 :]
+        delta = rsync_delta(old, new, BLOCK)
+        assert apply_delta(old, delta) == new
+        assert delta.copied_bytes >= BLOCK * 7
+
+    def test_empty_target(self):
+        delta = rsync_delta(b"x" * BLOCK * 2, b"", BLOCK)
+        assert delta.ops == []
+        assert apply_delta(b"x" * BLOCK * 2, delta) == b""
+
+    def test_empty_base(self):
+        new = _rng(8).random_bytes(BLOCK * 2)
+        delta = rsync_delta(b"", new, BLOCK)
+        assert delta.literal_bytes == len(new)
+        assert apply_delta(b"", delta) == new
+
+    def test_local_mode_requires_base_or_strong(self):
+        sig = compute_signature(b"x" * BLOCK, BLOCK, with_strong=False)
+        with pytest.raises(ValueError):
+            compute_delta(sig, b"y" * BLOCK)
+
+    def test_weak_collision_resolved_by_strong(self):
+        # two different blocks engineered to share a weak checksum: swap two
+        # bytes (weak sum 'a' is order-independent within same positions...
+        # simplest: permute bytes so sum parts collide rarely; instead make
+        # blocks that differ but verify apply correctness regardless)
+        old = b"ab" * (BLOCK // 2) + b"ba" * (BLOCK // 2)
+        new = b"ba" * (BLOCK // 2) + b"ab" * (BLOCK // 2)
+        delta = rsync_delta(old, new, BLOCK)
+        assert apply_delta(old, delta) == new
+
+
+class TestCosts:
+    def test_remote_charges_strong_checksums(self):
+        old = _rng(9).random_bytes(BLOCK * 20)
+        new = old[: BLOCK * 10] + b"!" + old[BLOCK * 10 :]
+        meter = CostMeter()
+        rsync_delta(old, new, BLOCK, meter=meter)
+        assert meter.by_category["strong_checksum"] > 0
+        assert meter.by_category["rolling_checksum"] > 0
+
+    def test_scan_charges_rolling_over_target(self):
+        old = _rng(10).random_bytes(BLOCK * 4)
+        new = _rng(11).random_bytes(BLOCK * 4)
+        meter = CostMeter()
+        rsync_delta(old, new, BLOCK, meter=meter)
+        # signature rolls over old, scan rolls over new: >= both
+        assert meter.bytes_by_category["rolling_checksum"] >= len(old) + len(new)
+
+
+class TestProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        edits=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_random_edits(self, seed, edits):
+        rng = DeterministicRandom(seed)
+        old = rng.random_bytes(rng.randint(0, 8 * BLOCK))
+        new = bytearray(old)
+        for _ in range(edits):
+            if not new:
+                new.extend(rng.random_bytes(100))
+                continue
+            kind = rng.randint(0, 2)
+            pos = rng.randint(0, len(new) - 1)
+            if kind == 0:  # replace
+                new[pos : pos + 10] = rng.random_bytes(10)
+            elif kind == 1:  # insert
+                new[pos:pos] = rng.random_bytes(rng.randint(1, 200))
+            else:  # delete
+                del new[pos : pos + rng.randint(1, 100)]
+        delta = rsync_delta(old, bytes(new), BLOCK)
+        assert apply_delta(old, delta) == bytes(new)

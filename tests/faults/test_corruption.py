@@ -1,0 +1,53 @@
+"""Tests for corruption injection."""
+
+import pytest
+
+from repro.faults.corruption import corrupt_random_block, flip_bit
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.watcher import WatchedFileSystem, Watcher
+
+
+def test_flip_bit_changes_exactly_one_bit():
+    fs = MemoryFileSystem()
+    fs.write_file("/f", bytes(100))
+    flip_bit(fs, "/f", 42, bit=3)
+    data = fs.read_file("/f")
+    assert data[42] == 1 << 3
+    assert sum(data) == 1 << 3  # nothing else changed
+
+
+def test_flip_is_invisible_to_watchers():
+    # the defining property: corruption bypasses the operation path
+    watcher = Watcher()
+    fs = MemoryFileSystem()
+    watched = WatchedFileSystem(fs, watcher)
+    watched.create("/f")
+    watched.write("/f", 0, bytes(100))
+    n = len(watcher.events)
+    flip_bit(fs, "/f", 10)
+    assert len(watcher.events) == n
+
+
+def test_invalid_bit_rejected():
+    fs = MemoryFileSystem()
+    fs.write_file("/f", bytes(10))
+    with pytest.raises(ValueError):
+        flip_bit(fs, "/f", 0, bit=8)
+
+
+def test_corrupt_random_block_reports_block():
+    fs = MemoryFileSystem()
+    original = bytes(100_000)
+    fs.write_file("/f", original)
+    block = corrupt_random_block(fs, "/f", seed=3, block_size=4096)
+    data = fs.read_file("/f")
+    changed = [i for i in range(len(data)) if data[i] != original[i]]
+    assert len(changed) == 1
+    assert changed[0] // 4096 == block
+
+
+def test_empty_file_rejected():
+    fs = MemoryFileSystem()
+    fs.write_file("/f", b"")
+    with pytest.raises(ValueError):
+        corrupt_random_block(fs, "/f")

@@ -1,0 +1,90 @@
+"""Fast-mode smoke tests of the experiment drivers.
+
+The benchmarks assert the paper's shapes at full scale; these verify the
+drivers are runnable and directionally sane at reduced op counts, so a
+plain ``pytest tests/`` exercises the whole harness quickly.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    MOBILE_SOLUTIONS,
+    PC_SOLUTIONS,
+    bench_traces,
+    fig2_dropsync_mobile,
+    fig8_network_pc,
+    fig9_network_mobile,
+    table2_cpu,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8_results():
+    return {(r.trace, r.solution): r for r in fig8_network_pc(fast=True)}
+
+
+class TestBenchTraces:
+    def test_four_traces(self):
+        traces = bench_traces(fast=True)
+        assert set(traces) == {"append_write", "random_write", "word", "wechat"}
+
+    def test_fast_smaller_than_full(self):
+        fast = bench_traces(fast=True)
+        full = bench_traces(fast=False)
+        for name in fast:
+            assert len(fast[name][0].ops) < len(full[name][0].ops)
+
+
+class TestFig8Fast(object):
+    def test_all_cells_present(self, fig8_results):
+        assert len(fig8_results) == 4 * len(PC_SOLUTIONS)
+
+    def test_deltacfs_never_worst(self, fig8_results):
+        for trace in ("append_write", "random_write", "word", "wechat"):
+            uploads = {
+                s: fig8_results[(trace, s)].up_bytes for s in PC_SOLUTIONS
+            }
+            assert uploads["deltacfs"] < max(uploads.values()), trace
+
+    def test_word_shape(self, fig8_results):
+        word = {s: fig8_results[("word", s)] for s in PC_SOLUTIONS}
+        assert word["deltacfs"].up_bytes < word["dropbox"].up_bytes
+        assert word["nfs"].down_bytes > 0.5 * word["nfs"].up_bytes
+
+
+class TestTable2Fast:
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for r in table2_cpu(fast=True):
+            out[(r.extra.get("setting", "pc"), r.trace, r.solution)] = r
+        return out
+
+    def test_row_count(self, results):
+        assert len(results) == 4 * len(PC_SOLUTIONS) + 4 * len(MOBILE_SOLUTIONS)
+
+    def test_deltacfs_cheapest_cloud_client(self, results):
+        for trace in ("append_write", "random_write", "word", "wechat"):
+            deltacfs = results[("pc", trace, "deltacfs")].client_ticks
+            assert deltacfs < results[("pc", trace, "dropbox")].client_ticks
+            assert deltacfs < results[("pc", trace, "seafile")].client_ticks
+
+    def test_mobile_rows_marked(self, results):
+        assert ("mobile", "word", "fullsync") in results
+
+
+class TestFig9Fast:
+    def test_dropsync_dominates(self):
+        results = {(r.trace, r.solution): r for r in fig9_network_mobile(fast=True)}
+        for trace in ("append_write", "word"):
+            assert (
+                results[(trace, "fullsync")].up_bytes
+                > results[(trace, "deltacfs")].up_bytes
+            )
+
+
+class TestFig2Fast:
+    def test_tue_terrible(self):
+        result = fig2_dropsync_mobile(fast=True)
+        assert result.tue > 10
+        assert result.total_traffic > result.update_bytes

@@ -1,0 +1,77 @@
+"""Tests for the Table III latency model."""
+
+import pytest
+
+from repro.harness.microbench import STACKS, LatencyModel, run_microbench
+from repro.workloads.filebench import fileserver_ops, varmail_ops, webserver_ops
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name, ops in [
+        ("fileserver", fileserver_ops()),
+        ("varmail", varmail_ops()),
+        ("webserver", webserver_ops()),
+    ]:
+        out[name] = {s: run_microbench(name, ops, s) for s in STACKS}
+    return out
+
+
+class TestTable3Shapes:
+    def test_fileserver_ordering(self, results):
+        r = results["fileserver"]
+        # native ~ FUSE > DeltaCFS > DeltaCFSc (paper: 116 / 114.7 / 78.3 / 66.9)
+        assert abs(r["native"].mb_per_s - r["fuse"].mb_per_s) < 0.15 * r["native"].mb_per_s
+        assert r["deltacfs"].mb_per_s < 0.85 * r["fuse"].mb_per_s
+        assert r["deltacfsc"].mb_per_s < r["deltacfs"].mb_per_s
+
+    def test_varmail_fuse_beats_native(self, results):
+        # paper: 5.5 native vs 6.5 FUSE (cache + writeback batching)
+        r = results["varmail"]
+        assert r["fuse"].mb_per_s > r["native"].mb_per_s
+
+    def test_varmail_deltacfs_drop(self, results):
+        r = results["varmail"]
+        ratio = r["deltacfs"].mb_per_s / r["fuse"].mb_per_s
+        assert 0.5 < ratio < 0.9  # paper: 4.6/6.5 = 0.71
+
+    def test_varmail_checksums_free(self, results):
+        # "this latency is not a problem for Varmail"
+        r = results["varmail"]
+        assert r["deltacfsc"].mb_per_s > 0.95 * r["deltacfs"].mb_per_s
+
+    def test_webserver_all_equal(self, results):
+        # paper: 18.8 / 19.6 / 19.6 / 19.5
+        r = results["webserver"]
+        assert r["fuse"].mb_per_s > r["native"].mb_per_s
+        assert abs(r["deltacfs"].mb_per_s - r["fuse"].mb_per_s) < 0.05 * r["fuse"].mb_per_s
+        assert r["deltacfsc"].mb_per_s > 0.9 * r["fuse"].mb_per_s
+
+
+class TestMechanics:
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ValueError):
+            run_microbench("x", [], "ext9")
+
+    def test_bytes_moved_consistent_across_stacks(self, results):
+        for workload in results.values():
+            moved = {r.bytes_moved for r in workload.values()}
+            assert len(moved) == 1
+
+    def test_deltacfs_stack_actually_runs_client(self):
+        # a nonsense op stream must fail loudly, proving ops execute
+        from repro.workloads.filebench import FilebenchOp
+
+        ops = [FilebenchOp("append", "/fset/never-created", size=10)]
+        with pytest.raises(Exception):
+            run_microbench("bad", ops, "deltacfs")
+
+    def test_custom_model_respected(self):
+        ops = fileserver_ops(operations=50)
+        slow = LatencyModel(write_bandwidth=1e6)
+        fast = LatencyModel(write_bandwidth=1e9)
+        assert (
+            run_microbench("f", ops, "native", model=slow).mb_per_s
+            < run_microbench("f", ops, "native", model=fast).mb_per_s
+        )

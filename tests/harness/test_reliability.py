@@ -1,0 +1,52 @@
+"""Tests for the Table IV reliability scenarios."""
+
+import pytest
+
+from repro.harness.reliability import (
+    causal_order_test,
+    corruption_test,
+    crash_inconsistency_test,
+)
+
+
+class TestTable4:
+    """Each cell of Table IV, as an assertion."""
+
+    def test_dropbox_uploads_corruption(self):
+        assert corruption_test("dropbox") == "upload"
+
+    def test_seafile_uploads_corruption(self):
+        assert corruption_test("seafile") == "upload"
+
+    def test_deltacfs_detects_corruption(self):
+        assert corruption_test("deltacfs") == "detect"
+
+    def test_dropbox_uploads_inconsistency(self):
+        assert crash_inconsistency_test("dropbox") == "upload"
+
+    def test_seafile_uploads_inconsistency(self):
+        assert crash_inconsistency_test("seafile") == "upload"
+
+    def test_deltacfs_detects_inconsistency(self):
+        assert crash_inconsistency_test("deltacfs") == "detect"
+
+    def test_dropbox_violates_causal_order(self):
+        assert causal_order_test("dropbox") is False
+
+    def test_seafile_violates_causal_order(self):
+        assert causal_order_test("seafile") is False
+
+    def test_deltacfs_preserves_causal_order(self):
+        assert causal_order_test("deltacfs") is True
+
+
+def test_table4_full(capfd):
+    from repro.harness.experiments import table4_reliability
+
+    outcomes = {o.service: o for o in table4_reliability()}
+    assert outcomes["deltacfs"].corrupted == "detect"
+    assert outcomes["deltacfs"].inconsistent == "detect"
+    assert outcomes["deltacfs"].causal_order == "Y"
+    for baseline in ("dropbox", "seafile"):
+        assert outcomes[baseline].corrupted == "upload"
+        assert outcomes[baseline].causal_order == "N"

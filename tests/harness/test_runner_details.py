@@ -1,0 +1,57 @@
+"""Additional runner/harness detail tests."""
+
+import pytest
+
+from repro.cost.profile import MOBILE_PROFILE, PC_PROFILE
+from repro.harness.runner import build_system, run_trace
+from repro.net.transport import MOBILE_NETWORK, PC_NETWORK
+from repro.workloads.generators import append_write_trace
+
+
+class TestProfiles:
+    def test_mobile_profile_raises_client_cost(self):
+        trace = append_write_trace(scale=64, appends=4)
+        pc = run_trace("deltacfs", trace, profile=PC_PROFILE, network=PC_NETWORK)
+        mobile = run_trace(
+            "deltacfs", trace, profile=MOBILE_PROFILE, network=MOBILE_NETWORK
+        )
+        assert mobile.client_ticks > 5 * pc.client_ticks
+        # ...but the bytes on the wire are identical
+        assert mobile.up_bytes == pc.up_bytes
+
+    def test_deltacfs_server_meter_stays_pc(self):
+        # the cloud runs on servers, not on the phone
+        system = build_system("deltacfs", profile=MOBILE_PROFILE)
+        assert system.server_meter.profile.name == "pc"
+        assert system.client_meter.profile.name == "mobile"
+
+
+class TestScaledGranularities:
+    def test_dedup_and_chunk_sizes_plumbed(self):
+        system = build_system(
+            "dropbox", dropbox_dedup_size=128 * 1024, seafile_chunk_size=999
+        )
+        assert system.client.dedup_size == 128 * 1024
+        system = build_system("seafile", seafile_chunk_size=64 * 1024)
+        assert system.client.chunk_size == 64 * 1024
+
+    def test_nfs_channel_unencrypted(self):
+        system = build_system("nfs")
+        assert system.channel.model.encrypted is False
+
+    def test_cloud_sync_channels_encrypted(self):
+        for name in ("deltacfs", "dropbox", "seafile", "fullsync"):
+            assert build_system(name).channel.model.encrypted is True
+
+
+class TestRunResultFields:
+    def test_duration_positive(self):
+        trace = append_write_trace(scale=64, appends=3)
+        result = run_trace("deltacfs", trace)
+        assert result.duration > trace.duration  # includes settle time
+
+    def test_update_bytes_carried(self):
+        trace = append_write_trace(scale=64, appends=3)
+        result = run_trace("nfs", trace)
+        assert result.update_bytes == trace.stats.update_bytes
+        assert 0.5 < result.tue < 2.0  # NFS ships ~exactly the update

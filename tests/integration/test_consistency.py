@@ -1,0 +1,144 @@
+"""Causal-consistency integration tests (paper Section III-E).
+
+The invariant: at any pump boundary, the set of files the cloud holds is
+one that *could* have existed locally under the application's operation
+order — no effect is visible before its causes.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.config import DeltaCFSConfig
+from repro.core.client import DeltaCFSClient
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
+
+
+def build(upload_delay=3.0):
+    clock = VirtualClock()
+    server = CloudServer()
+    client = DeltaCFSClient(
+        MemoryFileSystem(),
+        server=server,
+        channel=Channel(),
+        clock=clock,
+        config=DeltaCFSConfig(upload_delay=upload_delay),
+    )
+    return clock, client, server
+
+
+def test_photo_before_thumbnail():
+    # the paper's anomaly example: a thumbnail must never exist on the
+    # cloud before its photo
+    clock, client, server = build()
+    client.create("/photo.jpg")
+    client.write("/photo.jpg", 0, b"P" * 50_000)
+    client.close("/photo.jpg")
+    clock.advance(1.0)
+    client.pump()
+    client.create("/photo.thumb")
+    client.write("/photo.thumb", 0, b"t" * 500)
+    client.close("/photo.thumb")
+
+    seen_states = []
+    for _ in range(12):
+        clock.advance(0.7)
+        client.pump()
+        seen_states.append(set(server.store.paths()))
+    for state in seen_states:
+        if "/photo.thumb" in state:
+            assert "/photo.jpg" in state
+
+
+def test_create_abc_delete_a_example():
+    # Section III-E verbatim: "create a, create b, create c, delete a.
+    # If a is deleted from Sync Queue before it is uploaded, it is
+    # possible for the cloud to only have b without a and c, which is
+    # impossible for a strict FIFO queue."
+    clock, client, server = build(upload_delay=5.0)
+    for path in ("/a", "/b", "/c"):
+        client.create(path)
+        client.write(path, 0, b"data-" + path.encode())
+        client.close(path)
+        clock.advance(0.2)
+        client.pump()
+    client.unlink("/a")  # cancels a's pending nodes
+
+    observed = []
+    for _ in range(30):
+        clock.advance(0.5)
+        client.pump()
+        observed.append(frozenset(server.store.paths()))
+    client.flush()
+    observed.append(frozenset(server.store.paths()))
+
+    # legal states: {}, or {b, c} (+ final); never "b without c"
+    for state in observed:
+        named = {p for p in state if p in ("/a", "/b", "/c")}
+        assert named in (frozenset(), frozenset({"/b", "/c"})), named
+
+
+def test_db_and_index_atomic_via_backindex():
+    # object data created before it is indexed in the tabular file: the
+    # delta replacement groups them so the cloud never sees the index
+    # without the object
+    clock, client, server = build(upload_delay=4.0)
+    client.create("/object.bin")
+    client.write("/object.bin", 0, b"O" * 10_000)
+    client.close("/object.bin")
+    client.create("/index.db")
+    client.write("/index.db", 0, b"I" * 30_000)
+    client.close("/index.db")
+    for _ in range(10):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+
+    # update: object extended, then index rewritten transactionally
+    client.write("/object.bin", 10_000, b"N" * 2_000)
+    client.close("/object.bin")
+    new_index = b"J" * 30_500
+    client.rename("/index.db", "/index.db.bak")
+    client.create("/index.tmp")
+    client.write("/index.tmp", 0, new_index)
+    client.close("/index.tmp")
+    client.rename("/index.tmp", "/index.db")
+    client.unlink("/index.db.bak")
+
+    states = []
+    for _ in range(16):
+        clock.advance(0.5)
+        client.pump()
+        states.append(
+            (
+                len(server.file_content("/object.bin")),
+                server.file_content("/index.db")
+                if server.store.exists("/index.db")
+                else None,
+            )
+        )
+    client.flush()
+    # whenever the new index is visible, the extended object must be too
+    for object_len, index in states:
+        if index == new_index:
+            assert object_len == 12_000
+
+
+def test_fifo_strictness_across_files():
+    clock, client, server = build(upload_delay=2.0)
+    order = []
+    for i in range(8):
+        path = f"/f{i}"
+        client.create(path)
+        client.write(path, 0, bytes([i]) * (1000 * (8 - i)))  # big first
+        client.close(path)
+        order.append(path)
+        clock.advance(0.1)
+    for _ in range(12):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+    first_touch = []
+    for path in server.upload_order:
+        if path in order and path not in first_touch:
+            first_touch.append(path)
+    assert first_touch == order

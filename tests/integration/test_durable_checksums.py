@@ -1,0 +1,107 @@
+"""Crash-and-restart with a durable checksum store (the LevelDB role).
+
+The in-memory tests in ``tests/core`` simulate crashes by resetting the
+client's volatile structures; here the process-restart story is played out
+for real: a fresh client instance reopens the WAL-backed KV and runs the
+post-crash sweep against checksums written by its predecessor.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.core.client import DeltaCFSClient
+from repro.faults.crash import inject_crash_inconsistency
+from repro.kvstore import LogStructuredKV
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
+
+
+def _make_client(fs, server, kv_path):
+    kv = LogStructuredKV(kv_path)
+    client = DeltaCFSClient(
+        fs,
+        server=server,
+        channel=Channel(),
+        clock=VirtualClock(),
+        checksum_kv=kv,
+    )
+    return client, kv
+
+
+def _settle(client, seconds=6):
+    for _ in range(seconds):
+        client.clock.advance(1.0)
+        client.pump()
+    client.flush()
+
+
+def test_sweep_after_real_restart(tmp_path):
+    kv_path = str(tmp_path / "checksums.wal")
+    fs = MemoryFileSystem()  # the "disk" survives the restart
+    server = CloudServer()
+
+    client, kv = _make_client(fs, server, kv_path)
+    content = bytes(range(256)) * 200
+    client.create("/db")
+    client.write("/db", 0, content)
+    client.close("/db")
+    _settle(client)
+    server.unregister_client(client.client_id)
+    kv.close()  # process exits
+
+    # the crash damages the file while nothing is running
+    inject_crash_inconsistency(fs, "/db", seed=3)
+
+    reborn, kv = _make_client(fs, server, kv_path)
+    try:
+        bad = reborn.crash_recovery_scan(["/db"])
+        assert bad == ["/db"]
+        restored = reborn.recover_file("/db")
+        assert restored == content
+        assert reborn.crash_recovery_scan(["/db"]) == []
+    finally:
+        kv.close()
+
+
+def test_clean_restart_passes_sweep(tmp_path):
+    kv_path = str(tmp_path / "checksums.wal")
+    fs = MemoryFileSystem()
+    server = CloudServer()
+
+    client, kv = _make_client(fs, server, kv_path)
+    client.create("/f")
+    client.write("/f", 0, b"steady state" * 1000)
+    client.close("/f")
+    _settle(client)
+    server.unregister_client(client.client_id)
+    kv.close()
+
+    reborn, kv = _make_client(fs, server, kv_path)
+    try:
+        assert reborn.crash_recovery_scan(["/f"]) == []
+    finally:
+        kv.close()
+
+
+def test_checksums_survive_torn_wal_tail(tmp_path):
+    kv_path = str(tmp_path / "checksums.wal")
+    fs = MemoryFileSystem()
+    server = CloudServer()
+
+    client, kv = _make_client(fs, server, kv_path)
+    client.create("/f")
+    client.write("/f", 0, b"x" * 20_000)
+    client.close("/f")
+    _settle(client)
+    server.unregister_client(client.client_id)
+    kv.close()
+
+    # the crash tore the WAL's final record
+    with open(kv_path, "ab") as fh:
+        fh.write(b"\x30\x00\x00\x00partial")
+
+    reborn, kv = _make_client(fs, server, kv_path)
+    try:
+        # recovery dropped the torn tail; intact checksums still verify
+        assert reborn.crash_recovery_scan(["/f"]) == []
+    finally:
+        kv.close()

@@ -1,0 +1,150 @@
+"""End-to-end scenarios spanning several subsystems at once."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.config import DeltaCFSConfig
+from repro.common.rng import DeterministicRandom
+from repro.core.client import DeltaCFSClient
+from repro.core.sync_queue import DeltaNode, WriteNode
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.workloads import gedit_trace, wechat_trace, word_trace
+from repro.workloads.traces import replay
+
+
+def build(config=None):
+    clock = VirtualClock()
+    server = CloudServer()
+    client = DeltaCFSClient(
+        MemoryFileSystem(),
+        server=server,
+        channel=Channel(),
+        clock=clock,
+        config=config,
+    )
+    return clock, client, server
+
+
+def run_trace_through(client, clock, trace):
+    for path, content in trace.preload.items():
+        client.create(path)
+        if content:
+            client.write(path, 0, content)
+        client.close(path)
+    for _ in range(8):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+    replay(trace, client, clock, pump=lambda now: client.pump(now))
+    for _ in range(8):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+
+
+def _synced_local_files(client):
+    tmp = client.config.tmp_dir
+    return {
+        p: client.inner.read_file(p)
+        for p in client.inner.walk_files()
+        if not p.startswith(tmp)
+    }
+
+
+@pytest.mark.parametrize(
+    "trace_factory",
+    [
+        lambda: word_trace(scale=64, saves=6),
+        lambda: wechat_trace(scale=64, modifications=12),
+        lambda: gedit_trace(saves=6, file_size=50_000),
+    ],
+    ids=["word", "wechat", "gedit"],
+)
+def test_trace_converges_byte_identical(trace_factory):
+    trace = trace_factory()
+    clock, client, server = build()
+    run_trace_through(client, clock, trace)
+    local = _synced_local_files(client)
+    cloud = {
+        p: server.file_content(p)
+        for p in server.store.paths()
+        if "conflicted copy" not in p
+    }
+    assert cloud == local
+    assert all(r.status == "applied" for r in server.apply_log)
+
+
+def test_word_trace_uses_deltas_not_full_uploads():
+    trace = word_trace(scale=64, saves=6)
+    clock, client, server = build()
+    run_trace_through(client, clock, trace)
+    assert client.stats.deltas_kept == 6
+
+
+def test_wechat_trace_stays_on_rpc_path():
+    trace = wechat_trace(scale=64, modifications=12)
+    clock, client, server = build()
+    run_trace_through(client, clock, trace)
+    assert client.stats.deltas_kept == 0  # small in-place writes: pure RPC
+
+
+def test_queue_node_types_by_pattern():
+    # observe the queue mid-flight: word saves produce delta nodes, wechat
+    # modifications produce write nodes
+    clock, client, server = build(DeltaCFSConfig(upload_delay=1e6))
+    content = DeterministicRandom(1).random_bytes(50_000)
+    client.create("/doc")
+    client.write("/doc", 0, content)
+    client.close("/doc")
+    client.flush()
+
+    new = content[:10_000] + b"~" + content[10_000:]
+    client.rename("/doc", "/t0")
+    client.create("/t1")
+    client.write("/t1", 0, new)
+    client.close("/t1")
+    client.rename("/t1", "/doc")
+    kinds = {type(n).__name__ for n in client.queue.nodes()}
+    assert "DeltaNode" in kinds
+    assert not any(
+        isinstance(n, WriteNode) and n.path in ("/t1", "/doc")
+        for n in client.queue.nodes()
+    )
+
+
+def test_deep_directory_tree_sync():
+    clock, client, server = build()
+    client.mkdir("/a")
+    client.mkdir("/a/b")
+    client.mkdir("/a/b/c")
+    client.create("/a/b/c/deep.txt")
+    client.write("/a/b/c/deep.txt", 0, b"nested")
+    client.close("/a/b/c/deep.txt")
+    for _ in range(6):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+    assert server.file_content("/a/b/c/deep.txt") == b"nested"
+    assert "/a/b/c" in server.dirs
+
+
+def test_many_files_interleaved():
+    clock, client, server = build()
+    rng = DeterministicRandom(2)
+    contents = {}
+    for i in range(20):
+        path = f"/file{i:02d}.dat"
+        contents[path] = rng.random_bytes(rng.randint(100, 5000))
+        client.create(path)
+        client.write(path, 0, contents[path])
+        if i % 3 == 0:
+            clock.advance(1.5)
+            client.pump()
+    for _ in range(6):
+        clock.advance(1.0)
+        client.pump()
+    client.flush()
+    for path, content in contents.items():
+        assert server.file_content(path) == content

@@ -1,0 +1,135 @@
+"""Tests for the LevelDB-substitute key-value stores."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kvstore.kv import LogStructuredKV, MemoryKV
+
+
+@pytest.fixture(params=["memory", "log"])
+def kv(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryKV()
+    else:
+        store = LogStructuredKV(str(tmp_path / "kv.log"))
+        yield store
+        store.close()
+
+
+class TestContract:
+    def test_get_missing(self, kv):
+        assert kv.get(b"nope") is None
+
+    def test_put_get(self, kv):
+        kv.put(b"k", b"v")
+        assert kv.get(b"k") == b"v"
+
+    def test_overwrite(self, kv):
+        kv.put(b"k", b"v1")
+        kv.put(b"k", b"v2")
+        assert kv.get(b"k") == b"v2"
+
+    def test_delete(self, kv):
+        kv.put(b"k", b"v")
+        kv.delete(b"k")
+        assert kv.get(b"k") is None
+
+    def test_delete_missing_is_idempotent(self, kv):
+        kv.delete(b"ghost")  # must not raise
+
+    def test_items_ordered(self, kv):
+        for key in (b"c", b"a", b"b"):
+            kv.put(key, key)
+        assert [k for k, _ in kv.items()] == [b"a", b"b", b"c"]
+
+    def test_prefix_iteration(self, kv):
+        kv.put(b"file1\x00block0", b"x")
+        kv.put(b"file1\x00block1", b"y")
+        kv.put(b"file2\x00block0", b"z")
+        assert len(list(kv.items(b"file1\x00"))) == 2
+
+    def test_delete_prefix(self, kv):
+        for i in range(5):
+            kv.put(f"p{i}".encode(), b"v")
+        kv.put(b"q", b"v")
+        assert kv.delete_prefix(b"p") == 5
+        assert len(kv) == 1
+
+    def test_empty_value(self, kv):
+        kv.put(b"k", b"")
+        assert kv.get(b"k") == b""
+
+    def test_len(self, kv):
+        for i in range(7):
+            kv.put(str(i).encode(), b"v")
+        assert len(kv) == 7
+
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=12), st.binary(max_size=20), max_size=30
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_dict(self, mapping):
+        kv = MemoryKV()
+        for key, value in mapping.items():
+            kv.put(key, value)
+        for key, value in mapping.items():
+            assert kv.get(key) == value
+        assert len(kv) == len(mapping)
+
+
+class TestPersistence:
+    def test_reopen_recovers(self, tmp_path):
+        path = str(tmp_path / "d.log")
+        with LogStructuredKV(path) as kv:
+            kv.put(b"a", b"1")
+            kv.put(b"b", b"2")
+            kv.delete(b"a")
+        with LogStructuredKV(path) as kv:
+            assert kv.get(b"a") is None
+            assert kv.get(b"b") == b"2"
+
+    def test_compaction_preserves_state(self, tmp_path):
+        path = str(tmp_path / "d.log")
+        with LogStructuredKV(path) as kv:
+            for i in range(50):
+                kv.put(b"hot", str(i).encode())
+            kv.compact()
+            assert kv.get(b"hot") == b"49"
+        with LogStructuredKV(path) as kv:
+            assert kv.get(b"hot") == b"49"
+
+    def test_auto_compaction_bounds_file(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "d.log")
+        with LogStructuredKV(path, auto_compact_ratio=2.0) as kv:
+            for i in range(2000):
+                kv.put(b"k", b"v" * 50)
+        # 2000 x ~60B records would be ~120KB without compaction
+        assert os.path.getsize(path) < 20_000
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "d.log")
+        with LogStructuredKV(path) as kv:
+            kv.put(b"good", b"data")
+        with open(path, "ab") as fh:
+            fh.write(b"\x40\x00\x00\x00garbage-partial-record")
+        with LogStructuredKV(path) as kv:
+            assert kv.get(b"good") == b"data"
+            # and the store is writable again after recovery
+            kv.put(b"new", b"x")
+        with LogStructuredKV(path) as kv:
+            assert kv.get(b"new") == b"x"
+
+    def test_corrupt_middle_record_stops_replay_there(self, tmp_path):
+        path = str(tmp_path / "d.log")
+        with LogStructuredKV(path) as kv:
+            kv.put(b"first", b"1")
+            kv.put(b"second", b"2")
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF  # corrupt somewhere in record 2
+        open(path, "wb").write(bytes(data))
+        with LogStructuredKV(path) as kv:
+            assert kv.get(b"first") == b"1"

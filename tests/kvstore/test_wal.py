@@ -1,0 +1,67 @@
+"""Tests for the write-ahead log record format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kvstore import wal
+
+
+def test_round_trip_single():
+    buf = wal.encode_record(wal.PUT, b"key", b"value")
+    records = list(wal.iter_records(buf))
+    assert records == [(wal.PUT, b"key", b"value")]
+
+
+def test_round_trip_sequence():
+    buf = wal.encode_record(wal.PUT, b"a", b"1") + wal.encode_record(
+        wal.DELETE, b"a"
+    )
+    assert list(wal.iter_records(buf)) == [
+        (wal.PUT, b"a", b"1"),
+        (wal.DELETE, b"a", b""),
+    ]
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        wal.encode_record(99, b"k", b"v")
+
+
+def test_torn_tail_dropped():
+    good = wal.encode_record(wal.PUT, b"k", b"v")
+    torn = good + wal.encode_record(wal.PUT, b"x", b"y")[:-3]
+    assert list(wal.iter_records(torn)) == [(wal.PUT, b"k", b"v")]
+
+
+def test_crc_failure_stops_iteration():
+    good = wal.encode_record(wal.PUT, b"k", b"v")
+    bad = bytearray(good + wal.encode_record(wal.PUT, b"x", b"y"))
+    bad[-1] ^= 0xFF  # flip a payload byte of record 2
+    assert list(wal.iter_records(bytes(bad))) == [(wal.PUT, b"k", b"v")]
+
+
+def test_empty_buffer():
+    assert list(wal.iter_records(b"")) == []
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([wal.PUT, wal.DELETE]),
+            st.binary(min_size=1, max_size=30),
+            st.binary(max_size=60),
+        ),
+        max_size=20,
+    )
+)
+@settings(max_examples=40)
+def test_property_round_trip(records):
+    buf = b"".join(
+        wal.encode_record(op, key, value if op == wal.PUT else b"")
+        for op, key, value in records
+    )
+    decoded = list(wal.iter_records(buf))
+    expected = [
+        (op, key, value if op == wal.PUT else b"") for op, key, value in records
+    ]
+    assert decoded == expected

@@ -1,0 +1,54 @@
+"""Tests for result records and table formatting."""
+
+import math
+
+from repro.metrics.collector import RunResult
+from repro.metrics.report import format_bytes, format_table, series_summary
+
+
+class TestRunResult:
+    def test_totals(self):
+        result = RunResult(
+            solution="x", trace="t", up_bytes=100, down_bytes=50, update_bytes=30
+        )
+        assert result.total_bytes == 150
+        assert result.tue == 5.0
+
+    def test_tue_with_zero_update(self):
+        result = RunResult(solution="x", trace="t", up_bytes=10)
+        assert math.isinf(result.tue)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_kb(self):
+        assert format_bytes(2048) == "2.0KB"
+
+    def test_mb(self):
+        assert format_bytes(3 * 1024 * 1024) == "3.0MB"
+
+    def test_gb(self):
+        assert format_bytes(5 * 1024**3) == "5.0GB"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "long_header"], [["xx", 1], ["y", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_contains_cells(self):
+        table = format_table(["col"], [["value"]])
+        assert "col" in table and "value" in table
+
+
+class TestSeriesSummary:
+    def test_stats(self):
+        line = series_summary("lat", [1.0, 2.0, 3.0])
+        assert "min=1.00" in line and "max=3.00" in line and "mean=2.00" in line
+
+    def test_empty(self):
+        assert "empty" in series_summary("x", [])

@@ -1,0 +1,86 @@
+"""Tests for the channel byte accounting and transfer-time model."""
+
+from repro.cost.meter import CostMeter
+from repro.net.messages import Ack, UploadFull
+from repro.net.transport import (
+    Channel,
+    MOBILE_NETWORK,
+    NetworkModel,
+    PC_NETWORK,
+)
+
+
+class TestAccounting:
+    def test_upload_counts_bytes_and_messages(self):
+        channel = Channel()
+        msg = UploadFull(path="/f", data=b"x" * 1000)
+        channel.upload(msg)
+        assert channel.stats.up_bytes == msg.wire_size()
+        assert channel.stats.up_messages == 1
+        assert channel.stats.down_bytes == 0
+
+    def test_download_counts_separately(self):
+        channel = Channel()
+        channel.download(Ack(path="/f"))
+        assert channel.stats.down_messages == 1
+        assert channel.stats.up_messages == 0
+
+    def test_total(self):
+        channel = Channel()
+        channel.upload(Ack())
+        channel.download(Ack())
+        assert channel.stats.total_bytes == channel.stats.up_bytes + channel.stats.down_bytes
+
+
+class TestCpuCharging:
+    def test_both_ends_charged(self):
+        cm, sm = CostMeter(), CostMeter()
+        channel = Channel(client_meter=cm, server_meter=sm)
+        channel.upload(UploadFull(path="/f", data=b"x" * 10000))
+        assert cm.by_category["network_send"] > 0
+        assert sm.by_category["network_recv"] > 0
+
+    def test_encryption_charged_when_enabled(self):
+        cm = CostMeter()
+        channel = Channel(client_meter=cm)
+        channel.upload(UploadFull(path="/f", data=b"x" * 10000))
+        assert cm.by_category["encrypt"] > 0
+
+    def test_no_encryption_for_plain_links(self):
+        cm = CostMeter()
+        channel = Channel(model=NetworkModel(encrypted=False), client_meter=cm)
+        channel.upload(UploadFull(path="/f", data=b"x" * 10000))
+        assert cm.by_category.get("encrypt", 0) == 0
+
+
+class TestTransferTime:
+    def test_completion_after_latency(self):
+        channel = Channel(model=NetworkModel(bandwidth_up=1e6, latency=0.1))
+        done = channel.upload(UploadFull(path="/f", data=b"x" * 1_000_000), now=0.0)
+        assert done > 1.0  # ~1s transfer + 0.1s latency
+
+    def test_back_to_back_transfers_queue(self):
+        channel = Channel(model=NetworkModel(bandwidth_up=1e6, latency=0.0))
+        first = channel.upload(UploadFull(path="/a", data=b"x" * 500_000), now=0.0)
+        second = channel.upload(UploadFull(path="/b", data=b"x" * 500_000), now=0.0)
+        assert second > first  # serialized on the uplink
+
+    def test_idle_detection(self):
+        channel = Channel(model=NetworkModel(bandwidth_up=1e3))
+        assert channel.upload_idle_at(0.0)
+        channel.upload(UploadFull(path="/f", data=b"x" * 10_000), now=0.0)
+        assert not channel.upload_idle_at(1.0)  # 10s of transfer queued
+        assert channel.upload_idle_at(100.0)
+
+    def test_mobile_slower_than_pc(self):
+        pc = Channel(model=PC_NETWORK)
+        mobile = Channel(model=MOBILE_NETWORK)
+        msg = UploadFull(path="/f", data=b"x" * 1_000_000)
+        assert mobile.upload(msg, 0.0) > pc.upload(msg, 0.0)
+
+    def test_directions_independent(self):
+        channel = Channel(model=NetworkModel(bandwidth_up=1e3, bandwidth_down=1e9))
+        channel.upload(UploadFull(path="/f", data=b"x" * 100_000), now=0.0)
+        # a busy uplink does not delay downloads
+        done = channel.download(Ack(), now=0.0)
+        assert done < 1.0

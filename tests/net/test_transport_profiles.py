@@ -1,0 +1,27 @@
+"""Tests for the predefined network profiles and model fields."""
+
+from repro.net.transport import MOBILE_NETWORK, PC_NETWORK, NetworkModel
+
+
+def test_pc_faster_than_mobile():
+    assert PC_NETWORK.bandwidth_up > MOBILE_NETWORK.bandwidth_up
+    assert PC_NETWORK.bandwidth_down > MOBILE_NETWORK.bandwidth_down
+    assert PC_NETWORK.latency < MOBILE_NETWORK.latency
+
+
+def test_both_encrypted_by_default():
+    assert PC_NETWORK.encrypted and MOBILE_NETWORK.encrypted
+
+
+def test_model_immutable():
+    import pytest
+    from dataclasses import FrozenInstanceError
+
+    with pytest.raises(FrozenInstanceError):
+        PC_NETWORK.latency = 0.5
+
+
+def test_custom_model():
+    model = NetworkModel(bandwidth_up=1.0, bandwidth_down=2.0, latency=3.0, encrypted=False)
+    assert model.bandwidth_up == 1.0
+    assert not model.encrypted

@@ -1,0 +1,222 @@
+"""Tests for cloud-side message application and conflict handling."""
+
+import pytest
+
+from repro.common.version import VersionStamp
+from repro.delta.bitwise import bitwise_delta
+from repro.net.messages import (
+    MetaOp,
+    TxnGroup,
+    UploadDelta,
+    UploadFull,
+    UploadTruncate,
+    UploadWrite,
+    UploadWriteBatch,
+)
+from repro.server.cloud import CloudServer
+
+V = VersionStamp
+
+
+def _seeded(content=b"base content here", version=V(1, 1)):
+    server = CloudServer()
+    server.handle(MetaOp(kind="create", path="/f", new_version=V(1, 0)))
+    server.handle(
+        UploadWrite(path="/f", offset=0, data=content, base_version=V(1, 0), new_version=version)
+    )
+    return server
+
+
+class TestBasicApply:
+    def test_create_then_write(self):
+        server = _seeded()
+        assert server.file_content("/f") == b"base content here"
+        assert server.file_version("/f") == V(1, 1)
+
+    def test_write_extends(self):
+        server = _seeded()
+        result = server.handle(
+            UploadWrite(path="/f", offset=17, data=b"!more", base_version=V(1, 1), new_version=V(1, 2))
+        )
+        assert result.ok
+        assert server.file_content("/f").endswith(b"!more")
+
+    def test_write_batch(self):
+        server = _seeded(b"0" * 20)
+        server.handle(
+            UploadWriteBatch(
+                path="/f",
+                runs=((0, b"AA"), (10, b"BB")),
+                base_version=V(1, 1),
+                new_version=V(1, 2),
+            )
+        )
+        content = server.file_content("/f")
+        assert content[0:2] == b"AA" and content[10:12] == b"BB"
+
+    def test_truncate(self):
+        server = _seeded(b"0123456789")
+        server.handle(
+            UploadTruncate(path="/f", length=4, base_version=V(1, 1), new_version=V(1, 2))
+        )
+        assert server.file_content("/f") == b"0123"
+
+    def test_full_upload(self):
+        server = _seeded()
+        server.handle(
+            UploadFull(path="/f", data=b"rewritten", base_version=V(1, 1), new_version=V(1, 2))
+        )
+        assert server.file_content("/f") == b"rewritten"
+
+    def test_meta_rename_link_unlink(self):
+        server = _seeded()
+        server.handle(MetaOp(kind="link", path="/f", dest="/g"))
+        server.handle(MetaOp(kind="rename", path="/f", dest="/h"))
+        server.handle(MetaOp(kind="unlink", path="/g"))
+        assert server.store.exists("/h")
+        assert not server.store.exists("/f")
+        assert not server.store.exists("/g")
+
+    def test_mkdir_rmdir_tracked(self):
+        server = CloudServer()
+        server.handle(MetaOp(kind="mkdir", path="/d"))
+        assert "/d" in server.dirs
+        server.handle(MetaOp(kind="rmdir", path="/d"))
+        assert "/d" not in server.dirs
+
+    def test_unknown_meta_kind_rejected(self):
+        server = CloudServer()
+        with pytest.raises(ValueError):
+            server.handle(MetaOp(kind="chmod", path="/f"))
+
+    def test_rename_of_missing_path_is_skipped(self):
+        server = CloudServer()
+        result = server.handle(MetaOp(kind="rename", path="/ghost", dest="/x"))
+        assert result.ok  # tolerated: the create may have been cancelled
+
+
+class TestDeltaApply:
+    def test_delta_against_current(self):
+        old = bytes(range(256)) * 64
+        new = old[:5000] + b"CHANGED" + old[5007:]
+        server = _seeded(old)
+        delta = bitwise_delta(old, new, 1024)
+        result = server.handle(
+            UploadDelta(
+                path="/f",
+                delta=delta,
+                base_version=V(1, 1),
+                new_version=V(1, 2),
+                content_base=V(1, 1),
+            )
+        )
+        assert result.ok
+        assert server.file_content("/f") == new
+
+    def test_delta_against_renamed_away_base(self):
+        # the Word flow: base content now lives under another name, but the
+        # snapshot window still resolves it
+        old = bytes(range(256)) * 16
+        new = old + b"tail"
+        server = _seeded(old)
+        server.handle(MetaOp(kind="rename", path="/f", dest="/t0"))
+        server.handle(MetaOp(kind="create", path="/t1", new_version=V(1, 2)))
+        delta = bitwise_delta(old, new, 1024)
+        group = TxnGroup(
+            members=(
+                MetaOp(kind="rename", path="/t1", dest="/f"),
+                UploadDelta(
+                    path="/f",
+                    delta=delta,
+                    base_version=V(1, 2),
+                    new_version=V(1, 3),
+                    content_base=V(1, 1),
+                ),
+            )
+        )
+        result = server.handle(group)
+        assert result.ok
+        assert server.file_content("/f") == new
+
+    def test_delta_with_aged_out_base_conflicts(self):
+        from repro.server.storage import VersionedStore
+
+        server = CloudServer(store=VersionedStore(snapshot_window=1))
+        server.handle(MetaOp(kind="create", path="/f", new_version=V(1, 0)))
+        server.handle(
+            UploadWrite(path="/f", offset=0, data=b"v1", base_version=V(1, 0), new_version=V(1, 1))
+        )
+        server.handle(
+            UploadWrite(path="/f", offset=0, data=b"v2", base_version=V(1, 1), new_version=V(1, 2))
+        )
+        # snapshot of V(1,1) evicted by the tiny window
+        delta = bitwise_delta(b"v1", b"v1x", 4)
+        result = server.handle(
+            UploadDelta(
+                path="/f", delta=delta, base_version=V(1, 1),
+                new_version=V(1, 3), content_base=V(1, 1),
+            )
+        )
+        assert result.status == "conflict"
+
+
+class TestFirstWriteWins:
+    def test_concurrent_writes_conflict(self):
+        server = _seeded(b"0" * 100, version=V(1, 5))
+        # client 2 wins the race
+        first = server.handle(
+            UploadWrite(path="/f", offset=0, data=b"A", base_version=V(1, 5), new_version=V(2, 1)),
+            origin_client=2,
+        )
+        assert first.ok
+        # client 3's update was based on the old version: conflict
+        second = server.handle(
+            UploadWrite(path="/f", offset=0, data=b"B", base_version=V(1, 5), new_version=V(3, 1)),
+            origin_client=3,
+        )
+        assert second.status == "conflict"
+        # winner's content is the latest
+        assert server.file_content("/f")[0:1] == b"A"
+
+    def test_loser_materialized_from_increment(self):
+        # "the incremental data can still be applied to the proper file to
+        # generate the conflict version" — no re-transmission needed
+        server = _seeded(b"0" * 100, version=V(1, 5))
+        server.handle(
+            UploadWrite(path="/f", offset=0, data=b"A", base_version=V(1, 5), new_version=V(2, 1)),
+            origin_client=2,
+        )
+        result = server.handle(
+            UploadWrite(path="/f", offset=50, data=b"B", base_version=V(1, 5), new_version=V(3, 1)),
+            origin_client=3,
+        )
+        assert len(result.conflict_paths) == 1
+        copy = result.conflict_paths[0]
+        content = server.file_content(copy)
+        assert content[50:51] == b"B"
+        assert content[0:1] == b"0"  # built on the base, not the winner
+
+    def test_conflict_notice_reply(self):
+        from repro.net.messages import ConflictNotice
+
+        server = _seeded(b"0" * 10, version=V(1, 5))
+        server.handle(
+            UploadWrite(path="/f", offset=0, data=b"A", base_version=V(1, 5), new_version=V(2, 1))
+        )
+        result = server.handle(
+            UploadWrite(path="/f", offset=0, data=b"B", base_version=V(1, 5), new_version=V(3, 1))
+        )
+        notices = [r for r in result.replies if isinstance(r, ConflictNotice)]
+        assert len(notices) == 1
+        assert notices[0].winning_version == V(2, 1)
+
+    def test_stale_truncate_conflicts(self):
+        server = _seeded(b"0" * 100, version=V(1, 5))
+        server.handle(
+            UploadWrite(path="/f", offset=0, data=b"X", base_version=V(1, 5), new_version=V(2, 1))
+        )
+        result = server.handle(
+            UploadTruncate(path="/f", length=10, base_version=V(1, 5), new_version=V(3, 1))
+        )
+        assert result.status == "conflict"
+        assert len(server.file_content("/f")) == 100  # not truncated

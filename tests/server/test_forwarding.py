@@ -1,0 +1,63 @@
+"""Tests for multi-client fan-out (Section III-D)."""
+
+from repro.common.version import VersionStamp
+from repro.net.messages import Forward, MetaOp, UploadWrite
+from repro.server.cloud import CloudServer
+
+V = VersionStamp
+
+
+def test_applied_updates_forwarded_to_other_clients():
+    server = CloudServer()
+    received = {2: [], 3: []}
+    server.register_client(2, lambda origin, msg: received[2].append((origin, msg)))
+    server.register_client(3, lambda origin, msg: received[3].append((origin, msg)))
+
+    server.handle(MetaOp(kind="create", path="/f", new_version=V(1, 1)), origin_client=1)
+    server.handle(
+        UploadWrite(path="/f", offset=0, data=b"x", base_version=V(1, 1), new_version=V(1, 2)),
+        origin_client=1,
+    )
+    assert len(received[2]) == 2
+    assert len(received[3]) == 2
+
+
+def test_origin_not_echoed():
+    server = CloudServer()
+    received = []
+    server.register_client(1, lambda origin, msg: received.append(msg))
+    server.handle(MetaOp(kind="create", path="/f", new_version=V(1, 1)), origin_client=1)
+    assert received == []
+
+
+def test_forward_wraps_original_message():
+    server = CloudServer()
+    captured = []
+    server.register_client(2, lambda origin, msg: captured.append(msg))
+    original = MetaOp(kind="create", path="/f", new_version=V(1, 1))
+    server.handle(original, origin_client=1)
+    assert isinstance(captured[0], Forward)
+    assert captured[0].inner is original  # verbatim — "without additional computation"
+    assert captured[0].origin_client == 1
+
+
+def test_conflicting_update_not_forwarded():
+    server = CloudServer()
+    received = []
+    server.register_client(2, lambda origin, msg: received.append(msg))
+    server.handle(MetaOp(kind="create", path="/f", new_version=V(1, 1)), origin_client=1)
+    n = len(received)
+    server.handle(
+        UploadWrite(path="/f", offset=0, data=b"x", base_version=V(9, 9), new_version=V(3, 1)),
+        origin_client=3,
+    )
+    assert len(received) == n  # the losing update does not fan out
+
+
+def test_unregister_stops_forwarding():
+    server = CloudServer()
+    received = []
+    server.register_client(2, lambda origin, msg: received.append(msg))
+    server.unregister_client(2)
+    server.handle(MetaOp(kind="create", path="/f", new_version=V(1, 1)), origin_client=1)
+    assert received == []

@@ -1,0 +1,98 @@
+"""Tests for the per-path version lineage (fine-grained version control)."""
+
+from repro.common.version import VersionStamp
+from repro.net.messages import MetaOp, UploadWrite
+from repro.server.cloud import CloudServer
+from repro.server.storage import VersionedStore
+
+V = VersionStamp
+
+
+class TestLineage:
+    def test_appends_in_order(self):
+        store = VersionedStore()
+        for i in range(1, 4):
+            store.put("/f", str(i).encode(), V(1, i))
+        assert store.history("/f") == [V(1, 1), V(1, 2), V(1, 3)]
+
+    def test_consecutive_duplicates_collapsed(self):
+        store = VersionedStore()
+        store.put("/f", b"x", V(1, 1))
+        store.put("/f", b"x", V(1, 1))
+        assert store.history("/f") == [V(1, 1)]
+
+    def test_none_version_not_recorded(self):
+        store = VersionedStore()
+        store.put("/f", b"x", None)
+        assert store.history("/f") == []
+
+    def test_rename_extends_destination(self):
+        store = VersionedStore()
+        store.put("/f", b"old", V(1, 1))
+        store.put("/tmp", b"new", V(1, 2))
+        store.rename("/tmp", "/f")
+        assert store.history("/f") == [V(1, 1), V(1, 2)]
+
+    def test_source_keeps_copy_across_rename(self):
+        # the Word dance: f's history must survive rename f -> t0
+        store = VersionedStore()
+        store.put("/f", b"v1", V(1, 1))
+        store.rename("/f", "/t0")
+        assert store.history("/f") == [V(1, 1)]
+        assert store.history("/t0") == [V(1, 1)]
+
+    def test_restorable_filtered_by_window(self):
+        store = VersionedStore(snapshot_window=2)
+        for i in range(1, 5):
+            store.put("/f", str(i).encode(), V(1, i))
+        assert store.history("/f") == [V(1, i) for i in range(1, 5)]
+        assert store.restorable_history("/f") == [V(1, 3), V(1, 4)]
+
+    def test_unknown_path_empty(self):
+        assert VersionedStore().history("/nope") == []
+
+
+class TestServerSurface:
+    def _seeded(self):
+        server = CloudServer()
+        server.handle(MetaOp(kind="create", path="/f", new_version=V(1, 1)))
+        server.handle(
+            UploadWrite(path="/f", offset=0, data=b"one", base_version=V(1, 1), new_version=V(1, 2))
+        )
+        server.handle(
+            UploadWrite(path="/f", offset=0, data=b"two", base_version=V(1, 2), new_version=V(1, 3))
+        )
+        return server
+
+    def test_version_history(self):
+        server = self._seeded()
+        assert server.version_history("/f") == [V(1, 1), V(1, 2), V(1, 3)]
+
+    def test_restore_sets_head(self):
+        server = self._seeded()
+        content = server.restore_version("/f", V(1, 2))
+        assert content == b"one"
+        assert server.file_content("/f") == b"one"
+        assert server.file_version("/f") == V(1, 2)
+
+    def test_restore_forwards(self):
+        server = self._seeded()
+        received = []
+        server.register_client(7, lambda origin, msg: received.append(msg))
+        server.restore_version("/f", V(1, 2), origin_client=1)
+        assert len(received) == 1
+
+    def test_restore_missing_version_raises(self):
+        import pytest
+
+        from repro.common.errors import NotFoundError
+
+        server = self._seeded()
+        with pytest.raises(NotFoundError):
+            server.restore_version("/f", V(9, 9))
+
+    def test_restore_is_itself_a_version(self):
+        server = self._seeded()
+        server.restore_version("/f", V(1, 2), as_version=V(1, 4))
+        assert server.version_history("/f")[-1] == V(1, 4)
+        assert server.file_content("/f") == b"one"

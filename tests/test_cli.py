@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro.core" in out
+    assert "DeltaCFS" in out
+
+
+def test_experiment_table4(capsys):
+    assert main(["experiment", "table4"]) == 0
+    out = capsys.readouterr().out
+    assert "detect" in out
+    assert "deltacfs" in out
+
+
+def test_experiment_fig2_fast(capsys):
+    assert main(["experiment", "fig2", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "TUE" in out
+
+
+def test_trace_and_replay(tmp_path, capsys):
+    trace_path = str(tmp_path / "g.trace")
+    assert main(["trace", "gedit", "--out", trace_path, "--ops", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+
+    assert main(["replay", trace_path, "--solution", "deltacfs"]) == 0
+    out = capsys.readouterr().out
+    assert "deltacfs" in out
+
+
+def test_replay_unknown_solution(tmp_path, capsys):
+    trace_path = str(tmp_path / "g.trace")
+    main(["trace", "gedit", "--out", trace_path, "--ops", "1"])
+    capsys.readouterr()
+    assert main(["replay", trace_path, "--solution", "icloud"]) == 2
+
+
+def test_bad_subcommand():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

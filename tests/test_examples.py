@@ -1,0 +1,50 @@
+"""The examples must stay runnable — execute each as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_quickstart():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "delta encoding triggered 1x" in result.stdout
+
+
+def test_shared_folder():
+    result = _run("shared_folder.py")
+    assert result.returncode == 0, result.stderr
+    assert "conflicted copy" in result.stdout
+    assert "corruption detected: 1" in result.stdout
+
+
+def test_document_editing():
+    result = _run("document_editing.py", "--saves", "3")
+    assert result.returncode == 0, result.stderr
+    assert "triggered delta encoding 3 times" in result.stdout
+
+
+def test_chat_database_sync():
+    result = _run("chat_database_sync.py", "--scale", "128", "--mods", "8")
+    assert result.returncode == 0, result.stderr
+    assert "deltacfs" in result.stdout
+    assert "TUE" in result.stdout
+
+
+def test_time_travel():
+    result = _run("time_travel.py")
+    assert result.returncode == 0, result.stderr
+    assert "after restore: Draft 2" in result.stdout

@@ -1,0 +1,55 @@
+"""Tests for the Simulation facade."""
+
+import pytest
+
+from repro.common.config import DeltaCFSConfig
+from repro.sim import Simulation
+
+
+def test_single_client_round_trip():
+    sim = Simulation()
+    sim.client.create("/f")
+    sim.client.write("/f", 0, b"payload")
+    sim.client.close("/f")
+    sim.settle()
+    assert sim.server.file_content("/f") == b"payload"
+    assert sim.converged()
+
+
+def test_two_clients_share():
+    sim = Simulation(clients=2)
+    a, b = sim.clients
+    a.create("/shared")
+    a.write("/shared", 0, b"from a")
+    a.close("/shared")
+    sim.settle()
+    assert b.read("/shared", 0, None) == b"from a"
+    assert sim.converged()
+
+
+def test_report_contains_principals():
+    sim = Simulation(clients=2)
+    sim.client.create("/f")
+    sim.settle()
+    report = sim.report()
+    assert "client 1" in report and "client 2" in report and "cloud" in report
+
+
+def test_custom_config_applied():
+    sim = Simulation(config=DeltaCFSConfig(upload_delay=0.5))
+    assert sim.client.config.upload_delay == 0.5
+
+
+def test_converged_detects_divergence():
+    sim = Simulation()
+    sim.client.create("/f")
+    sim.client.write("/f", 0, b"x")
+    # not settled: the write is still queued
+    assert not sim.converged()
+    sim.settle()
+    assert sim.converged()
+
+
+def test_zero_clients_rejected():
+    with pytest.raises(ValueError):
+        Simulation(clients=0)

@@ -1,0 +1,91 @@
+"""Tests for the passthrough/interception layering."""
+
+from repro.common.clock import VirtualClock
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.interception import OperationLog, PassthroughFileSystem
+from repro.vfs.ops import CreateOp, ReadOp, RenameOp, UnlinkOp, WriteOp
+from repro.workloads.traces import Trace, apply_op, replay
+
+
+class TestPassthrough:
+    def test_everything_forwards(self):
+        base = MemoryFileSystem()
+        layer = PassthroughFileSystem(base)
+        layer.mkdir("/d")
+        layer.create("/d/f")
+        layer.write("/d/f", 0, b"abc")
+        layer.link("/d/f", "/d/g")
+        layer.rename("/d/g", "/d/h")
+        assert layer.read("/d/f", 0, 3) == b"abc"
+        assert base.read_file("/d/h") == b"abc"
+        assert layer.stat("/d/f").size == 3
+        assert layer.listdir("/d") == ["f", "h"]
+        layer.truncate("/d/f", 1)
+        layer.unlink("/d/h")
+        layer.close("/d/f")
+        layer.rmdir("/d") if not layer.listdir("/d") else None
+        assert base.read_file("/d/f") == b"a"
+
+    def test_stacking(self):
+        base = MemoryFileSystem()
+        stacked = PassthroughFileSystem(PassthroughFileSystem(base))
+        stacked.create("/x")
+        stacked.write("/x", 0, b"deep")
+        assert base.read_file("/x") == b"deep"
+
+
+class TestOperationLog:
+    def test_records_ops_in_order(self):
+        log = OperationLog(MemoryFileSystem())
+        log.create("/f")
+        log.write("/f", 0, b"hi")
+        log.rename("/f", "/g")
+        log.unlink("/g")
+        kinds = [type(op).__name__ for op in log.ops]
+        assert kinds == ["CreateOp", "WriteOp", "RenameOp", "UnlinkOp"]
+
+    def test_write_payload_captured(self):
+        log = OperationLog(MemoryFileSystem())
+        log.create("/f")
+        log.write("/f", 5, b"payload")
+        write = log.ops[1]
+        assert isinstance(write, WriteOp)
+        assert write.offset == 5
+        assert write.data == b"payload"
+
+    def test_timestamps_from_clock(self):
+        clock = VirtualClock()
+        log = OperationLog(MemoryFileSystem(), clock=clock)
+        log.create("/f")
+        clock.advance(7.0)
+        log.write("/f", 0, b"x")
+        assert log.ops[0].timestamp == 0.0
+        assert log.ops[1].timestamp == 7.0
+
+    def test_read_recorded_with_actual_length(self):
+        log = OperationLog(MemoryFileSystem())
+        log.create("/f")
+        log.write("/f", 0, b"abcdef")
+        log.read("/f", 0, None)
+        read = log.ops[-1]
+        assert isinstance(read, ReadOp)
+        assert read.length == 6
+
+    def test_captured_trace_replays_identically(self):
+        # the capture->replay loop the paper used to collect its traces
+        source = OperationLog(MemoryFileSystem())
+        source.create("/f")
+        source.write("/f", 0, b"version one")
+        source.write("/f", 8, b"two")
+        source.rename("/f", "/g")
+        source.truncate("/g", 5)
+
+        replica = MemoryFileSystem()
+        for op in source.ops:
+            apply_op(replica, op)
+        assert replica.read_file("/g") == source.inner.read_file("/g")
+
+    def test_write_repr_hides_payload(self):
+        op = WriteOp("/f", 0, b"\x00" * 100000)
+        assert "length=100000" in repr(op)
+        assert "\\x00" not in repr(op)

@@ -1,0 +1,89 @@
+"""Tests for inotify-style change notification."""
+
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.watcher import InotifyEvent, WatchedFileSystem, Watcher
+
+
+def _build():
+    watcher = Watcher()
+    fs = WatchedFileSystem(MemoryFileSystem(), watcher)
+    return watcher, fs
+
+
+class TestEvents:
+    def test_create_event(self):
+        watcher, fs = _build()
+        fs.create("/f")
+        assert watcher.events == [InotifyEvent(kind="create", path="/f")]
+
+    def test_modify_on_write_and_truncate(self):
+        watcher, fs = _build()
+        fs.create("/f")
+        fs.write("/f", 0, b"x")
+        fs.truncate("/f", 0)
+        kinds = [e.kind for e in watcher.events]
+        assert kinds == ["create", "modify", "modify"]
+
+    def test_move_event_has_both_paths(self):
+        watcher, fs = _build()
+        fs.create("/a")
+        fs.rename("/a", "/b")
+        move = watcher.events[-1]
+        assert move.kind == "move"
+        assert move.path == "/a"
+        assert move.dest == "/b"
+
+    def test_delete_event(self):
+        watcher, fs = _build()
+        fs.create("/f")
+        fs.unlink("/f")
+        assert watcher.events[-1].kind == "delete"
+
+    def test_link_reports_create_of_dest(self):
+        watcher, fs = _build()
+        fs.create("/f")
+        fs.link("/f", "/g")
+        assert watcher.events[-1] == InotifyEvent(kind="create", path="/g")
+
+    def test_reads_produce_no_events(self):
+        watcher, fs = _build()
+        fs.create("/f")
+        fs.write("/f", 0, b"data")
+        n = len(watcher.events)
+        fs.read("/f", 0, 4)
+        fs.stat("/f")
+        fs.exists("/f")
+        assert len(watcher.events) == n
+
+    def test_events_carry_no_data(self):
+        # the crucial asymmetry: watchers never see the written bytes
+        watcher, fs = _build()
+        fs.create("/f")
+        fs.write("/f", 0, b"secret payload")
+        assert not hasattr(watcher.events[-1], "data")
+
+
+class TestSubscription:
+    def test_callback_invoked(self):
+        watcher, fs = _build()
+        seen = []
+        watcher.subscribe(seen.append)
+        fs.create("/f")
+        assert len(seen) == 1
+
+    def test_drain_clears(self):
+        watcher, fs = _build()
+        fs.create("/f")
+        drained = watcher.drain()
+        assert len(drained) == 1
+        assert watcher.events == []
+        assert watcher.drain() == []
+
+    def test_failed_op_emits_no_event(self):
+        watcher, fs = _build()
+        import pytest
+        from repro.common.errors import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            fs.write("/missing", 0, b"x")
+        assert watcher.events == []

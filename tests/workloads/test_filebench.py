@@ -1,0 +1,76 @@
+"""Tests for filebench-style op streams."""
+
+from repro.workloads.filebench import (
+    FilebenchOp,
+    fileserver_ops,
+    varmail_ops,
+    webserver_ops,
+)
+
+
+def _kinds(ops):
+    from collections import Counter
+
+    return Counter(op.kind for op in ops)
+
+
+class TestFileserver:
+    def test_mix_has_all_kinds(self):
+        kinds = _kinds(fileserver_ops())
+        for kind in ("create", "write", "append", "read", "delete"):
+            assert kinds[kind] > 0
+
+    def test_write_heavy(self):
+        kinds = _kinds(fileserver_ops())
+        assert kinds["write"] + kinds["append"] > kinds["read"]
+
+    def test_deterministic(self):
+        assert fileserver_ops(seed=1) == fileserver_ops(seed=1)
+        assert fileserver_ops(seed=1) != fileserver_ops(seed=2)
+
+    def test_deletes_only_live_files(self):
+        ops = fileserver_ops()
+        live = set()
+        for op in ops:
+            if op.kind == "create":
+                live.add(op.path)
+            elif op.kind == "delete":
+                assert op.path in live
+                live.discard(op.path)
+
+
+class TestVarmail:
+    def test_small_files(self):
+        ops = varmail_ops()
+        writes = [op for op in ops if op.kind == "write"]
+        assert all(op.size <= 32 * 1024 for op in writes)
+
+    def test_fsync_heavy(self):
+        kinds = _kinds(varmail_ops())
+        assert kinds["fsync"] >= kinds["write"]
+
+    def test_bounded_live_set(self):
+        ops = varmail_ops(nfiles=50, operations=600)
+        live = set()
+        for op in ops:
+            if op.kind == "create":
+                live.add(op.path)
+            elif op.kind == "delete":
+                live.discard(op.path)
+            assert len(live) <= 51
+
+
+class TestWebserver:
+    def test_read_dominated(self):
+        kinds = _kinds(webserver_ops())
+        assert kinds["read"] > 5 * kinds["append"]
+
+    def test_ten_reads_per_log_append(self):
+        ops = webserver_ops(operations=50)
+        kinds = _kinds(ops)
+        assert kinds["read"] == 10 * 50
+
+    def test_log_file_appended(self):
+        ops = webserver_ops(operations=10)
+        appends = [op for op in ops if op.kind == "append"]
+        assert all(op.path == "/weblog" for op in appends)

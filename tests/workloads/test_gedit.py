@@ -1,0 +1,43 @@
+"""Tests for the gedit save-pattern trace."""
+
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.ops import LinkOp, RenameOp, WriteOp
+from repro.workloads.gedit import gedit_trace
+from repro.workloads.traces import apply_op
+
+
+def test_figure3_sequence():
+    trace = gedit_trace(saves=1)
+    kinds = [type(op).__name__ for op in trace.ops]
+    # create tmp, write tmp, close, link f f~, rename tmp f
+    assert kinds == ["CreateOp", "WriteOp", "CloseOp", "LinkOp", "RenameOp"]
+
+
+def test_backup_holds_previous_version():
+    trace = gedit_trace(saves=3, file_size=10_000)
+    fs = MemoryFileSystem()
+    for path, content in trace.preload.items():
+        fs.write_file(path, content)
+    versions = []
+    for op in trace.ops:
+        if isinstance(op, RenameOp):
+            versions.append(fs.read_file("/notes.txt"))
+        apply_op(fs, op)
+    # after each save, the backup equals the pre-save content
+    assert fs.read_file("/notes.txt~") == versions[-1]
+
+
+def test_edit_size_respected():
+    trace = gedit_trace(saves=4, file_size=50_000, edit_size=512)
+    assert trace.stats.update_bytes == 4 * 512
+
+
+def test_replays_cleanly():
+    trace = gedit_trace(saves=5)
+    fs = MemoryFileSystem()
+    for path, content in trace.preload.items():
+        fs.write_file(path, content)
+    for op in trace.ops:
+        apply_op(fs, op)
+    files = list(fs.walk_files())
+    assert files == ["/notes.txt", "/notes.txt~"]

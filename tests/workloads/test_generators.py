@@ -1,0 +1,80 @@
+"""Tests for the artificial trace generators."""
+
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.ops import CloseOp, WriteOp
+from repro.workloads.generators import append_write_trace, random_write_trace
+from repro.workloads.traces import apply_op
+
+
+class TestAppendTrace:
+    def test_paper_shape(self):
+        trace = append_write_trace(scale=1)
+        writes = [op for op in trace.ops if isinstance(op, WriteOp)]
+        assert len(writes) == 40
+        assert all(abs(w.length - 800 * 1024) < 1024 for w in writes)
+        assert trace.stats.bytes_written == sum(w.length for w in writes)
+        assert abs(trace.stats.bytes_written - 32 * 1024 * 1024) < 1024 * 1024
+
+    def test_writes_are_appends(self):
+        trace = append_write_trace(scale=8)
+        offset = 0
+        for op in trace.ops:
+            if isinstance(op, WriteOp):
+                assert op.offset == offset
+                offset += op.length
+
+    def test_interval_is_15s(self):
+        trace = append_write_trace(scale=8)
+        writes = [op for op in trace.ops if isinstance(op, WriteOp)]
+        gaps = [b.timestamp - a.timestamp for a, b in zip(writes, writes[1:])]
+        assert all(abs(g - 15.0) < 1e-9 for g in gaps)
+
+    def test_replayable(self):
+        trace = append_write_trace(scale=16)
+        fs = MemoryFileSystem()
+        for op in trace.ops:
+            apply_op(fs, op)
+        assert fs.size("/append.dat") == trace.stats.bytes_written
+
+    def test_deterministic(self):
+        a = append_write_trace(scale=8, seed=5)
+        b = append_write_trace(scale=8, seed=5)
+        assert [op for op in a.ops if isinstance(op, WriteOp)][0].data == [
+            op for op in b.ops if isinstance(op, WriteOp)
+        ][0].data
+
+    def test_no_preload(self):
+        assert append_write_trace(scale=8).preload == {}
+
+
+class TestRandomTrace:
+    def test_paper_shape(self):
+        trace = random_write_trace(scale=1)
+        writes = [op for op in trace.ops if isinstance(op, WriteOp)]
+        assert len(writes) == 40
+        assert all(w.length == 1010 for w in writes)
+        assert len(trace.preload["/random.dat"]) == 20 * 1024 * 1024
+
+    def test_writes_inside_file(self):
+        trace = random_write_trace(scale=4)
+        size = len(trace.preload["/random.dat"])
+        for op in trace.ops:
+            if isinstance(op, WriteOp):
+                assert 0 <= op.offset and op.offset + op.length <= size
+
+    def test_update_bytes_counts_writes_only(self):
+        trace = random_write_trace(scale=4, writes=10)
+        assert trace.stats.update_bytes == 10 * 1010
+
+    def test_replayable_over_preload(self):
+        trace = random_write_trace(scale=16)
+        fs = MemoryFileSystem()
+        fs.write_file("/random.dat", trace.preload["/random.dat"])
+        for op in trace.ops:
+            apply_op(fs, op)
+        assert fs.size("/random.dat") == len(trace.preload["/random.dat"])
+
+    def test_close_follows_each_write(self):
+        trace = random_write_trace(scale=16, writes=5)
+        kinds = [type(op).__name__ for op in trace.ops]
+        assert kinds == ["WriteOp", "CloseOp"] * 5

@@ -1,0 +1,67 @@
+"""Statistical fidelity checks: the synthesized traces match the paper's
+published characteristics at every scale."""
+
+import pytest
+
+from repro.vfs.ops import WriteOp
+from repro.workloads import wechat_trace, word_trace
+from repro.workloads.generators import append_write_trace, random_write_trace
+
+
+class TestScaleInvariants:
+    @pytest.mark.parametrize("scale", [4, 16, 64])
+    def test_word_growth_ratio_preserved(self, scale):
+        # the document always ends at the paper's final/initial ratio
+        # (16.7/12.1), whatever the scale or save count
+        trace = word_trace(scale=scale, saves=10)
+        initial = len(trace.preload["/report.docx"])
+        expected_growth = 16.7 / 12.1 - 1
+        written = [op for op in trace.ops if isinstance(op, WriteOp)]
+        final = max(op.offset + op.length for op in written if "wrl" in op.path)
+        actual_growth = final / initial - 1
+        assert abs(actual_growth - expected_growth) < 0.08
+
+    @pytest.mark.parametrize("scale", [16, 64])
+    def test_wechat_mod_size_independent_of_scale(self, scale):
+        # page writes are absolute-size (4KB); scaling the file must not
+        # scale the update volume per modification
+        trace = wechat_trace(scale=scale, modifications=30)
+        per_mod = trace.stats.update_bytes / 30
+        assert 4096 <= per_mod <= 6 * 4096
+
+    def test_append_total_equals_file_size(self):
+        trace = append_write_trace(scale=8)
+        assert trace.stats.update_bytes == trace.stats.bytes_written
+
+    def test_random_update_is_tiny_fraction(self):
+        trace = random_write_trace(scale=4)
+        file_size = len(trace.preload["/random.dat"])
+        assert trace.stats.update_bytes < file_size / 50
+
+
+class TestOpSequenceFidelity:
+    def test_word_ops_per_save_constant(self):
+        a = word_trace(scale=64, saves=5)
+        b = word_trace(scale=64, saves=10)
+        # ops scale linearly with saves (fixed sequence per save)
+        assert abs(len(b.ops) / len(a.ops) - 2.0) < 0.1
+
+    def test_wechat_journal_precedes_db_every_mod(self):
+        trace = wechat_trace(scale=128, modifications=10)
+        state = "idle"
+        for op in trace.ops:
+            if isinstance(op, WriteOp):
+                if op.path.endswith("-journal"):
+                    state = "journaled"
+                elif op.length >= 4096:
+                    assert state == "journaled", "db page written before journal"
+
+    def test_timestamps_monotone_all_traces(self):
+        for trace in (
+            word_trace(scale=64, saves=4),
+            wechat_trace(scale=128, modifications=4),
+            append_write_trace(scale=64, appends=4),
+            random_write_trace(scale=64, writes=4),
+        ):
+            times = [op.timestamp for op in trace.ops]
+            assert times == sorted(times), trace.name

@@ -1,0 +1,120 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vfs.ops import (
+    CloseOp,
+    CreateOp,
+    LinkOp,
+    ReadOp,
+    RenameOp,
+    TruncateOp,
+    UnlinkOp,
+    WriteOp,
+)
+from repro.workloads import gedit_trace, wechat_trace, word_trace
+from repro.workloads.generators import append_write_trace, random_write_trace
+from repro.workloads.traceio import (
+    load_trace_file,
+    save_trace_file,
+    trace_from_bytes,
+    trace_to_bytes,
+)
+from repro.workloads.traces import Trace, TraceStats
+
+
+def _assert_traces_equal(a: Trace, b: Trace):
+    assert a.name == b.name
+    assert a.preload == b.preload
+    assert a.stats == b.stats
+    assert a.ops == b.ops
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: append_write_trace(scale=64, appends=5),
+            lambda: random_write_trace(scale=64, writes=5),
+            lambda: word_trace(scale=128, saves=2),
+            lambda: wechat_trace(scale=256, modifications=3),
+            lambda: gedit_trace(saves=2, file_size=5000),
+        ],
+        ids=["append", "random", "word", "wechat", "gedit"],
+    )
+    def test_generators_round_trip(self, factory):
+        trace = factory()
+        _assert_traces_equal(trace, trace_from_bytes(trace_to_bytes(trace)))
+
+    def test_all_op_kinds(self):
+        trace = Trace(name="kinds")
+        trace.ops = [
+            CreateOp("/a", timestamp=0.5),
+            WriteOp("/a", 7, b"\x00\xffdata", timestamp=1.0),
+            ReadOp("/a", 2, 4, timestamp=1.5),
+            TruncateOp("/a", 3, timestamp=2.0),
+            RenameOp("/a", "/b", timestamp=2.5),
+            LinkOp("/b", "/c", timestamp=3.0),
+            CloseOp("/c", timestamp=3.5),
+            UnlinkOp("/c", timestamp=4.0),
+        ]
+        trace.stats = TraceStats(op_count=8, bytes_written=6, update_bytes=6)
+        _assert_traces_equal(trace, trace_from_bytes(trace_to_bytes(trace)))
+
+    def test_file_round_trip(self, tmp_path):
+        trace = gedit_trace(saves=2, file_size=2000)
+        path = str(tmp_path / "trace.bin")
+        save_trace_file(trace, path)
+        _assert_traces_equal(trace, load_trace_file(path))
+
+    def test_empty_trace(self):
+        trace = Trace(name="empty")
+        _assert_traces_equal(trace, trace_from_bytes(trace_to_bytes(trace)))
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("w"), st.binary(max_size=100)).map(
+                    lambda t: WriteOp("/f", 0, t[1], timestamp=1.0)
+                ),
+                st.just(CreateOp("/f", timestamp=0.0)),
+                st.just(RenameOp("/f", "/g", timestamp=2.0)),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30)
+    def test_property_round_trip(self, ops):
+        trace = Trace(name="prop")
+        trace.ops = ops
+        _assert_traces_equal(trace, trace_from_bytes(trace_to_bytes(trace)))
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            trace_from_bytes(b"NOTATRACE" + b"\x00" * 20)
+
+    def test_truncated_ops(self):
+        raw = trace_to_bytes(gedit_trace(saves=1, file_size=1000))
+        with pytest.raises(ValueError):
+            trace_from_bytes(raw[: len(raw) - 10])
+
+    def test_replay_after_round_trip(self):
+        from repro.vfs.filesystem import MemoryFileSystem
+        from repro.workloads.traces import apply_op
+
+        trace = wechat_trace(scale=256, modifications=2)
+        restored = trace_from_bytes(trace_to_bytes(trace))
+        fs1, fs2 = MemoryFileSystem(), MemoryFileSystem()
+        for fs, t in ((fs1, trace), (fs2, restored)):
+            for path, content in t.preload.items():
+                fs.write_file(path, content)
+            for op in t.ops:
+                apply_op(fs, op)
+        assert {p: fs1.read_file(p) for p in fs1.walk_files()} == {
+            p: fs2.read_file(p) for p in fs2.walk_files()
+        }

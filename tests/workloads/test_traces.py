@@ -1,0 +1,57 @@
+"""Tests for trace replay mechanics."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.ops import CloseOp, CreateOp, WriteOp
+from repro.workloads.traces import Trace, apply_op, replay
+
+
+def _trace():
+    trace = Trace(name="t")
+    trace.ops = [
+        CreateOp("/f", timestamp=0.0),
+        WriteOp("/f", 0, b"one", timestamp=5.0),
+        WriteOp("/f", 3, b"two", timestamp=10.0),
+        CloseOp("/f", timestamp=10.0),
+    ]
+    return trace
+
+
+def test_replay_applies_all_ops():
+    fs = MemoryFileSystem()
+    replay(_trace(), fs, VirtualClock())
+    assert fs.read_file("/f") == b"onetwo"
+
+
+def test_clock_advances_to_op_times():
+    clock = VirtualClock()
+    replay(_trace(), MemoryFileSystem(), clock)
+    assert clock.now() == pytest.approx(10.0)
+
+
+def test_pump_called_between_ops():
+    calls = []
+    clock = VirtualClock()
+    replay(_trace(), MemoryFileSystem(), clock, pump=calls.append, pump_interval=1.0)
+    # 10 virtual seconds at 1s pump interval plus the final pump
+    assert len(calls) == 11
+    assert calls == sorted(calls)
+
+
+def test_pump_interval_respected():
+    calls = []
+    clock = VirtualClock()
+    replay(_trace(), MemoryFileSystem(), clock, pump=calls.append, pump_interval=5.0)
+    assert len(calls) == 3
+
+
+def test_duration_property():
+    assert _trace().duration == 10.0
+    assert Trace(name="empty").duration == 0.0
+
+
+def test_apply_op_rejects_unknown():
+    with pytest.raises(TypeError):
+        apply_op(MemoryFileSystem(), object())

@@ -1,0 +1,89 @@
+"""Tests for the WeChat (SQLite journal) trace synthesizer."""
+
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.ops import CreateOp, TruncateOp, WriteOp
+from repro.workloads.traces import apply_op
+from repro.workloads.wechat import wechat_trace
+
+
+def _replay(trace):
+    fs = MemoryFileSystem()
+    for path, content in trace.preload.items():
+        fs.write_file(path, content)
+    for op in trace.ops:
+        apply_op(fs, op)
+    return fs
+
+
+class TestStructure:
+    def test_journal_cycle_shape(self):
+        trace = wechat_trace(scale=256, modifications=1)
+        kinds = [type(op).__name__ for op in trace.ops]
+        assert kinds[0] == "CreateOp"  # create journal
+        assert "TruncateOp" in kinds  # commit truncates the journal
+        # journal written before the database
+        first_db_write = next(
+            i
+            for i, op in enumerate(trace.ops)
+            if isinstance(op, WriteOp) and op.path == "/chat.sqlite"
+        )
+        first_journal_write = next(
+            i
+            for i, op in enumerate(trace.ops)
+            if isinstance(op, WriteOp) and op.path == "/chat.sqlite-journal"
+        )
+        assert first_journal_write < first_db_write
+
+    def test_page_aligned_rewrites(self):
+        trace = wechat_trace(scale=128, modifications=10)
+        db_writes = [
+            op
+            for op in trace.ops
+            if isinstance(op, WriteOp) and op.path == "/chat.sqlite" and op.length >= 4096
+        ]
+        assert db_writes
+        assert all(op.offset % 4096 == 0 for op in db_writes)
+
+    def test_header_write_is_unaligned(self):
+        # the small change-counter write that gives NFS fetch-before-write
+        trace = wechat_trace(scale=128, modifications=3)
+        small = [
+            op
+            for op in trace.ops
+            if isinstance(op, WriteOp) and op.path == "/chat.sqlite" and op.length < 100
+        ]
+        assert small
+        assert all(op.offset == 24 for op in small)
+
+    def test_database_grows(self):
+        trace = wechat_trace(scale=64, modifications=60)
+        fs = _replay(trace)
+        assert fs.size("/chat.sqlite") > len(trace.preload["/chat.sqlite"])
+
+    def test_journal_empty_after_each_commit(self):
+        trace = wechat_trace(scale=128, modifications=5)
+        fs = _replay(trace)
+        assert not fs.exists("/chat.sqlite-journal") or fs.size("/chat.sqlite-journal") == 0
+
+    def test_paper_scale(self):
+        trace = wechat_trace(scale=1, modifications=1)
+        size = len(trace.preload["/chat.sqlite"])
+        assert abs(size - 131 * 1024 * 1024) < 4096
+
+    def test_update_small_relative_to_file(self):
+        trace = wechat_trace(scale=64, modifications=20)
+        assert trace.stats.update_bytes < len(trace.preload["/chat.sqlite"])
+
+    def test_rewrites_range_respected(self):
+        trace = wechat_trace(scale=128, modifications=8, rewrites_range=(5, 5))
+        journal_writes = [
+            op
+            for op in trace.ops
+            if isinstance(op, WriteOp) and op.path.endswith("-journal")
+        ]
+        assert len(journal_writes) == 8 * 5
+
+    def test_deterministic(self):
+        a = wechat_trace(scale=128, modifications=4, seed=3)
+        b = wechat_trace(scale=128, modifications=4, seed=3)
+        assert [op.timestamp for op in a.ops] == [op.timestamp for op in b.ops]

@@ -1,0 +1,76 @@
+"""Tests for the Word trace synthesizer."""
+
+from repro.vfs.filesystem import MemoryFileSystem
+from repro.vfs.ops import CreateOp, ReadOp, RenameOp, UnlinkOp, WriteOp
+from repro.workloads.traces import apply_op
+from repro.workloads.word import word_trace
+
+
+def _replay(trace):
+    fs = MemoryFileSystem()
+    for path, content in trace.preload.items():
+        fs.write_file(path, content)
+    for op in trace.ops:
+        apply_op(fs, op)
+    return fs
+
+
+class TestStructure:
+    def test_figure3_sequence_per_save(self):
+        trace = word_trace(scale=64, saves=1)
+        kinds = [type(op).__name__ for op in trace.ops]
+        # rename f->t0, create t1, writes..., close, rename t1->f, unlink t0, read
+        assert kinds[0] == "RenameOp"
+        assert kinds[1] == "CreateOp"
+        assert "WriteOp" in kinds
+        assert kinds[-3] == "RenameOp"
+        assert kinds[-2] == "UnlinkOp"
+        assert kinds[-1] == "ReadOp"
+
+    def test_save_count(self):
+        trace = word_trace(scale=64, saves=7)
+        renames = [op for op in trace.ops if isinstance(op, RenameOp)]
+        assert len(renames) == 14  # two renames per save
+
+    def test_file_grows_across_trace(self):
+        trace = word_trace(scale=32, saves=10)
+        fs = _replay(trace)
+        final = fs.size("/report.docx")
+        assert final > len(trace.preload["/report.docx"])
+
+    def test_paper_scale_sizes(self):
+        trace = word_trace(scale=1, saves=1)
+        assert abs(len(trace.preload["/report.docx"]) - 12_100 * 1024) < 4096
+
+    def test_transactional_never_overwrites_in_place(self):
+        # the document path itself is only ever touched by renames
+        trace = word_trace(scale=64, saves=3)
+        for op in trace.ops:
+            if isinstance(op, WriteOp):
+                assert op.path != "/report.docx"
+
+    def test_save_fits_relation_timeout(self):
+        # a save must complete within ~1s or the relation entry expires
+        trace = word_trace(scale=8, saves=1)
+        renames = [op for op in trace.ops if isinstance(op, RenameOp)]
+        assert renames[1].timestamp - renames[0].timestamp < 2.0
+
+    def test_update_bytes_much_smaller_than_written(self):
+        trace = word_trace(scale=16, saves=5)
+        assert trace.stats.update_bytes < trace.stats.bytes_written / 5
+
+    def test_deterministic(self):
+        a = word_trace(scale=32, saves=3, seed=9)
+        b = word_trace(scale=32, saves=3, seed=9)
+        assert len(a.ops) == len(b.ops)
+        wa = [op.data for op in a.ops if isinstance(op, WriteOp)]
+        wb = [op.data for op in b.ops if isinstance(op, WriteOp)]
+        assert wa == wb
+
+    def test_replay_consistency(self):
+        trace = word_trace(scale=64, saves=4)
+        fs = _replay(trace)
+        assert fs.exists("/report.docx")
+        # temp files all cleaned up
+        leftovers = [p for p in fs.walk_files() if p != "/report.docx"]
+        assert leftovers == []
