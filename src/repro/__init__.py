@@ -30,13 +30,16 @@ from repro.core.client import DeltaCFSClient
 from repro.cost.meter import CostMeter
 from repro.cost.profile import MOBILE_PROFILE, PC_PROFILE
 from repro.net.transport import Channel, NetworkModel
+from repro.obs import NULL_OBS, Observability
 from repro.server.cloud import CloudServer
 from repro.vfs.filesystem import MemoryFileSystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "VirtualClock",
+    "Observability",
+    "NULL_OBS",
     "BaselineConfig",
     "DeltaCFSConfig",
     "DeltaCFSClient",

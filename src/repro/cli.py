@@ -7,6 +7,7 @@ Usage (installed, or ``python -m repro``):
     python -m repro experiment all
     python -m repro trace word --out word.trace --scale 16 --ops 10
     python -m repro replay word.trace --solution deltacfs
+    python -m repro replay word.trace --metrics --trace-out trace.jsonl
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.metrics.report import format_bytes, format_table
+from repro.metrics.report import format_bytes, format_table, format_tue
 
 
 def _cmd_info(_args) -> int:
@@ -179,6 +180,7 @@ def _cmd_trace(args) -> int:
 
 def _cmd_replay(args) -> int:
     from repro.harness.runner import SOLUTIONS, run_trace
+    from repro.obs import NULL_OBS, Observability
     from repro.workloads.traceio import load_trace_file
 
     if args.solution not in SOLUTIONS:
@@ -186,7 +188,10 @@ def _cmd_replay(args) -> int:
               file=sys.stderr)
         return 2
     trace = load_trace_file(args.trace)
-    result = run_trace(args.solution, trace)
+    # Observability is opt-in: without either flag the run uses NULL_OBS
+    # and is byte-identical to an uninstrumented run.
+    obs = Observability() if (args.metrics or args.trace_out) else NULL_OBS
+    result = run_trace(args.solution, trace, obs=obs)
     print(
         format_table(
             ["trace", "solution", "cli CPU", "srv CPU", "up", "down", "TUE"],
@@ -197,10 +202,21 @@ def _cmd_replay(args) -> int:
                 f"{result.server_ticks:.1f}",
                 format_bytes(result.up_bytes),
                 format_bytes(result.down_bytes),
-                f"{result.tue:.2f}" if result.update_bytes else "n/a",
+                format_tue(result.tue),
             ]],
         )
     )
+    if args.metrics:
+        print()
+        print(obs.report())
+    if args.trace_out:
+        try:
+            count = obs.tracer.write_jsonl(args.trace_out)
+        except OSError as exc:
+            print(f"cannot write trace to {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nwrote {args.trace_out}: {count} trace records")
     return 0
 
 
@@ -234,6 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="replay a saved trace through a sync system")
     replay.add_argument("trace")
     replay.add_argument("--solution", default="deltacfs")
+    replay.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the observability metrics report after the run",
+    )
+    replay.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the structured event trace as JSONL to PATH",
+    )
     replay.set_defaults(func=_cmd_replay)
     return parser
 

@@ -57,6 +57,7 @@ from repro.net.messages import (
     UploadWriteBatch,
 )
 from repro.net.transport import Channel
+from repro.obs import NULL_OBS, Observability
 from repro.vfs.filesystem import FileSystemAPI
 from repro.vfs.interception import PassthroughFileSystem
 
@@ -97,6 +98,8 @@ class DeltaCFSClient(PassthroughFileSystem):
         config: tunables (block size, delays, thresholds).
         clock: virtual time source shared with the workload driver.
         meter: client-side CPU meter.
+        obs: observability hub (metrics + tracing); defaults to the no-op
+            ``NULL_OBS`` so uninstrumented runs are unperturbed.
     """
 
     def __init__(
@@ -109,6 +112,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         config: Optional[DeltaCFSConfig] = None,
         clock: Optional[VirtualClock] = None,
         meter: CostMeter = NULL_METER,
+        obs: Observability = NULL_OBS,
         checksum_kv=None,
     ):
         super().__init__(inner)
@@ -119,11 +123,15 @@ class DeltaCFSClient(PassthroughFileSystem):
         self.client_id = client_id
         self.clock = clock if clock is not None else VirtualClock()
         self.meter = meter
+        self.obs = obs
 
-        self.relations = RelationTable(timeout=self.config.relation_timeout)
+        self.relations = RelationTable(
+            timeout=self.config.relation_timeout, obs=obs
+        )
         self.queue = SyncQueue(
             upload_delay=self.config.upload_delay,
             capacity=self.config.sync_queue_capacity,
+            obs=obs,
         )
         self.versions: Dict[str, Optional[VersionStamp]] = {}
         self._counter = VersionCounter(client_id)
@@ -180,6 +188,8 @@ class DeltaCFSClient(PassthroughFileSystem):
             return
         self.stats.writes_intercepted += 1
         self.stats.bytes_written += len(data)
+        self.obs.inc("client.writes.intercepted")
+        self.obs.inc("client.write.bytes", len(data))
         # NFS-like file RPC: the written bytes are captured here, for free.
         self.meter.charge_bytes("write_io", len(data))
 
@@ -201,6 +211,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         if node is None:
             if self.queue.full:
                 self.stats.stalls += 1
+                self.obs.inc("client.stalls")
                 self.pump(now)
             base = self.versions.get(path)
             node = WriteNode(
@@ -210,6 +221,7 @@ class DeltaCFSClient(PassthroughFileSystem):
             self.versions[path] = node.new_version
         else:
             self.queue.note_mutation(node)
+            self.queue.note_coalesced(node, offset, len(data))
             # The upload delay debounces from the *last* write: an active
             # node keeps coalescing while the application is still writing
             # (Figure 6's delay gives delta replacement its window).
@@ -297,14 +309,17 @@ class DeltaCFSClient(PassthroughFileSystem):
         old_content: Optional[bytes] = None
         old_version: Optional[VersionStamp] = None
         preserved_tmp: Optional[str] = None
+        trigger_rule = ""
         if entry is not None and self.inner.exists(entry.dst):
             # Trigger rule 1: dst matches a live entry's src.
+            trigger_rule = "relation_match"
             old_content = self.inner.read_file(entry.dst)
             old_version = self.versions.get(entry.dst)
             if entry.origin == "unlink":
                 preserved_tmp = entry.dst
         elif dst_existed:
             # Trigger rule 2: the to-be-created name already exists.
+            trigger_rule = "name_exists"
             old_content = self.inner.read_file(dst)
             old_version = self.versions.get(dst)
 
@@ -322,7 +337,7 @@ class DeltaCFSClient(PassthroughFileSystem):
 
         if old_content is not None:
             self._try_transactional_delta(
-                dst, old_content, old_version, now, preserved_tmp
+                dst, old_content, old_version, now, preserved_tmp, rule=trigger_rule
             )
 
     def link(self, src: str, dst: str) -> None:
@@ -519,6 +534,7 @@ class DeltaCFSClient(PassthroughFileSystem):
 
     def _tick(self) -> float:
         self.stats.ops_intercepted += 1
+        self.obs.inc("client.ops.intercepted")
         self.meter.charge_ops(1)
         return self.clock.now()
 
@@ -550,6 +566,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         old_version: Optional[VersionStamp],
         now: float,
         preserved_tmp: Optional[str],
+        rule: str = "",
     ) -> None:
         """Run triggered delta encoding for ``path`` against ``old_content``.
 
@@ -559,6 +576,9 @@ class DeltaCFSClient(PassthroughFileSystem):
         delta would be pure overhead.
         """
         self.stats.deltas_triggered += 1
+        if self.obs.enabled:
+            self.obs.inc("client.delta.triggered")
+            self.obs.event("client.delta.trigger", path=path, rule=rule)
         doomed = sorted(self._pending_data_nodes_for_content(path), key=lambda n: n.seq)
         doomed_versions = {n.new_version for n in doomed}
         if (
@@ -571,19 +591,47 @@ class DeltaCFSClient(PassthroughFileSystem):
             # exist on the cloud (it died un-uploaded, or it is the product
             # of the very nodes this delta would remove) — a delta would
             # reference a base the server cannot resolve.
+            if self.obs.enabled:
+                self.obs.inc("client.delta.no_base")
+                self.obs.event("client.delta.no_base", path=path)
             if preserved_tmp is not None:
                 self._drop_preserved(preserved_tmp)
             return
         new_content = self.inner.read_file(path)
-        delta = bitwise_delta(
-            old_content, new_content, self.config.block_size, meter=self.meter
-        )
+        with self.obs.span(
+            "client.delta.encode",
+            path=path,
+            old_bytes=len(old_content),
+            new_bytes=len(new_content),
+        ):
+            delta = bitwise_delta(
+                old_content, new_content, self.config.block_size, meter=self.meter
+            )
         replaced_payload = sum(n.payload_bytes() for n in doomed)
         if delta.wire_size() >= replaced_payload:
+            if self.obs.enabled:
+                self.obs.inc("client.delta.rpc_wins")
+                self.obs.event(
+                    "client.delta.rpc_wins",
+                    path=path,
+                    delta_bytes=delta.wire_size(),
+                    replaced_bytes=replaced_payload,
+                )
             if preserved_tmp is not None:
                 self._drop_preserved(preserved_tmp)
             return  # RPC wins; keep the write nodes (adaptivity!)
         self.stats.deltas_kept += 1
+        if self.obs.enabled:
+            self.obs.inc("client.delta.kept")
+            self.obs.inc(
+                "client.delta.saved_bytes", replaced_payload - delta.wire_size()
+            )
+            self.obs.event(
+                "client.delta.kept",
+                path=path,
+                delta_bytes=delta.wire_size(),
+                replaced_bytes=replaced_payload,
+            )
         node = DeltaNode(
             path=path,
             delta=delta,
@@ -617,40 +665,52 @@ class DeltaCFSClient(PassthroughFileSystem):
     # -- pack-time in-place compression -----------------------------------
 
     def _pack_and_maybe_compress(self, path: str, now: float) -> None:
-        node = self.queue.pack(path)
-        pending_entry = self._pending_create_delta.pop(path, None)
-        if node is None:
-            if pending_entry is not None and pending_entry.origin == "unlink":
-                self._drop_preserved(pending_entry.dst)
+        with self.obs.span("client.pack", path=path):
+            node = self.queue.pack(path)
+            pending_entry = self._pending_create_delta.pop(path, None)
+            if node is None:
+                if pending_entry is not None and pending_entry.origin == "unlink":
+                    self._drop_preserved(pending_entry.dst)
+                if self.undo is not None:
+                    self.undo.clear(path)
+                return
+            if self.obs.enabled:
+                self.obs.inc("client.pack.count")
+                self.obs.observe("client.pack.duration", now - node.created_time)
+
+            if pending_entry is not None and self.inner.exists(pending_entry.dst):
+                # The file was re-created over a preserved old version
+                # (delete-then-rewrite); encode against that old version.
+                old_content = self.inner.read_file(pending_entry.dst)
+                old_version = self.versions.get(pending_entry.dst)
+                self.stats.deltas_triggered += 1
+                if self.obs.enabled:
+                    self.obs.inc("client.delta.triggered")
+                    self.obs.event(
+                        "client.delta.trigger", path=path, rule="pending_create"
+                    )
+                self._compress_node(
+                    path, node, old_content, old_version, now,
+                    preserved_tmp=pending_entry.dst
+                    if pending_entry.origin == "unlink"
+                    else None,
+                )
+            elif (
+                self.undo is not None
+                and self.undo.has_log(path)
+                and self.undo.changed_fraction(path) > self.config.inplace_delta_threshold
+            ):
+                # Large in-place update: old version reconstructable locally.
+                if self.obs.enabled:
+                    self.obs.inc("client.delta.triggered")
+                    self.obs.event("client.delta.trigger", path=path, rule="inplace")
+                current = self.inner.read_file(path)
+                old_content = self.undo.reconstruct_old(path, current)
+                self._compress_node(
+                    path, node, old_content, node.base_version, now, count_inplace=True
+                )
             if self.undo is not None:
                 self.undo.clear(path)
-            return
-
-        if pending_entry is not None and self.inner.exists(pending_entry.dst):
-            # The file was re-created over a preserved old version
-            # (delete-then-rewrite); encode against that old version.
-            old_content = self.inner.read_file(pending_entry.dst)
-            old_version = self.versions.get(pending_entry.dst)
-            self.stats.deltas_triggered += 1
-            self._compress_node(
-                path, node, old_content, old_version, now,
-                preserved_tmp=pending_entry.dst
-                if pending_entry.origin == "unlink"
-                else None,
-            )
-        elif (
-            self.undo is not None
-            and self.undo.has_log(path)
-            and self.undo.changed_fraction(path) > self.config.inplace_delta_threshold
-        ):
-            # Large in-place update: old version reconstructable locally.
-            current = self.inner.read_file(path)
-            old_content = self.undo.reconstruct_old(path, current)
-            self._compress_node(
-                path, node, old_content, node.base_version, now, count_inplace=True
-            )
-        if self.undo is not None:
-            self.undo.clear(path)
 
     def _compress_node(
         self,
@@ -665,18 +725,40 @@ class DeltaCFSClient(PassthroughFileSystem):
     ) -> None:
         if old_version is None or old_version in self._dead_versions:
             # The old version never reached the cloud; no base to delta from.
+            if self.obs.enabled:
+                self.obs.inc("client.delta.no_base")
+                self.obs.event("client.delta.no_base", path=path)
             if preserved_tmp is not None:
                 self._drop_preserved(preserved_tmp)
             return
         new_content = self.inner.read_file(path)
-        delta = bitwise_delta(
-            old_content, new_content, self.config.block_size, meter=self.meter
-        )
+        with self.obs.span(
+            "client.delta.encode",
+            path=path,
+            old_bytes=len(old_content),
+            new_bytes=len(new_content),
+        ):
+            delta = bitwise_delta(
+                old_content, new_content, self.config.block_size, meter=self.meter
+            )
         if delta.wire_size() < node.payload_bytes():
             if count_inplace:
                 self.stats.inplace_deltas += 1
+                self.obs.inc("client.delta.inplace")
             else:
                 self.stats.deltas_kept += 1
+                self.obs.inc("client.delta.kept")
+            if self.obs.enabled:
+                self.obs.inc(
+                    "client.delta.saved_bytes",
+                    node.payload_bytes() - delta.wire_size(),
+                )
+                self.obs.event(
+                    "client.delta.kept",
+                    path=path,
+                    delta_bytes=delta.wire_size(),
+                    replaced_bytes=node.payload_bytes(),
+                )
             replacement = DeltaNode(
                 path=path,
                 delta=delta,
@@ -688,6 +770,14 @@ class DeltaCFSClient(PassthroughFileSystem):
             if node.new_version is not None:
                 self._dead_versions.add(node.new_version)
             self.versions[path] = replacement.new_version
+        elif self.obs.enabled:
+            self.obs.inc("client.delta.rpc_wins")
+            self.obs.event(
+                "client.delta.rpc_wins",
+                path=path,
+                delta_bytes=delta.wire_size(),
+                replaced_bytes=node.payload_bytes(),
+            )
         if preserved_tmp is not None:
             self._drop_preserved(preserved_tmp)
 
@@ -739,19 +829,26 @@ class DeltaCFSClient(PassthroughFileSystem):
         messages = [m for m in messages if m is not None]
         if not messages:
             return
-        if unit.transactional and len(messages) > 1:
-            outbound: Message = TxnGroup(members=tuple(messages))
-            self.stats.groups_uploaded += 1
-        else:
-            outbound = messages[0] if len(messages) == 1 else TxnGroup(
-                members=tuple(messages)
-            )
-        self.stats.nodes_uploaded += len(messages)
-        self.channel.upload(outbound, now)
-        if self.server is None:
-            return
-        result = self.server.handle(outbound, origin_client=self.client_id)
-        self._process_replies(result, now)
+        with self.obs.span(
+            "client.upload_unit",
+            nodes=len(unit.nodes),
+            transactional=unit.transactional,
+        ):
+            if unit.transactional and len(messages) > 1:
+                outbound: Message = TxnGroup(members=tuple(messages))
+                self.stats.groups_uploaded += 1
+                self.obs.inc("client.upload.groups")
+            else:
+                outbound = messages[0] if len(messages) == 1 else TxnGroup(
+                    members=tuple(messages)
+                )
+            self.stats.nodes_uploaded += len(messages)
+            self.obs.inc("client.upload.units")
+            self.channel.upload(outbound, now)
+            if self.server is None:
+                return
+            result = self.server.handle(outbound, origin_client=self.client_id)
+            self._process_replies(result, now)
 
     def _node_to_message(self, node: QueueNode) -> Optional[Message]:
         if isinstance(node, WriteNode):
@@ -802,6 +899,7 @@ class DeltaCFSClient(PassthroughFileSystem):
             self.channel.download(reply, now)
             if isinstance(reply, ConflictNotice):
                 self.stats.conflicts += 1
+                self.obs.inc("client.conflicts")
                 self.conflict_notices.append(reply)
 
     # -- downloads: forwards and recovery -----------------------------------
@@ -837,6 +935,7 @@ class DeltaCFSClient(PassthroughFileSystem):
             # pending local changes (Section III-D); the server reconciles,
             # we keep local state and count the conflict.
             self.stats.conflicts += 1
+            self.obs.inc("client.conflicts")
             return
         if isinstance(message, _MetaOp):
             self._replay_remote_meta(message)

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs import NULL_OBS, Observability
+
 
 @dataclass
 class RelationEntry:
@@ -50,10 +52,11 @@ class RelationTable:
     and its entry is returned for cleanup).
     """
 
-    def __init__(self, timeout: float = 2.0):
+    def __init__(self, timeout: float = 2.0, *, obs: Observability = NULL_OBS):
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         self.timeout = timeout
+        self.obs = obs
         self._entries: Dict[str, RelationEntry] = {}
 
     def __len__(self) -> int:
@@ -73,6 +76,7 @@ class RelationTable:
         self._entries[src] = RelationEntry(
             src=src, dst=dst, created_at=now, origin="rename"
         )
+        self._note_insert(src, dst, "rename", superseded)
         return superseded
 
     def record_unlink(self, path: str, preserved_at: str, now: float) -> Optional[RelationEntry]:
@@ -81,6 +85,7 @@ class RelationTable:
         self._entries[path] = RelationEntry(
             src=path, dst=preserved_at, created_at=now, origin="unlink"
         )
+        self._note_insert(path, preserved_at, "unlink", superseded)
         return superseded
 
     def match_created(self, path: str, now: float) -> Optional[RelationEntry]:
@@ -93,8 +98,19 @@ class RelationTable:
         if entry is None:
             return None
         if now - entry.created_at > self.timeout:
+            self.obs.inc("relation.entries.stale")
             return None  # stale; expire() will collect it
         del self._entries[path]
+        if self.obs.enabled:
+            self.obs.inc("relation.entries.matched")
+            self.obs.event(
+                "relation.match",
+                src=entry.src,
+                dst=entry.dst,
+                origin=entry.origin,
+                age=now - entry.created_at,
+            )
+            self.obs.set_gauge("relation.size", len(self._entries))
         return entry
 
     def invalidate_dst(self, path: str) -> List[RelationEntry]:
@@ -106,6 +122,11 @@ class RelationTable:
         doomed = [e for e in self._entries.values() if e.dst == path]
         for entry in doomed:
             del self._entries[entry.src]
+        if self.obs.enabled and doomed:
+            self.obs.inc("relation.entries.invalidated", len(doomed))
+            for entry in doomed:
+                self.obs.event("relation.invalidate", src=entry.src, dst=entry.dst)
+            self.obs.set_gauge("relation.size", len(self._entries))
         return doomed
 
     def expire(self, now: float) -> List[RelationEntry]:
@@ -119,4 +140,25 @@ class RelationTable:
         ]
         for entry in expired:
             del self._entries[entry.src]
+        if self.obs.enabled and expired:
+            self.obs.inc("relation.entries.expired", len(expired))
+            for entry in expired:
+                self.obs.event(
+                    "relation.expire",
+                    src=entry.src,
+                    dst=entry.dst,
+                    origin=entry.origin,
+                )
+            self.obs.set_gauge("relation.size", len(self._entries))
         return expired
+
+    def _note_insert(
+        self, src: str, dst: str, origin: str, superseded: Optional[RelationEntry]
+    ) -> None:
+        if not self.obs.enabled:
+            return
+        self.obs.inc("relation.entries.inserted", origin=origin)
+        if superseded is not None:
+            self.obs.inc("relation.entries.superseded")
+        self.obs.event("relation.insert", src=src, dst=dst, origin=origin)
+        self.obs.set_gauge("relation.size", len(self._entries))

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.bytesutil import merge_ranges
 from repro.common.version import VersionStamp
 from repro.delta.format import Delta
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass
@@ -36,6 +37,10 @@ class QueueNode:
     path: str
     seq: int = -1
     enqueue_time: float = 0.0
+    # When the node first joined the queue. ``enqueue_time`` is refreshed on
+    # every coalesced write (the debounce), so it cannot answer "how long
+    # did this node's coalescing window last" — this can.
+    created_time: float = 0.0
     base_version: Optional[VersionStamp] = None
     new_version: Optional[VersionStamp] = None
 
@@ -140,15 +145,25 @@ class SyncQueue:
     is a C-implementation concern, not an algorithmic one (see DESIGN.md).
     """
 
-    def __init__(self, *, upload_delay: float = 3.0, capacity: int = 4096):
+    def __init__(
+        self,
+        *,
+        upload_delay: float = 3.0,
+        capacity: int = 4096,
+        obs: Observability = NULL_OBS,
+    ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.upload_delay = upload_delay
         self.capacity = capacity
+        self.obs = obs
         self._nodes: List[QueueNode] = []  # live nodes, FIFO by seq
         self._active_writes: Dict[str, WriteNode] = {}  # the hash table
         self._spans: List[Tuple[int, int]] = []  # merged backindex spans
         self._next_seq = 0
+        # Real "now" during drain_all, where next_unit runs with a
+        # far-future clock that would corrupt wait-time telemetry.
+        self._telemetry_now: Optional[float] = None
 
     # -- enqueue side ------------------------------------------------------
 
@@ -165,10 +180,31 @@ class SyncQueue:
         node.seq = self._next_seq
         self._next_seq += 1
         node.enqueue_time = now
+        node.created_time = now
         self._nodes.append(node)
         if isinstance(node, WriteNode) and not node.packed:
             self._active_writes[node.path] = node
+        if self.obs.enabled:
+            kind = type(node).__name__
+            self.obs.inc("queue.nodes.created", kind=kind)
+            self.obs.event(
+                "queue.node.created", path=node.path, kind=kind, seq=node.seq
+            )
+            self._update_gauges()
         return node
+
+    def note_coalesced(self, node: WriteNode, offset: int, nbytes: int) -> None:
+        """Record that a write was absorbed into an active node (telemetry)."""
+        if self.obs.enabled:
+            self.obs.inc("queue.nodes.coalesced")
+            self.obs.event(
+                "queue.node.coalesced",
+                path=node.path,
+                seq=node.seq,
+                offset=offset,
+                bytes=nbytes,
+            )
+            self._update_gauges()
 
     def active_write_node(self, path: str) -> Optional[WriteNode]:
         """The unpacked write node for ``path``, if any (hash-table lookup)."""
@@ -184,6 +220,15 @@ class SyncQueue:
         node = self._active_writes.pop(path, None)
         if node is not None:
             node.pack()
+            if self.obs.enabled:
+                self.obs.inc("queue.nodes.packed")
+                self.obs.event(
+                    "queue.node.packed",
+                    path=node.path,
+                    seq=node.seq,
+                    writes=len(node.writes),
+                    payload_bytes=node.payload_bytes(),
+                )
         return node
 
     def pending_nodes(self, path: str) -> List[QueueNode]:
@@ -205,6 +250,16 @@ class SyncQueue:
         delta node — the delta logically *is* those writes, so everything
         between must apply transactionally with it (Figure 7).
         """
+        if self.obs.enabled and doomed:
+            self.obs.inc("queue.nodes.replaced_by_delta", len(doomed))
+            self.obs.event(
+                "queue.node.replaced_by_delta",
+                path=delta_node.path,
+                replaced_seqs=[n.seq for n in doomed],
+                delta_seq=self._next_seq,
+                delta_bytes=delta_node.payload_bytes(),
+                replaced_bytes=sum(n.payload_bytes() for n in doomed),
+            )
         self._remove(doomed)
         self.enqueue(delta_node, now)
         if doomed:
@@ -220,12 +275,23 @@ class SyncQueue:
         """
         if not doomed:
             return
+        if self.obs.enabled:
+            self.obs.inc("queue.nodes.cancelled", len(doomed))
+            for node in doomed:
+                self.obs.event(
+                    "queue.node.cancelled",
+                    path=node.path,
+                    seq=node.seq,
+                    kind=type(node).__name__,
+                )
         first = min(n.seq for n in doomed)
         self._remove(doomed)
         if self._nodes and self._nodes[-1].seq > first:
             covered = [n for n in self._nodes if n.seq > first]
             if covered:
                 self._add_span(covered[0].seq, self._nodes[-1].seq)
+        if self.obs.enabled:
+            self._update_gauges()
 
     def _remove(self, doomed: Sequence[QueueNode]) -> None:
         doomed_seqs = {n.seq for n in doomed}
@@ -247,6 +313,7 @@ class SyncQueue:
     def _add_span(self, start: int, end: int) -> None:
         if end < start:
             return
+        self.obs.inc("queue.spans.recorded")
         self._spans.append((start, end))
         self._spans.sort()
         merged = [self._spans[0]]
@@ -282,6 +349,8 @@ class SyncQueue:
             self._nodes.pop(0)
             if isinstance(head, WriteNode):
                 self._pack_for_upload(head)
+            if self.obs.enabled:
+                self._note_shipped([head], now, transactional=False)
             return UploadUnit(nodes=[head], transactional=False)
 
         start, end = span
@@ -297,17 +366,24 @@ class SyncQueue:
         for node in members:
             if isinstance(node, WriteNode):
                 self._pack_for_upload(node)
+        if self.obs.enabled:
+            self.obs.inc("queue.units.transactional")
+            self._note_shipped(members, now, transactional=True)
         return UploadUnit(nodes=members, transactional=True)
 
     def drain_all(self, now: float) -> List[UploadUnit]:
         """Ship everything regardless of delay (shutdown / final flush)."""
         units: List[UploadUnit] = []
         far_future = now + self.upload_delay + 1e9
-        while True:
-            unit = self.next_unit(far_future)
-            if unit is None:
-                break
-            units.append(unit)
+        self._telemetry_now = now
+        try:
+            while True:
+                unit = self.next_unit(far_future)
+                if unit is None:
+                    break
+                units.append(unit)
+        finally:
+            self._telemetry_now = None
         return units
 
     def queued_bytes(self) -> int:
@@ -319,6 +395,32 @@ class SyncQueue:
     def _due(self, node: QueueNode, now: float) -> bool:
         return now - node.enqueue_time >= self.upload_delay
 
+    def _note_shipped(
+        self, nodes: Sequence[QueueNode], now: float, *, transactional: bool
+    ) -> None:
+        if self._telemetry_now is not None:
+            now = self._telemetry_now
+        self.obs.inc("queue.nodes.shipped", len(nodes))
+        for node in nodes:
+            payload = node.payload_bytes()
+            self.obs.observe("queue.node.payload_bytes", payload)
+            self.obs.observe(
+                "queue.node.wait_time", max(0.0, now - node.enqueue_time)
+            )
+            self.obs.event(
+                "queue.node.shipped",
+                path=node.path,
+                seq=node.seq,
+                kind=type(node).__name__,
+                payload_bytes=payload,
+                transactional=transactional,
+            )
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        self.obs.set_gauge("queue.depth", len(self._nodes))
+        self.obs.set_gauge("queue.bytes.queued", self.queued_bytes())
+
     def _span_containing(self, seq: int) -> Optional[Tuple[int, int]]:
         for span in self._spans:
             if span[0] <= seq <= span[1]:
@@ -328,5 +430,14 @@ class SyncQueue:
     def _pack_for_upload(self, node: WriteNode) -> None:
         if not node.packed:
             node.pack()
+            if self.obs.enabled:
+                self.obs.inc("queue.nodes.packed")
+                self.obs.event(
+                    "queue.node.packed",
+                    path=node.path,
+                    seq=node.seq,
+                    writes=len(node.writes),
+                    payload_bytes=node.payload_bytes(),
+                )
         if self._active_writes.get(node.path) is node:
             del self._active_writes[node.path]

@@ -16,6 +16,7 @@ from repro.cost.meter import CostMeter
 from repro.cost.profile import CostProfile, PC_PROFILE
 from repro.metrics.collector import RunResult
 from repro.net.transport import Channel, NetworkModel, NetworkStats, PC_NETWORK
+from repro.obs import NULL_OBS, Observability
 from repro.server.cloud import CloudServer
 from repro.vfs.filesystem import FileSystemAPI, MemoryFileSystem
 from repro.workloads.traces import Trace, replay
@@ -56,12 +57,16 @@ def build_system(
     wait_for_idle_link: Optional[bool] = None,
     dropbox_dedup_size: int = 4 * 1024 * 1024,
     seafile_chunk_size: int = 1024 * 1024,
+    obs: Observability = NULL_OBS,
 ) -> SystemUnderTest:
     """Construct a sync system by name.
 
     ``profile`` selects PC vs mobile CPU costs; ``network`` the link model
     (slow WAN for mobile). ``wait_for_idle_link`` defaults to True for the
-    fullsync (Dropsync) client, False otherwise.
+    fullsync (Dropsync) client, False otherwise. ``obs`` (default: the
+    no-op ``NULL_OBS``) is wired into the channel, the server, and — for
+    DeltaCFS — the client engine; its trace clock is bound to the run's
+    virtual clock.
 
     When a trace is generated at ``1/scale`` of the paper's file sizes, the
     *structural* baseline granularities (Dropbox's 4 MB dedup unit,
@@ -72,11 +77,12 @@ def build_system(
     if name not in SOLUTIONS:
         raise ValueError(f"unknown solution {name!r}; pick one of {SOLUTIONS}")
     clock = clock if clock is not None else VirtualClock()
+    obs.bind_clock(clock)
     client_meter = CostMeter(profile)
     server_meter = CostMeter(profile if name == "fullsync" else PC_PROFILE)
-    server = CloudServer(meter=server_meter)
+    server = CloudServer(meter=server_meter, obs=obs)
     channel = Channel(
-        model=network, client_meter=client_meter, server_meter=server_meter
+        model=network, client_meter=client_meter, server_meter=server_meter, obs=obs
     )
 
     if name == "deltacfs":
@@ -87,6 +93,7 @@ def build_system(
             clock=clock,
             meter=client_meter,
             config=config,
+            obs=obs,
         )
         return SystemUnderTest(
             name=name,
@@ -112,6 +119,7 @@ def build_system(
             ),
             client_meter=client_meter,
             server_meter=server_meter,
+            obs=obs,
         )
         client = NFSClient(
             MemoryFileSystem(),
@@ -184,6 +192,21 @@ def build_system(
     )
 
 
+def _counted_pump(system: SystemUnderTest, obs: Observability):
+    """Wrap the system pump with run-level counters (no-op when disabled)."""
+    if not obs.enabled:
+        return system.pump
+
+    def pump(now: float):
+        obs.inc("run.pump.calls")
+        shipped = system.pump(now)
+        if isinstance(shipped, int) and shipped > 0:
+            obs.inc("run.pump.shipped", shipped)
+        return shipped
+
+    return pump
+
+
 def _preload(system: SystemUnderTest, trace: Trace) -> None:
     """Install preloaded files and let them sync outside the measurement."""
     if not trace.preload:
@@ -212,8 +235,15 @@ def run_trace(
     pump_interval: float = 1.0,
     dropbox_dedup_size: int = 4 * 1024 * 1024,
     seafile_chunk_size: int = 1024 * 1024,
+    obs: Observability = NULL_OBS,
 ) -> RunResult:
-    """Build ``name``, preload, replay ``trace``, flush, and collect."""
+    """Build ``name``, preload, replay ``trace``, flush, and collect.
+
+    When ``obs`` is a live :class:`~repro.obs.Observability`, the run is
+    wrapped in the documented span hierarchy (``run`` > ``run.preload`` /
+    ``run.replay`` / ``run.settle`` / ``run.flush``) and every scalar
+    metric series lands in :attr:`RunResult.extra` under its registry name.
+    """
     system = build_system(
         name,
         profile=profile,
@@ -222,14 +252,32 @@ def run_trace(
         sync_interval=sync_interval,
         dropbox_dedup_size=dropbox_dedup_size,
         seafile_chunk_size=seafile_chunk_size,
+        obs=obs,
     )
-    _preload(system, trace)
-    replay(trace, system.fs, system.clock, pump=system.pump, pump_interval=pump_interval)
-    # settle: let upload delays elapse under normal pumping, then drain
-    for _ in range(10):
-        system.clock.advance(1.0)
-        system.pump(system.clock.now())
-    system.flush()
+    with obs.span("run", solution=name, trace=trace.name):
+        with obs.span("run.preload"):
+            _preload(system, trace)
+        if obs.enabled:
+            # Mirror reset_counters(): metrics cover the measured window
+            # only, so channel.* totals agree with NetworkStats. The trace
+            # is left intact — run.preload records stay visible.
+            obs.metrics.reset()
+        with obs.span("run.replay"):
+            replay(
+                trace,
+                system.fs,
+                system.clock,
+                pump=_counted_pump(system, obs),
+                pump_interval=pump_interval,
+            )
+        # settle: let upload delays elapse under normal pumping, then drain
+        with obs.span("run.settle"):
+            pump = _counted_pump(system, obs)
+            for _ in range(10):
+                system.clock.advance(1.0)
+                pump(system.clock.now())
+        with obs.span("run.flush"):
+            system.flush()
 
     extra = {}
     if name == "deltacfs":
@@ -243,6 +291,8 @@ def run_trace(
         }
     elif hasattr(system.client, "sync_rounds"):
         extra = {"sync_rounds": system.client.sync_rounds}
+    if obs.enabled:
+        extra.update(obs.metrics.scalar_snapshot())
     return RunResult(
         solution=name,
         trace=trace.name,

@@ -1,6 +1,13 @@
 """Result collection and table/figure formatting for the benchmark harness."""
 
-from repro.metrics.collector import RunResult
-from repro.metrics.report import format_table, format_bytes, series_summary
+from repro.metrics.collector import RunResult, TUE_UNDEFINED
+from repro.metrics.report import format_table, format_bytes, format_tue, series_summary
 
-__all__ = ["RunResult", "format_table", "format_bytes", "series_summary"]
+__all__ = [
+    "RunResult",
+    "TUE_UNDEFINED",
+    "format_table",
+    "format_bytes",
+    "format_tue",
+    "series_summary",
+]

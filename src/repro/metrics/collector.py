@@ -5,6 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+# Sentinel returned by :attr:`RunResult.tue` when the trace produced no
+# logical update bytes, so traffic-per-update-byte is undefined (division
+# by zero). It is ``float("inf")``: any finite threshold comparison treats
+# an undefined TUE as "worse than everything", and ``math.isinf`` detects
+# it. Render it with :func:`repro.metrics.report.format_tue`, which prints
+# "undefined" instead of "inf". Documented in docs/cost-model.md.
+TUE_UNDEFINED = float("inf")
+
 
 @dataclass
 class RunResult:
@@ -39,7 +47,11 @@ class RunResult:
 
     @property
     def tue(self) -> float:
-        """Traffic Usage Efficiency: total sync traffic / update size [2]."""
+        """Traffic Usage Efficiency: total sync traffic / update size [2].
+
+        Returns :data:`TUE_UNDEFINED` (``inf``) when ``update_bytes <= 0``
+        — the ratio is undefined for a trace with no logical update.
+        """
         if self.update_bytes <= 0:
-            return float("inf")
+            return TUE_UNDEFINED
         return self.total_bytes / self.update_bytes

@@ -7,7 +7,16 @@ output.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
+
+
+def format_tue(value: float) -> str:
+    """Render a TUE ratio; the :data:`~repro.metrics.collector.TUE_UNDEFINED`
+    sentinel (and any non-finite value) prints as ``"undefined"``."""
+    if not math.isfinite(value):
+        return "undefined"
+    return f"{value:.2f}"
 
 
 def format_bytes(n: float) -> str:

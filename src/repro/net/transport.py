@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.cost.meter import CostMeter, NULL_METER
 from repro.net.messages import Message
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -62,10 +63,12 @@ class Channel:
         *,
         client_meter: CostMeter = NULL_METER,
         server_meter: CostMeter = NULL_METER,
+        obs: Observability = NULL_OBS,
     ):
         self.model = model
         self.client_meter = client_meter
         self.server_meter = server_meter
+        self.obs = obs
         self.stats = NetworkStats()
         self._up_busy_until = 0.0
         self._down_busy_until = 0.0
@@ -81,7 +84,15 @@ class Channel:
         self._charge(self.server_meter, "network_recv", size)
         start = max(now, self._up_busy_until)
         self._up_busy_until = start + size / self.model.bandwidth_up
-        return self._up_busy_until + self.model.latency
+        done = self._up_busy_until + self.model.latency
+        if self.obs.enabled:
+            kind = type(message).__name__
+            self.obs.inc("channel.up.bytes", size, type=kind)
+            self.obs.inc("channel.up.messages", type=kind)
+            self.obs.inc("channel.up.busy_time", self._up_busy_until - start)
+            self.obs.observe("channel.message.bytes", size)
+            self.obs.event("channel.upload", type=kind, bytes=size, done_at=done)
+        return done
 
     def download(self, message: Message, now: float = 0.0) -> float:
         """Account a server-to-client message; returns its completion time."""
@@ -92,7 +103,15 @@ class Channel:
         self._charge(self.client_meter, "network_recv", size)
         start = max(now, self._down_busy_until)
         self._down_busy_until = start + size / self.model.bandwidth_down
-        return self._down_busy_until + self.model.latency
+        done = self._down_busy_until + self.model.latency
+        if self.obs.enabled:
+            kind = type(message).__name__
+            self.obs.inc("channel.down.bytes", size, type=kind)
+            self.obs.inc("channel.down.messages", type=kind)
+            self.obs.inc("channel.down.busy_time", self._down_busy_until - start)
+            self.obs.observe("channel.message.bytes", size)
+            self.obs.event("channel.download", type=kind, bytes=size, done_at=done)
+        return done
 
     def upload_idle_at(self, now: float) -> bool:
         """True when the uplink has drained everything handed to it."""

@@ -1,0 +1,133 @@
+"""Structured observability: a metrics registry plus an event tracer.
+
+This package is the measurement substrate the ROADMAP's performance work
+reports against. It follows the :data:`repro.cost.meter.NULL_METER`
+pattern: instrumented subsystems take an ``obs`` object and default to
+:data:`NULL_OBS`, whose every recording method is a no-op — benchmarks run
+with observability disabled are unperturbed (the Tier-1 suites assert
+byte-identical results).
+
+Two primitives, one facade:
+
+- :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges, and
+  fixed-bucket histograms under declared names (``repro.obs.names``);
+- :class:`~repro.obs.tracer.Tracer` — spans with causal parent ids and
+  point events, serializable to JSONL;
+- :class:`Observability` — bundles both against one
+  :class:`~repro.common.clock.VirtualClock` and offers terse call-site
+  helpers (``obs.inc(...)``, ``obs.span(...)``).
+
+The full instrumentation contract — naming scheme, span hierarchy, JSONL
+schema — lives in ``docs/observability.md`` and is lint-checked against
+``repro.obs.names`` in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.clock import VirtualClock
+from repro.obs.names import EVENT_NAMES, EVENTS, METRIC_NAMES, METRICS, EventSpec, MetricSpec
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.render import text_report, to_json
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
+
+
+class Observability:
+    """One registry and one tracer sharing one virtual clock."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        clock: Optional[VirtualClock] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.clock)
+
+    def bind_clock(self, clock: VirtualClock) -> None:
+        """Point timestamps at ``clock`` (the experiment's time source).
+
+        Call before any events are recorded — the harness does this right
+        after building a system so trace timestamps share the run's
+        virtual timeline.
+        """
+        self.clock = clock
+        self.tracer.clock = clock
+
+    # -- terse call-site helpers ------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        self.metrics.inc(name, value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def span(self, name: str, **attrs: object):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        self.tracer.event(name, **attrs)
+
+    def report(self) -> str:
+        """The text report for this run (see :func:`repro.obs.render.text_report`)."""
+        return text_report(self.metrics, self.tracer)
+
+    def to_json(self) -> str:
+        """Snapshot + trace as JSON (see :func:`repro.obs.render.to_json`)."""
+        return to_json(self.metrics, self.tracer)
+
+
+class _NullObservability(Observability):
+    """The disabled path: every recording is a no-op."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(registry=NULL_REGISTRY, tracer=NULL_TRACER)
+
+    def bind_clock(self, clock: VirtualClock) -> None:
+        pass
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str, **attrs: object):
+        return self.tracer.span(name)
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+
+NULL_OBS = _NullObservability()
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Tracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "MetricSpec",
+    "EventSpec",
+    "METRICS",
+    "EVENTS",
+    "METRIC_NAMES",
+    "EVENT_NAMES",
+    "text_report",
+    "to_json",
+]

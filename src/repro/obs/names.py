@@ -1,0 +1,471 @@
+"""The declared instrumentation catalog — the single source of truth.
+
+Every metric the :class:`~repro.obs.registry.MetricsRegistry` will accept,
+every trace event the :class:`~repro.obs.tracer.Tracer` will emit, and
+every span name used by the instrumented subsystems is declared here.
+``docs/observability.md`` documents exactly this catalog, and the CI
+doc-lint step (``tools/lint_obs_docs.py``) fails the build when the two
+drift apart in either direction.
+
+Naming scheme: ``<subsystem>.<object>.<aspect>`` with dot separators and
+``snake_case`` segments. Subsystem prefixes in use: ``client`` (the
+DeltaCFS client engine), ``queue`` (the Sync Queue), ``relation`` (the
+Relation Table), ``channel`` (the accounted link), ``server`` (the cloud
+apply path), ``run`` (the experiment harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric family.
+
+    ``buckets`` (histograms only) lists the inclusive upper bounds of the
+    fixed buckets; an implicit ``+Inf`` bucket catches the rest. Bounds are
+    fixed at declaration time so snapshots are comparable across runs.
+    """
+
+    name: str
+    kind: str
+    help: str
+    unit: str = ""
+    buckets: Optional[Tuple[float, ...]] = None
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Declaration of one trace-event name (point event or span)."""
+
+    name: str
+    kind: str  # "event" | "span"
+    help: str
+
+
+# Fixed bucket ladders. Bytes follow powers of four from 256 B to 16 MB;
+# virtual-time durations follow a coarse seconds ladder around the upload
+# delay (~3 s) and relation timeout (~2 s).
+BYTE_BUCKETS: Tuple[float, ...] = (
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+)
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.01,
+    0.1,
+    0.5,
+    1.0,
+    2.0,
+    3.0,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+METRICS: Tuple[MetricSpec, ...] = (
+    # -- client engine -----------------------------------------------------
+    MetricSpec(
+        "client.ops.intercepted",
+        COUNTER,
+        "file operations seen by the interception layer",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.writes.intercepted",
+        COUNTER,
+        "write() calls captured with their data (NFS-like file RPC)",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.write.bytes", COUNTER, "bytes captured by intercepted writes", unit="bytes"
+    ),
+    MetricSpec(
+        "client.delta.triggered",
+        COUNTER,
+        "delta-encoding trigger decisions reached (Table I rules 1 and 2, "
+        "plus pack-time triggers)",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.delta.kept",
+        COUNTER,
+        "triggered deltas that won the size contest and replaced write nodes",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.delta.rpc_wins",
+        COUNTER,
+        "triggered deltas discarded because the RPC payload was smaller "
+        "(the adaptivity outcome)",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.delta.no_base",
+        COUNTER,
+        "triggers abandoned because the old version never reached the cloud",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.delta.inplace",
+        COUNTER,
+        "pack-time in-place updates compressed through the undo log",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.delta.saved_bytes",
+        COUNTER,
+        "wire bytes saved by kept deltas (replaced payload minus delta size)",
+        unit="bytes",
+    ),
+    MetricSpec(
+        "client.pack.count", COUNTER, "write nodes packed (frozen)", unit="ops"
+    ),
+    MetricSpec(
+        "client.pack.duration",
+        HISTOGRAM,
+        "virtual seconds a write node spent open (creation to pack), i.e. "
+        "the coalescing window it actually enjoyed",
+        unit="seconds",
+        buckets=DURATION_BUCKETS,
+    ),
+    MetricSpec(
+        "client.upload.units", COUNTER, "upload units shipped to the channel", unit="ops"
+    ),
+    MetricSpec(
+        "client.upload.groups",
+        COUNTER,
+        "transactional TxnGroup units among the shipped upload units",
+        unit="ops",
+    ),
+    MetricSpec(
+        "client.conflicts", COUNTER, "conflict notices received from the cloud", unit="ops"
+    ),
+    MetricSpec(
+        "client.stalls",
+        COUNTER,
+        "sync-queue-full back-pressure events (forced pumps)",
+        unit="ops",
+    ),
+    # -- sync queue --------------------------------------------------------
+    MetricSpec(
+        "queue.nodes.created", COUNTER, "nodes enqueued, by node kind", unit="nodes"
+    ),
+    MetricSpec(
+        "queue.nodes.coalesced",
+        COUNTER,
+        "writes absorbed into an already-active write node",
+        unit="ops",
+    ),
+    MetricSpec(
+        "queue.nodes.packed", COUNTER, "write nodes frozen against further coalescing", unit="nodes"
+    ),
+    MetricSpec(
+        "queue.nodes.replaced_by_delta",
+        COUNTER,
+        "nodes removed by delta replacement (the doomed write nodes)",
+        unit="nodes",
+    ),
+    MetricSpec(
+        "queue.nodes.cancelled",
+        COUNTER,
+        "never-uploaded nodes dropped (e.g. create+writes of a deleted file)",
+        unit="nodes",
+    ),
+    MetricSpec(
+        "queue.nodes.shipped", COUNTER, "nodes handed to the uploader", unit="nodes"
+    ),
+    MetricSpec(
+        "queue.units.transactional",
+        COUNTER,
+        "upload units that were backindex spans (ship as one TxnGroup)",
+        unit="ops",
+    ),
+    MetricSpec(
+        "queue.spans.recorded", COUNTER, "backindex spans recorded (pre-merge)", unit="ops"
+    ),
+    MetricSpec("queue.depth", GAUGE, "live nodes in the queue", unit="nodes"),
+    MetricSpec(
+        "queue.bytes.queued", GAUGE, "payload bytes waiting in the queue", unit="bytes"
+    ),
+    MetricSpec(
+        "queue.node.payload_bytes",
+        HISTOGRAM,
+        "payload size of each shipped node",
+        unit="bytes",
+        buckets=BYTE_BUCKETS,
+    ),
+    MetricSpec(
+        "queue.node.wait_time",
+        HISTOGRAM,
+        "virtual seconds from (last) enqueue to ship, per shipped node",
+        unit="seconds",
+        buckets=DURATION_BUCKETS,
+    ),
+    # -- relation table ----------------------------------------------------
+    MetricSpec(
+        "relation.entries.inserted",
+        COUNTER,
+        "entries recorded, by origin (rename | unlink)",
+        unit="entries",
+    ),
+    MetricSpec(
+        "relation.entries.matched",
+        COUNTER,
+        "create/rename events that matched a live entry (trigger rule 1)",
+        unit="entries",
+    ),
+    MetricSpec(
+        "relation.entries.expired",
+        COUNTER,
+        "entries collected by the ~2 s timeout without triggering",
+        unit="entries",
+    ),
+    MetricSpec(
+        "relation.entries.invalidated",
+        COUNTER,
+        "entries dropped because their preserved dst was destroyed",
+        unit="entries",
+    ),
+    MetricSpec(
+        "relation.entries.superseded",
+        COUNTER,
+        "entries replaced by a newer transformation of the same src",
+        unit="entries",
+    ),
+    MetricSpec(
+        "relation.entries.stale",
+        COUNTER,
+        "match probes that found only an expired (stale) entry",
+        unit="entries",
+    ),
+    MetricSpec("relation.size", GAUGE, "live entries in the table", unit="entries"),
+    # -- channel / network -------------------------------------------------
+    MetricSpec(
+        "channel.up.bytes",
+        COUNTER,
+        "client-to-server wire bytes, labelled by message type",
+        unit="bytes",
+    ),
+    MetricSpec(
+        "channel.down.bytes",
+        COUNTER,
+        "server-to-client wire bytes, labelled by message type",
+        unit="bytes",
+    ),
+    MetricSpec(
+        "channel.up.messages",
+        COUNTER,
+        "client-to-server messages, labelled by message type",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "channel.down.messages",
+        COUNTER,
+        "server-to-client messages, labelled by message type",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "channel.up.busy_time",
+        COUNTER,
+        "virtual seconds of uplink transmit time accumulated",
+        unit="seconds",
+    ),
+    MetricSpec(
+        "channel.down.busy_time",
+        COUNTER,
+        "virtual seconds of downlink transmit time accumulated",
+        unit="seconds",
+    ),
+    MetricSpec(
+        "channel.message.bytes",
+        HISTOGRAM,
+        "wire size of every message moved in either direction",
+        unit="bytes",
+        buckets=BYTE_BUCKETS,
+    ),
+    # -- server apply path -------------------------------------------------
+    MetricSpec(
+        "server.apply.applied",
+        COUNTER,
+        "messages applied successfully, labelled by message type",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "server.apply.conflicts",
+        COUNTER,
+        "messages rejected as concurrent-update conflicts",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "server.apply.groups",
+        COUNTER,
+        "TxnGroups applied atomically (backindex spans arriving)",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "server.forwards.sent",
+        COUNTER,
+        "accepted messages fanned out verbatim to sharing clients",
+        unit="msgs",
+    ),
+    # -- harness / run -----------------------------------------------------
+    MetricSpec("run.pump.calls", COUNTER, "pump invocations during the run", unit="ops"),
+    MetricSpec(
+        "run.pump.shipped", COUNTER, "upload units shipped across all pumps", unit="ops"
+    ),
+)
+
+
+EVENTS: Tuple[EventSpec, ...] = (
+    # -- sync queue node lifecycle (the Figure-4 pipeline, per node) -------
+    EventSpec(
+        "queue.node.created",
+        "event",
+        "a node joined the queue tail; attrs: path, kind, seq",
+    ),
+    EventSpec(
+        "queue.node.coalesced",
+        "event",
+        "a write was absorbed into an active write node; attrs: path, seq, "
+        "offset, bytes",
+    ),
+    EventSpec(
+        "queue.node.packed",
+        "event",
+        "a write node froze; attrs: path, seq, writes, payload_bytes",
+    ),
+    EventSpec(
+        "queue.node.replaced_by_delta",
+        "event",
+        "write nodes were swapped for a delta node; attrs: path, "
+        "replaced_seqs, delta_seq, delta_bytes, replaced_bytes",
+    ),
+    EventSpec(
+        "queue.node.cancelled",
+        "event",
+        "a never-uploaded node was dropped; attrs: path, seq, kind",
+    ),
+    EventSpec(
+        "queue.node.shipped",
+        "event",
+        "a node left the queue for upload; attrs: path, seq, kind, "
+        "payload_bytes, transactional",
+    ),
+    # -- relation table ----------------------------------------------------
+    EventSpec(
+        "relation.insert",
+        "event",
+        "an entry was recorded; attrs: src, dst, origin",
+    ),
+    EventSpec(
+        "relation.match",
+        "event",
+        "a created name matched a live entry (delta trigger); attrs: src, "
+        "dst, origin, age",
+    ),
+    EventSpec(
+        "relation.expire",
+        "event",
+        "an entry timed out untriggered; attrs: src, dst, origin",
+    ),
+    EventSpec(
+        "relation.invalidate",
+        "event",
+        "an entry died because its preserved dst was destroyed; attrs: src, dst",
+    ),
+    # -- client delta decisions -------------------------------------------
+    EventSpec(
+        "client.delta.trigger",
+        "event",
+        "a transactional update was recognized; attrs: path, rule "
+        "(relation_match | name_exists | pending_create | inplace)",
+    ),
+    EventSpec(
+        "client.delta.kept",
+        "event",
+        "the delta won the size contest; attrs: path, delta_bytes, "
+        "replaced_bytes",
+    ),
+    EventSpec(
+        "client.delta.rpc_wins",
+        "event",
+        "the RPC payload was smaller, delta discarded; attrs: path, "
+        "delta_bytes, replaced_bytes",
+    ),
+    EventSpec(
+        "client.delta.no_base",
+        "event",
+        "trigger abandoned: base version unresolvable on the cloud; "
+        "attrs: path",
+    ),
+    # -- channel -----------------------------------------------------------
+    EventSpec(
+        "channel.upload",
+        "event",
+        "a message entered the uplink; attrs: type, bytes, done_at",
+    ),
+    EventSpec(
+        "channel.download",
+        "event",
+        "a message entered the downlink; attrs: type, bytes, done_at",
+    ),
+    # -- server ------------------------------------------------------------
+    EventSpec(
+        "server.conflict",
+        "event",
+        "first-write-wins rejected an update; attrs: path, conflict_path",
+    ),
+    # -- spans -------------------------------------------------------------
+    EventSpec("run", "span", "one (solution, trace) experiment run; attrs: solution, trace"),
+    EventSpec("run.preload", "span", "preload files installed and synced outside measurement"),
+    EventSpec("run.replay", "span", "the measured trace replay"),
+    EventSpec("run.settle", "span", "post-replay pumping until delays elapse"),
+    EventSpec("run.flush", "span", "final drain of the sync queue"),
+    EventSpec(
+        "client.pack",
+        "span",
+        "pack-and-maybe-compress for one path; attrs: path",
+    ),
+    EventSpec(
+        "client.delta.encode",
+        "span",
+        "one bitwise delta encoding; attrs: path, old_bytes, new_bytes",
+    ),
+    EventSpec(
+        "client.upload_unit",
+        "span",
+        "one upload unit shipped and its replies processed; attrs: nodes, "
+        "transactional",
+    ),
+    EventSpec(
+        "server.apply",
+        "span",
+        "server-side application of one message or group; attrs: type, origin",
+    ),
+)
+
+
+METRIC_NAMES: Tuple[str, ...] = tuple(spec.name for spec in METRICS)
+EVENT_NAMES: Tuple[str, ...] = tuple(spec.name for spec in EVENTS)
+
+
+def metric_spec(name: str) -> MetricSpec:
+    """Look up a declared metric; raises ``KeyError`` for unknown names."""
+    for spec in METRICS:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)

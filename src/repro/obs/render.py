@@ -1,0 +1,65 @@
+"""Rendering a registry + tracer into human text or JSON.
+
+``text_report`` is what ``python -m repro replay ... --metrics`` prints;
+``to_json`` is the machine-readable equivalent (snapshot + trace summary)
+for piping into other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.metrics.report import format_table
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def text_report(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> str:
+    """An aligned, deterministic text report of every touched series."""
+    lines: List[str] = []
+    snapshot = registry.snapshot()
+    scalars = [(k, v) for k, v in snapshot.items() if isinstance(v, (int, float))]
+    if scalars:
+        lines.append("-- metrics " + "-" * 45)
+        lines.append(
+            format_table(
+                ["metric", "value"],
+                [[name, f"{value:g}"] for name, value in scalars],
+            )
+        )
+    hists = [(k, v) for k, v in snapshot.items() if isinstance(v, dict)]
+    if hists:
+        lines.append("")
+        lines.append("-- histograms " + "-" * 42)
+        rows = []
+        for name, h in hists:
+            count = h["count"]
+            mean = (h["sum"] / count) if count else 0.0
+            populated = ",".join(
+                f"{bucket}:{n}" for bucket, n in h["buckets"].items() if n
+            )
+            rows.append([name, count, f"{mean:.3g}", populated])
+        lines.append(format_table(["histogram", "count", "mean", "buckets"], rows))
+    if tracer is not None:
+        events = tracer.events()
+        if events:
+            lines.append("")
+            spans = sum(1 for e in events if e.type == "span_start")
+            points = sum(1 for e in events if e.type == "event")
+            lines.append(f"-- trace: {spans} spans, {points} events")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def to_json(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None, *, indent: int = 2
+) -> str:
+    """Snapshot (+ optional embedded trace) as a JSON document."""
+    doc: Dict[str, object] = {"metrics": registry.snapshot()}
+    if tracer is not None:
+        doc["trace"] = [e.to_dict() for e in tracer.events()]
+    return json.dumps(doc, sort_keys=True, indent=indent)

@@ -30,6 +30,7 @@ from repro.net.messages import (
     UploadWrite,
     UploadWriteBatch,
 )
+from repro.obs import NULL_OBS, Observability
 from repro.server.storage import VersionedStore
 
 
@@ -65,8 +66,10 @@ class CloudServer:
         *,
         meter: CostMeter = NULL_METER,
         store: VersionedStore | None = None,
+        obs: Observability = NULL_OBS,
     ):
         self.meter = meter
+        self.obs = obs
         self.store = store if store is not None else VersionedStore()
         self.dirs: Set[str] = {"/"}
         self._sinks: Dict[int, ForwardSink] = {}
@@ -104,13 +107,28 @@ class CloudServer:
 
     def handle(self, message: Message, origin_client: int = 0) -> ApplyResult:
         """Apply one message from ``origin_client``; fan out on success."""
-        if isinstance(message, TxnGroup):
-            result = self._apply_group(message, origin_client)
-        else:
-            result = self._apply_one(message, {})
-        self.apply_log.append(result)
-        if result.ok:
-            self._forward(message, origin_client)
+        kind = type(message).__name__
+        with self.obs.span("server.apply", type=kind, origin=origin_client):
+            if isinstance(message, TxnGroup):
+                self.obs.inc("server.apply.groups")
+                result = self._apply_group(message, origin_client)
+            else:
+                result = self._apply_one(message, {})
+            self.apply_log.append(result)
+            if self.obs.enabled:
+                if result.ok:
+                    self.obs.inc("server.apply.applied", type=kind)
+                else:
+                    self.obs.inc("server.apply.conflicts")
+                    self.obs.event(
+                        "server.conflict",
+                        path=result.path,
+                        conflict_path=result.conflict_paths[0]
+                        if result.conflict_paths
+                        else "",
+                    )
+            if result.ok:
+                self._forward(message, origin_client)
         return result
 
     # -- transactional groups -------------------------------------------------
@@ -362,6 +380,7 @@ class CloudServer:
                 for prefix in shares
             ):
                 continue
+            self.obs.inc("server.forwards.sent")
             sink(origin_client, Forward(origin_client=origin_client, inner=message))
 
     def _message_paths(self, message: Message) -> List[str]:

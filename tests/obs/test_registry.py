@@ -1,0 +1,157 @@
+"""MetricsRegistry: declared-names enforcement, labels, histograms,
+deterministic snapshots, and the zero-cost null registry."""
+
+import pytest
+
+from repro.obs.names import (
+    BYTE_BUCKETS,
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    METRIC_NAMES,
+    MetricSpec,
+    metric_spec,
+)
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, _Histogram
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    reg.inc("client.pack.count")
+    reg.inc("client.pack.count", 2)
+    assert reg.counter_value("client.pack.count") == 3.0
+
+
+def test_counter_labels_are_independent_series():
+    reg = MetricsRegistry()
+    reg.inc("channel.up.bytes", 100, type="UploadWrite")
+    reg.inc("channel.up.bytes", 50, type="TxnGroup")
+    reg.inc("channel.up.bytes", 7, type="UploadWrite")
+    assert reg.counter_value("channel.up.bytes", type="UploadWrite") == 107.0
+    assert reg.counter_value("channel.up.bytes", type="TxnGroup") == 50.0
+    assert reg.counter_total("channel.up.bytes") == 157.0
+    # Unlabelled series is distinct and untouched.
+    assert reg.counter_value("channel.up.bytes") == 0.0
+
+
+def test_counters_only_go_up():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.inc("client.pack.count", -1)
+
+
+def test_undeclared_name_raises_keyerror():
+    reg = MetricsRegistry()
+    with pytest.raises(KeyError):
+        reg.inc("client.made.up")
+    with pytest.raises(KeyError):
+        reg.set_gauge("nope.nope", 1)
+    with pytest.raises(KeyError):
+        reg.observe("nope.hist", 1)
+
+
+def test_kind_mismatch_raises_typeerror():
+    reg = MetricsRegistry()
+    with pytest.raises(TypeError):
+        reg.inc("queue.depth")  # gauge, not counter
+    with pytest.raises(TypeError):
+        reg.observe("client.pack.count", 1.0)  # counter, not histogram
+    with pytest.raises(TypeError):
+        reg.set_gauge("client.pack.count", 1.0)
+
+
+def test_gauge_set_overwrites():
+    reg = MetricsRegistry()
+    assert reg.gauge_value("queue.depth") is None
+    reg.set_gauge("queue.depth", 4)
+    reg.set_gauge("queue.depth", 2)
+    assert reg.gauge_value("queue.depth") == 2.0
+
+
+def test_histogram_bucketing_edges():
+    hist = _Histogram((10.0, 100.0))
+    hist.observe(10.0)   # on the boundary -> le_10
+    hist.observe(10.5)   # -> le_100
+    hist.observe(1000.0)  # -> le_inf
+    state = hist.as_dict()
+    assert state["count"] == 3
+    assert state["sum"] == pytest.approx(1020.5)
+    assert state["buckets"] == {"le_10": 1, "le_100": 1, "le_inf": 1}
+
+
+def test_histogram_uses_declared_buckets():
+    reg = MetricsRegistry()
+    spec = metric_spec("queue.node.payload_bytes")
+    assert spec.kind == HISTOGRAM
+    assert spec.buckets == BYTE_BUCKETS
+    reg.observe("queue.node.payload_bytes", 256)
+    reg.observe("queue.node.payload_bytes", 257)
+    state = reg.histogram("queue.node.payload_bytes")
+    assert state["buckets"]["le_256"] == 1
+    assert state["buckets"]["le_1024"] == 1
+    assert state["count"] == 2
+
+
+def test_snapshot_is_sorted_and_deterministic():
+    def build():
+        reg = MetricsRegistry()
+        # Record in deliberately different orders.
+        reg.inc("server.apply.applied", 1, type="B")
+        reg.inc("server.apply.applied", 2, type="A")
+        reg.set_gauge("queue.depth", 3)
+        reg.observe("client.pack.duration", 0.5)
+        return reg
+
+    a, b = build(), build()
+    assert a.snapshot() == b.snapshot()
+    keys = list(a.snapshot())
+    # Each group (counters, then gauges, then histograms) is sorted, so
+    # identical runs serialize identically.
+    assert keys == [
+        "server.apply.applied{type=A}",
+        "server.apply.applied{type=B}",
+        "queue.depth",
+        "client.pack.duration",
+    ]
+    assert a.snapshot()["server.apply.applied{type=A}"] == 2.0
+    # scalar_snapshot drops histograms only.
+    scal = a.scalar_snapshot()
+    assert "client.pack.duration" not in scal
+    assert scal["queue.depth"] == 3.0
+
+
+def test_declare_custom_metric_and_conflict():
+    reg = MetricsRegistry()
+    spec = MetricSpec("client.custom.thing", COUNTER, "a test metric")
+    reg.declare(spec)
+    reg.inc("client.custom.thing", 5)
+    assert reg.counter_value("client.custom.thing") == 5.0
+    with pytest.raises(ValueError):
+        reg.declare(MetricSpec("client.custom.thing", GAUGE, "different"))
+
+
+def test_reset_keeps_declarations():
+    reg = MetricsRegistry()
+    reg.inc("client.pack.count")
+    reg.reset()
+    assert reg.counter_value("client.pack.count") == 0.0
+    assert reg.snapshot() == {}
+
+
+def test_null_registry_discards_everything():
+    NULL_REGISTRY.inc("client.pack.count", 10)
+    NULL_REGISTRY.set_gauge("queue.depth", 10)
+    NULL_REGISTRY.observe("client.pack.duration", 10)
+    # Even undeclared names are silently ignored on the disabled path.
+    NULL_REGISTRY.inc("totally.undeclared")
+    assert NULL_REGISTRY.snapshot() == {}
+
+
+def test_catalog_names_follow_the_scheme():
+    for name in METRIC_NAMES:
+        parts = name.split(".")
+        assert len(parts) >= 2, name
+        assert parts[0] in {"client", "queue", "relation", "channel",
+                            "server", "run"}, name
+        for part in parts:
+            assert part == part.lower(), name

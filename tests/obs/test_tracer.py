@@ -1,0 +1,152 @@
+"""Tracer: span nesting and parent ids, JSONL schema, determinism,
+strict name checking, and the null tracer."""
+
+import json
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.obs.names import EVENT_NAMES
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def make_tracer():
+    clock = VirtualClock()
+    return clock, Tracer(clock)
+
+
+def test_span_ids_and_parents_nest():
+    clock, tracer = make_tracer()
+    with tracer.span("run", solution="deltacfs") as outer:
+        clock.advance(1.0)
+        with tracer.span("run.replay") as inner:
+            assert inner.parent == outer.id
+            tracer.event("queue.node.created", path="/f", kind="WriteNode",
+                         seq=1)
+        clock.advance(0.5)
+    assert tracer.current_span_id is None
+
+    events = tracer.events()
+    assert [e.type for e in events] == [
+        "span_start", "span_start", "event", "span_end", "span_end",
+    ]
+    start_outer, start_inner, point, end_inner, end_outer = events
+    assert start_outer.id == 1 and start_outer.parent is None
+    assert start_inner.id == 2 and start_inner.parent == 1
+    assert point.parent == 2 and point.id is None
+    assert end_inner.duration == pytest.approx(0.0)
+    assert end_outer.duration == pytest.approx(1.5)
+
+
+def test_event_outside_any_span_has_null_parent():
+    _, tracer = make_tracer()
+    tracer.event("relation.insert", src="/a", dst="/b", origin="rename")
+    (event,) = tracer.events()
+    assert event.parent is None
+    assert event.attrs == {"src": "/a", "dst": "/b", "origin": "rename"}
+
+
+def test_timestamps_come_from_the_virtual_clock():
+    clock, tracer = make_tracer()
+    clock.advance(42.0)
+    tracer.event("relation.expire", src="/a", dst="/b", origin="rename")
+    assert tracer.events()[0].ts == 42.0
+
+
+def test_undeclared_name_raises():
+    _, tracer = make_tracer()
+    with pytest.raises(KeyError):
+        tracer.event("made.up.event")
+    with pytest.raises(KeyError):
+        tracer.span("made.up.span")
+
+
+def test_out_of_order_close_raises():
+    _, tracer = make_tracer()
+    a = tracer.span("run")
+    tracer.span("run.replay")  # opened but not the one we close first
+    with pytest.raises(RuntimeError):
+        a.__exit__(None, None, None)
+
+
+def test_jsonl_schema_round_trips():
+    clock, tracer = make_tracer()
+    with tracer.span("client.pack", path="/f"):
+        clock.advance(0.25)
+        tracer.event("queue.node.packed", path="/f", seq=1, writes=2,
+                     payload_bytes=64)
+    lines = tracer.to_jsonl().splitlines()
+    assert len(lines) == 3
+    records = [json.loads(line) for line in lines]
+    start, point, end = records
+    assert start == {"type": "span_start", "name": "client.pack", "id": 1,
+                     "parent": None, "ts": 0.0, "attrs": {"path": "/f"}}
+    assert point["type"] == "event"
+    assert point["attrs"]["payload_bytes"] == 64
+    assert end["type"] == "span_end" and end["duration"] == 0.25
+    assert "attrs" not in end
+
+
+def test_attrs_are_coerced_to_json_primitives():
+    _, tracer = make_tracer()
+    tracer.event(
+        "queue.node.replaced_by_delta",
+        path="/f",
+        replaced_seqs=(1, 2, object()),
+        delta_seq=3,
+        delta_bytes=10,
+        replaced_bytes=20,
+    )
+    record = json.loads(tracer.to_jsonl())
+    seqs = record["attrs"]["replaced_seqs"]
+    assert seqs[:2] == [1, 2] and isinstance(seqs[2], str)
+
+
+def test_write_jsonl_and_reset(tmp_path):
+    _, tracer = make_tracer()
+    tracer.event("relation.insert", src="/a", dst="/b", origin="rename")
+    out = tmp_path / "trace.jsonl"
+    assert tracer.write_jsonl(str(out)) == 1
+    assert json.loads(out.read_text().strip())["name"] == "relation.insert"
+    tracer.reset()
+    assert tracer.events() == []
+    assert tracer.write_jsonl(str(out)) == 0
+    assert out.read_text() == ""
+
+
+def test_ids_are_deterministic_across_identical_runs():
+    def run():
+        clock, tracer = make_tracer()
+        with tracer.span("run"):
+            with tracer.span("run.replay"):
+                tracer.event("queue.node.created", path="/f",
+                             kind="WriteNode", seq=1)
+            clock.advance(2.0)
+            with tracer.span("run.flush"):
+                pass
+        return tracer.to_jsonl()
+
+    assert run() == run()
+
+
+def test_declare_custom_event():
+    from repro.obs.names import EventSpec
+
+    _, tracer = make_tracer()
+    tracer.declare(EventSpec("client.custom.event", "event", "a test event"))
+    tracer.event("client.custom.event")
+    assert tracer.event_names() == ["client.custom.event"]
+
+
+def test_null_tracer_is_inert():
+    with NULL_TRACER.span("anything.at.all", path="/f") as span:
+        assert span.id is None
+    NULL_TRACER.event("totally.undeclared")
+    assert NULL_TRACER.events() == []
+    assert NULL_TRACER.current_span_id is None
+
+
+def test_known_names_default_to_catalog():
+    _, tracer = make_tracer()
+    for name in EVENT_NAMES:
+        tracer._check(name)  # none raise

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Doc-lint: keep docs/observability.md and repro.obs.names in lockstep.
+
+Two-way check:
+
+1. every metric/event/span name declared in ``repro.obs.names`` must appear
+   (backtick-quoted) in ``docs/observability.md``;
+2. every backtick-quoted dotted name in the doc that uses an instrumented
+   subsystem prefix (``client.`` / ``queue.`` / ``relation.`` /
+   ``channel.`` / ``server.`` / ``run.``) must be declared in code.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python tools/lint_obs_docs.py
+
+Exit code 0 when the contract holds, 1 with a drift report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC = REPO_ROOT / "docs" / "observability.md"
+
+# A dotted instrumentation name: lowercase snake_case segments, >= 2 deep.
+NAME_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
+PREFIXES = ("client.", "queue.", "relation.", "channel.", "server.", "run.")
+
+
+def documented_names(text: str) -> set:
+    """Backtick-quoted dotted names in the doc that claim a known prefix."""
+    found = set()
+    for match in NAME_RE.finditer(text):
+        name = match.group(1)
+        if name.startswith(PREFIXES):
+            found.add(name)
+    return found
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.names import EVENT_NAMES, METRIC_NAMES
+
+    declared = set(METRIC_NAMES) | set(EVENT_NAMES)
+    # The bare "run" span has no dot; the doc regex cannot see it, and it
+    # cannot collide with anything, so it is exempt from the two-way check.
+    declared.discard("run")
+
+    if not DOC.exists():
+        print(f"doc-lint: {DOC} is missing", file=sys.stderr)
+        return 1
+    documented = documented_names(DOC.read_text(encoding="utf-8"))
+
+    missing_from_doc = sorted(declared - documented)
+    missing_from_code = sorted(documented - declared)
+
+    ok = True
+    if missing_from_doc:
+        ok = False
+        print("doc-lint: declared in repro.obs.names but absent from "
+              "docs/observability.md:", file=sys.stderr)
+        for name in missing_from_doc:
+            print(f"  - {name}", file=sys.stderr)
+    if missing_from_code:
+        ok = False
+        print("doc-lint: documented in docs/observability.md but not "
+              "declared in repro.obs.names:", file=sys.stderr)
+        for name in missing_from_code:
+            print(f"  - {name}", file=sys.stderr)
+    if ok:
+        print(f"doc-lint: OK ({len(declared)} names in lockstep)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
