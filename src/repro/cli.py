@@ -179,6 +179,7 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_replay(args) -> int:
+    from repro.faults.network import NO_FAULTS, NetworkFaults
     from repro.harness.runner import SOLUTIONS, run_trace
     from repro.obs import NULL_OBS, Observability
     from repro.workloads.traceio import load_trace_file
@@ -187,11 +188,30 @@ def _cmd_replay(args) -> int:
         print(f"unknown solution {args.solution!r}; pick one of {SOLUTIONS}",
               file=sys.stderr)
         return 2
+    faults = NO_FAULTS
+    if args.loss_rate or args.dup_rate or args.reorder_rate:
+        if args.solution != "deltacfs":
+            print("fault injection (--loss-rate/--dup-rate/--reorder-rate) "
+                  "requires --solution deltacfs (the reliable transport)",
+                  file=sys.stderr)
+            return 2
+        try:
+            faults = NetworkFaults(
+                drop_prob=args.loss_rate,
+                dup_prob=args.dup_rate,
+                reorder_prob=args.reorder_rate,
+            )
+            faults.validate()
+        except ValueError as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
     trace = load_trace_file(args.trace)
     # Observability is opt-in: without either flag the run uses NULL_OBS
     # and is byte-identical to an uninstrumented run.
     obs = Observability() if (args.metrics or args.trace_out) else NULL_OBS
-    result = run_trace(args.solution, trace, obs=obs)
+    result = run_trace(
+        args.solution, trace, obs=obs, faults=faults, fault_seed=args.fault_seed
+    )
     print(
         format_table(
             ["trace", "solution", "cli CPU", "srv CPU", "up", "down", "TUE"],
@@ -260,6 +280,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the structured event trace as JSONL to PATH",
+    )
+    replay.add_argument(
+        "--loss-rate", type=float, default=0.0, metavar="P",
+        help="drop each uplink/downlink message with probability P "
+             "(deltacfs only; engages the reliable transport)",
+    )
+    replay.add_argument(
+        "--dup-rate", type=float, default=0.0, metavar="P",
+        help="duplicate each delivered message with probability P",
+    )
+    replay.add_argument(
+        "--reorder-rate", type=float, default=0.0, metavar="P",
+        help="delay each delivered message past later sends with probability P",
+    )
+    replay.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan and retransmit jitter (identical "
+             "seeds reproduce identical schedules)",
     )
     replay.set_defaults(func=_cmd_replay)
     return parser

@@ -24,6 +24,11 @@ class DeltaCFSConfig:
             expires (paper: "empirically set in a range of 1 to 3 seconds").
         upload_delay: seconds a Sync Queue node waits before uploading,
             allowing coalescing and delta replacement (paper Fig. 6: 3 s).
+        max_coalesce_delay: hard cap on one node's total coalescing window.
+            The upload delay debounces from the *last* write, so a
+            continuously-written hot file would otherwise hold the queue
+            head (and every file behind it) forever. ``None`` means 4x the
+            upload delay.
         inplace_delta_threshold: fraction of a file that must be overwritten
             by in-place writes before local delta encoding is attempted on
             top of the undo log (paper: "more than 50%").
@@ -43,6 +48,7 @@ class DeltaCFSConfig:
     block_size: int = 4096
     relation_timeout: float = 2.0
     upload_delay: float = 3.0
+    max_coalesce_delay: float | None = None
     inplace_delta_threshold: float = 0.5
     tmp_dir: str = "/.deltacfs_tmp"
     checksum_block_size: int = 4096
@@ -63,6 +69,10 @@ class DeltaCFSConfig:
             raise ValueError("relation_timeout must be positive")
         if self.upload_delay < 0:
             raise ValueError("upload_delay must be non-negative")
+        if self.max_coalesce_delay is not None and (
+            self.max_coalesce_delay < self.upload_delay
+        ):
+            raise ValueError("max_coalesce_delay must be >= upload_delay")
         if self.sync_queue_capacity <= 0:
             raise ValueError("sync_queue_capacity must be positive")
 

@@ -56,6 +56,7 @@ from repro.net.messages import (
     UploadWrite,
     UploadWriteBatch,
 )
+from repro.net.reliable import ReliableTransport
 from repro.net.transport import Channel
 from repro.obs import NULL_OBS, Observability
 from repro.vfs.filesystem import FileSystemAPI
@@ -100,6 +101,10 @@ class DeltaCFSClient(PassthroughFileSystem):
         meter: client-side CPU meter.
         obs: observability hub (metrics + tracing); defaults to the no-op
             ``NULL_OBS`` so uninstrumented runs are unperturbed.
+        transport: optional :class:`ReliableTransport`. When set, upload
+            units go through its envelope/ack/retry machinery instead of
+            the synchronous channel+server path — required when the
+            channel is lossy.
     """
 
     def __init__(
@@ -114,12 +119,16 @@ class DeltaCFSClient(PassthroughFileSystem):
         meter: CostMeter = NULL_METER,
         obs: Observability = NULL_OBS,
         checksum_kv=None,
+        transport: Optional[ReliableTransport] = None,
     ):
         super().__init__(inner)
         self.config = config if config is not None else DeltaCFSConfig()
         self.config.validate()
         self.server = server
         self.channel = channel if channel is not None else Channel()
+        self.transport = transport
+        if transport is not None:
+            transport.on_reply = self._on_transport_replies
         self.client_id = client_id
         self.clock = clock if clock is not None else VirtualClock()
         self.meter = meter
@@ -131,6 +140,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         self.queue = SyncQueue(
             upload_delay=self.config.upload_delay,
             capacity=self.config.sync_queue_capacity,
+            max_coalesce_delay=self.config.max_coalesce_delay,
             obs=obs,
         )
         self.versions: Dict[str, Optional[VersionStamp]] = {}
@@ -173,7 +183,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         self.inner.create(path)
         if self._unsynced(path) or existed:
             return
-        entry = self.relations.match_created(path, now)
+        entry = self._match_relation(path, now)
         if entry is not None and self.inner.exists(entry.dst):
             # Content arrives via later writes; encode at pack time.
             self._pending_create_delta[path] = entry
@@ -305,7 +315,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         self.queue.pack(dst)
 
         dst_existed = self.inner.exists(dst)
-        entry = self.relations.match_created(dst, now)
+        entry = self._match_relation(dst, now)
         old_content: Optional[bytes] = None
         old_version: Optional[VersionStamp] = None
         preserved_tmp: Optional[str] = None
@@ -372,19 +382,28 @@ class DeltaCFSClient(PassthroughFileSystem):
         # and a pending rename/link out of it carries effects (another
         # name's content) that must still ship.
         pending = self.queue.pending_nodes(path)
-        has_create = any(
-            isinstance(n, MetaNode) and n.kind == "create" for n in pending
-        )
+        create_seqs = [
+            n.seq
+            for n in pending
+            if isinstance(n, MetaNode) and n.kind == "create"
+        ]
         entangled = any(
             isinstance(n, MetaNode)
             and n.kind in ("rename", "link")
             and (n.path == path or n.dest == path)
             for n in self.queue.nodes()
         )
-        if has_create and not entangled:
-            self.queue.cancel_nodes(pending)
+        if create_seqs and not entangled:
+            # Cancel only this incarnation: nodes from its pending create
+            # onward. Anything queued *before* that create belongs to a
+            # previous incarnation the cloud may already know about — in
+            # particular its trailing unlink, which must still ship or the
+            # cloud keeps a file the client deleted.
+            first_create = min(create_seqs)
+            doomed = [n for n in pending if n.seq >= first_create]
+            self.queue.cancel_nodes(doomed)
             self._dead_versions.update(
-                n.new_version for n in pending if n.new_version is not None
+                n.new_version for n in doomed if n.new_version is not None
             )
             self._pending_create_delta.pop(path, None)
         else:
@@ -432,6 +451,8 @@ class DeltaCFSClient(PassthroughFileSystem):
                 break
             self._upload_unit(unit, now)
             shipped += 1
+        if self.transport is not None:
+            self.transport.pump(now)
         return shipped
 
     def flush(self) -> int:
@@ -445,6 +466,8 @@ class DeltaCFSClient(PassthroughFileSystem):
         for unit in self.queue.drain_all(now):
             self._upload_unit(unit, now)
             shipped += 1
+        if self.transport is not None:
+            self.transport.pump(now)
         return shipped
 
     # ------------------------------------------------------------------
@@ -814,13 +837,29 @@ class DeltaCFSClient(PassthroughFileSystem):
         if self.inner.exists(preserved_path) and self._unsynced(preserved_path):
             self.inner.unlink(preserved_path)
 
+    def _match_relation(self, path: str, now: float) -> Optional[RelationEntry]:
+        """Probe the relation table, GC'ing any stale entry it evicts.
+
+        A stale (expired-but-uncollected) entry surfaces here rather than
+        waiting for the next pump — its preserved tmp file would otherwise
+        leak until then.
+        """
+        stale: List[RelationEntry] = []
+        entry = self.relations.match_created(path, now, stale_out=stale)
+        for dead in stale:
+            self._collect_expired_entry(dead)
+        return entry
+
     def _expire_relations(self, now: float) -> None:
         for entry in self.relations.expire(now):
-            if entry.origin == "unlink":
-                self._drop_preserved(entry.dst)
-            self._pending_create_delta = {
-                p: e for p, e in self._pending_create_delta.items() if e is not entry
-            }
+            self._collect_expired_entry(entry)
+
+    def _collect_expired_entry(self, entry: RelationEntry) -> None:
+        if entry.origin == "unlink":
+            self._drop_preserved(entry.dst)
+        self._pending_create_delta = {
+            p: e for p, e in self._pending_create_delta.items() if e is not entry
+        }
 
     # -- uploading ---------------------------------------------------------
 
@@ -844,6 +883,12 @@ class DeltaCFSClient(PassthroughFileSystem):
                 )
             self.stats.nodes_uploaded += len(messages)
             self.obs.inc("client.upload.units")
+            if self.transport is not None:
+                # Reliable path: the transport envelopes the message and
+                # charges the channel itself; replies surface through
+                # the ack callback once the server's EnvelopeAck lands.
+                self.transport.send(outbound, now)
+                return
             self.channel.upload(outbound, now)
             if self.server is None:
                 return
@@ -897,6 +942,14 @@ class DeltaCFSClient(PassthroughFileSystem):
     def _process_replies(self, result: ApplyResult, now: float) -> None:
         for reply in result.replies:
             self.channel.download(reply, now)
+            if isinstance(reply, ConflictNotice):
+                self.stats.conflicts += 1
+                self.obs.inc("client.conflicts")
+                self.conflict_notices.append(reply)
+
+    def _on_transport_replies(self, replies) -> None:
+        """Ack-borne replies: already charged inside the EnvelopeAck."""
+        for reply in replies:
             if isinstance(reply, ConflictNotice):
                 self.stats.conflicts += 1
                 self.obs.inc("client.conflicts")

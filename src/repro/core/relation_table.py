@@ -88,18 +88,38 @@ class RelationTable:
         self._note_insert(path, preserved_at, "unlink", superseded)
         return superseded
 
-    def match_created(self, path: str, now: float) -> Optional[RelationEntry]:
+    def match_created(
+        self,
+        path: str,
+        now: float,
+        *,
+        stale_out: Optional[List[RelationEntry]] = None,
+    ) -> Optional[RelationEntry]:
         """A file named ``path`` is being created — does it trigger encoding?
 
         Returns (and removes — Table I rule "triggered delta encoding") the
-        matching live entry, or ``None``. Expired entries never match.
+        matching live entry, or ``None``. Expired entries never match; one
+        found here is evicted on the spot and appended to ``stale_out`` so
+        the caller can garbage-collect its preserved tmp file immediately
+        instead of leaking it until the next ``expire()`` pass.
         """
         entry = self._entries.get(path)
         if entry is None:
             return None
         if now - entry.created_at > self.timeout:
-            self.obs.inc("relation.entries.stale")
-            return None  # stale; expire() will collect it
+            del self._entries[path]
+            if self.obs.enabled:
+                self.obs.inc("relation.entries.stale")
+                self.obs.event(
+                    "relation.expire",
+                    src=entry.src,
+                    dst=entry.dst,
+                    origin=entry.origin,
+                )
+                self.obs.set_gauge("relation.size", len(self._entries))
+            if stale_out is not None:
+                stale_out.append(entry)
+            return None
         del self._entries[path]
         if self.obs.enabled:
             self.obs.inc("relation.entries.matched")

@@ -150,11 +150,23 @@ class SyncQueue:
         *,
         upload_delay: float = 3.0,
         capacity: int = 4096,
+        max_coalesce_delay: Optional[float] = None,
         obs: Observability = NULL_OBS,
     ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.upload_delay = upload_delay
+        # The debounce refreshes ``enqueue_time`` on every coalesced write,
+        # so a continuously-written hot file would keep the queue head
+        # un-due forever and starve everything behind it. ``created_time``
+        # clamps the coalescing window: a node always comes due at most
+        # ``max_coalesce_delay`` after it first joined (default 4x the
+        # upload delay).
+        self.max_coalesce_delay = (
+            max_coalesce_delay
+            if max_coalesce_delay is not None
+            else 4.0 * upload_delay
+        )
         self.capacity = capacity
         self.obs = obs
         self._nodes: List[QueueNode] = []  # live nodes, FIFO by seq
@@ -393,7 +405,10 @@ class SyncQueue:
     # -- internals ---------------------------------------------------------
 
     def _due(self, node: QueueNode, now: float) -> bool:
-        return now - node.enqueue_time >= self.upload_delay
+        return (
+            now - node.enqueue_time >= self.upload_delay
+            or now - node.created_time >= self.max_coalesce_delay
+        )
 
     def _note_shipped(
         self, nodes: Sequence[QueueNode], now: float, *, transactional: bool

@@ -54,6 +54,7 @@ def simulate_crash(client) -> List[str]:
     client.queue.__init__(
         upload_delay=client.config.upload_delay,
         capacity=client.config.sync_queue_capacity,
+        max_coalesce_delay=client.config.max_coalesce_delay,
     )
     client.relations.__init__(timeout=client.config.relation_timeout)
     if client.undo is not None:

@@ -1,0 +1,74 @@
+"""Network fault injection: the lossy-link model (WAN reliability).
+
+The paper's reliability story (Section IV-E) covers corruption and crash
+inconsistency; this module supplies the third leg — an adversarial *link*.
+A :class:`NetworkFaults` plan describes, declaratively, how a
+:class:`~repro.net.transport.LossyChannel` may perturb deliveries:
+
+- **drop**: a message vanishes in transit (its bytes were still spent);
+- **duplicate**: the network delivers a second copy of the same transfer;
+- **reorder**: a delivery is delayed by ``reorder_delay`` so a later
+  message can overtake it;
+- **partition**: during a ``[start, end)`` window *every* message in the
+  affected direction is lost (a transient outage).
+
+All probabilistic decisions are drawn from :class:`repro.common.rng`
+streams seeded by the channel, so identical seeds produce identical fault
+schedules — the reliability sweeps are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class NetworkFaults:
+    """A declarative fault plan for one lossy link.
+
+    Attributes:
+        drop_prob: probability a transmitted message is lost in transit.
+        dup_prob: probability the network delivers a second copy.
+        reorder_prob: probability a delivery is delayed past later sends.
+        reorder_delay: extra transit seconds added to a reordered copy.
+        partitions: ``(start, end)`` virtual-time windows (half-open)
+            during which every message is dropped.
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_delay: float = 0.25
+    partitions: Tuple[Tuple[float, float], ...] = ()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on a nonsensical plan."""
+        for name in ("drop_prob", "dup_prob", "reorder_prob"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.drop_prob >= 1.0:
+            raise ValueError("drop_prob must be < 1.0 (nothing would ever arrive)")
+        if self.reorder_delay < 0:
+            raise ValueError("reorder_delay must be non-negative")
+        for start, end in self.partitions:
+            if end <= start:
+                raise ValueError(f"partition window ({start}, {end}) is empty")
+
+    @property
+    def lossless(self) -> bool:
+        """True when this plan never perturbs anything (the perfect pipe)."""
+        return (
+            self.drop_prob == 0.0
+            and self.dup_prob == 0.0
+            and self.reorder_prob == 0.0
+            and not self.partitions
+        )
+
+    def in_partition(self, now: float) -> bool:
+        """True when ``now`` falls inside a partition window."""
+        return any(start <= now < end for start, end in self.partitions)
+
+
+NO_FAULTS = NetworkFaults()

@@ -20,12 +20,18 @@ Three tests per service:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from repro.common.errors import CorruptionDetected
 from repro.faults.corruption import flip_bit
 from repro.faults.crash import inject_crash_inconsistency, simulate_crash
+from repro.faults.network import NetworkFaults
 from repro.harness.runner import build_system
+from repro.net.reliable import RetryPolicy
+from repro.obs import Observability
+from repro.workloads.traces import replay
+from repro.workloads.word import word_trace
 
 _FILE = "/data.bin"
 _SIZE = 256 * 1024
@@ -113,7 +119,8 @@ def crash_inconsistency_test(service: str) -> str:
 def causal_order_test(service: str) -> bool:
     """True when upload order matches update order for mixed-size files."""
     sizes = [("/big.bin", 2 * 1024 * 1024), ("/small.bin", 20 * 1024), ("/mid.bin", 500 * 1024)]
-    system = build_system(service)
+    obs = Observability()
+    system = build_system(service, obs=obs)
     for path, size in sizes:
         system.fs.create(path)
         system.fs.write(path, 0, b"\x7e" * size)
@@ -127,17 +134,24 @@ def causal_order_test(service: str) -> bool:
         order = _first_touch_order(system.server.upload_order)
         return order == [p for p, _ in sizes]
 
-    # Dropbox/Seafile transfer concurrently (one TCP stream per file);
-    # completion time is proportional to size, so the arrival order on the
-    # cloud is size order, not update order.
+    # Dropbox/Seafile have no FIFO upload queue: each sync round walks the
+    # dirty set in name order, so the order content lands on the cloud is
+    # decoupled from the order the user produced it. Read the arrival
+    # order off the *simulated* channel — the last uplink completion time
+    # of each file's messages — rather than any analytic formula.
     system.clock.advance(6.0)
     system.pump(system.clock.now())
     system.flush()
-    bandwidth = system.channel.model.bandwidth_up
-    completions: List[Tuple[float, str]] = [
-        (size / bandwidth, path) for path, size in sizes
-    ]
-    arrival = [path for _, path in sorted(completions)]
+    wanted = {path for path, _ in sizes}
+    completion: Dict[str, float] = {}
+    for ev in obs.tracer.events():
+        if ev.type != "event" or ev.name != "channel.upload":
+            continue
+        path = str(ev.attrs.get("path", ""))
+        if path in wanted:
+            done = float(ev.attrs["done_at"])
+            completion[path] = max(completion.get(path, 0.0), done)
+    arrival = [p for p, _ in sorted(completion.items(), key=lambda kv: kv[1])]
     return arrival == [p for p, _ in sizes]
 
 
@@ -147,3 +161,96 @@ def _first_touch_order(upload_order: List[str]) -> List[str]:
         if path not in seen:
             seen.append(path)
     return seen
+
+
+# -- lossy-link convergence (the fault-tolerant transport's acceptance) -----
+
+
+@dataclass
+class LossOutcome:
+    """Result of one DeltaCFS run over a seeded lossy link."""
+
+    loss_rate: float
+    converged: bool
+    mismatched: List[str] = field(default_factory=list)
+    conflict_copies: int = 0
+    conflicts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    dedup_drops: int = 0
+    up_bytes: int = 0
+    down_bytes: int = 0
+    retransmit_log: List[Tuple[float, int, int]] = field(default_factory=list)
+
+
+def loss_convergence_test(
+    loss_rate: float,
+    *,
+    dup_rate: float = 0.0,
+    reorder_rate: float = 0.0,
+    seed: int = 0,
+    saves: int = 8,
+    scale: int = 64,
+) -> LossOutcome:
+    """Run the Word trace over a lossy link; check byte-level convergence.
+
+    The reliable transport must deliver exactly-once *effect* despite
+    at-least-once delivery: after the run settles, every client file
+    (outside the preservation tmp area) must be byte-identical on the
+    cloud, with no spurious conflict copies materialized by retransmits.
+    """
+    faults = NetworkFaults(
+        drop_prob=loss_rate, dup_prob=dup_rate, reorder_prob=reorder_rate
+    )
+    trace = word_trace(scale=scale, saves=saves)
+    system = build_system(
+        "deltacfs", faults=faults, retry=RetryPolicy(), fault_seed=seed
+    )
+    for path, content in sorted(trace.preload.items()):
+        system.fs.create(path)
+        if content:
+            system.fs.write(path, 0, content)
+        system.fs.close(path)
+    for _ in range(12):
+        system.clock.advance(1.0)
+        system.pump(system.clock.now())
+    system.flush()  # settles the transport: preload fully acked
+    system.reset_counters()
+
+    replay(trace, system.fs, system.clock, pump=system.pump)
+    for _ in range(10):
+        system.clock.advance(1.0)
+        system.pump(system.clock.now())
+    system.flush()
+
+    client = system.client
+    tmp = client.config.tmp_dir
+    mismatched: List[str] = []
+    client_paths = sorted(
+        p
+        for p in client.inner.walk_files()
+        if not (p == tmp or p.startswith(tmp + "/"))
+    )
+    for path in client_paths:
+        local = client.inner.read_file(path)
+        if not system.server.store.exists(path):
+            mismatched.append(path)
+        elif system.server.file_content(path) != local:
+            mismatched.append(path)
+    conflict_copies = sum(
+        1 for p in system.server.store.paths() if "conflicted copy" in p
+    )
+    transport = system.transport
+    return LossOutcome(
+        loss_rate=loss_rate,
+        converged=not mismatched and conflict_copies == 0,
+        mismatched=mismatched,
+        conflict_copies=conflict_copies,
+        conflicts=client.stats.conflicts,
+        retries=transport.stats.retransmits if transport else 0,
+        timeouts=transport.stats.timeouts if transport else 0,
+        dedup_drops=system.server.dedup_drops,
+        up_bytes=system.channel.stats.up_bytes,
+        down_bytes=system.channel.stats.down_bytes,
+        retransmit_log=list(transport.retransmit_log) if transport else [],
+    )

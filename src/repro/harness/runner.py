@@ -14,8 +14,10 @@ from repro.common.config import DeltaCFSConfig
 from repro.core.client import DeltaCFSClient
 from repro.cost.meter import CostMeter
 from repro.cost.profile import CostProfile, PC_PROFILE
+from repro.faults.network import NO_FAULTS, NetworkFaults
 from repro.metrics.collector import RunResult
-from repro.net.transport import Channel, NetworkModel, NetworkStats, PC_NETWORK
+from repro.net.reliable import ReliableTransport, RetryPolicy
+from repro.net.transport import Channel, LossyChannel, NetworkModel, NetworkStats, PC_NETWORK
 from repro.obs import NULL_OBS, Observability
 from repro.server.cloud import CloudServer
 from repro.vfs.filesystem import FileSystemAPI, MemoryFileSystem
@@ -38,6 +40,7 @@ class SystemUnderTest:
     pump: Callable[[float], object]
     flush: Callable[[], object]
     client: object  # the underlying client, for system-specific inspection
+    transport: Optional[ReliableTransport] = None  # set in reliable mode
 
     def reset_counters(self) -> None:
         """Zero meters and traffic counters (after preload)."""
@@ -58,6 +61,9 @@ def build_system(
     dropbox_dedup_size: int = 4 * 1024 * 1024,
     seafile_chunk_size: int = 1024 * 1024,
     obs: Observability = NULL_OBS,
+    faults: NetworkFaults = NO_FAULTS,
+    retry: Optional[RetryPolicy] = None,
+    fault_seed: int = 0,
 ) -> SystemUnderTest:
     """Construct a sync system by name.
 
@@ -68,6 +74,13 @@ def build_system(
     DeltaCFS — the client engine; its trace clock is bound to the run's
     virtual clock.
 
+    A non-lossless ``faults`` plan (or an explicit ``retry`` policy) builds
+    the system in *reliable mode*: uploads travel over a
+    :class:`LossyChannel` seeded with ``fault_seed``, wrapped in
+    :class:`ReliableTransport` envelopes, with the flush wrapper settling
+    the transport (retransmitting until every message is acked). Only the
+    DeltaCFS client supports reliable mode.
+
     When a trace is generated at ``1/scale`` of the paper's file sizes, the
     *structural* baseline granularities (Dropbox's 4 MB dedup unit,
     Seafile's 1 MB chunk) should be scaled by the same factor so the
@@ -76,16 +89,44 @@ def build_system(
     """
     if name not in SOLUTIONS:
         raise ValueError(f"unknown solution {name!r}; pick one of {SOLUTIONS}")
+    reliable = not faults.lossless or retry is not None
+    if reliable and name != "deltacfs":
+        raise ValueError(
+            f"reliable mode (fault injection) is only wired for 'deltacfs', "
+            f"not {name!r}"
+        )
     clock = clock if clock is not None else VirtualClock()
     obs.bind_clock(clock)
     client_meter = CostMeter(profile)
     server_meter = CostMeter(profile if name == "fullsync" else PC_PROFILE)
     server = CloudServer(meter=server_meter, obs=obs)
-    channel = Channel(
-        model=network, client_meter=client_meter, server_meter=server_meter, obs=obs
-    )
+    if reliable:
+        channel: Channel = LossyChannel(
+            model=network,
+            faults=faults,
+            seed=fault_seed,
+            client_meter=client_meter,
+            server_meter=server_meter,
+            obs=obs,
+        )
+    else:
+        channel = Channel(
+            model=network,
+            client_meter=client_meter,
+            server_meter=server_meter,
+            obs=obs,
+        )
 
     if name == "deltacfs":
+        transport: Optional[ReliableTransport] = None
+        if reliable:
+            transport = ReliableTransport(
+                channel,
+                server,
+                policy=retry,
+                seed=fault_seed,
+                obs=obs,
+            )
         client = DeltaCFSClient(
             MemoryFileSystem(),
             server=server,
@@ -94,7 +135,19 @@ def build_system(
             meter=client_meter,
             config=config,
             obs=obs,
+            transport=transport,
         )
+        if transport is not None:
+            transport.client_id = client.client_id
+
+        def flush() -> object:
+            shipped = client.flush()
+            if transport is not None:
+                # Drive retransmission until every envelope is acked —
+                # flush alone cannot advance virtual time.
+                transport.settle(clock)
+            return shipped
+
         return SystemUnderTest(
             name=name,
             fs=client,
@@ -104,8 +157,9 @@ def build_system(
             server_meter=server_meter,
             server=server,
             pump=client.pump,
-            flush=client.flush,
+            flush=flush,
             client=client,
+            transport=transport,
         )
 
     if name == "nfs":
@@ -236,6 +290,9 @@ def run_trace(
     dropbox_dedup_size: int = 4 * 1024 * 1024,
     seafile_chunk_size: int = 1024 * 1024,
     obs: Observability = NULL_OBS,
+    faults: NetworkFaults = NO_FAULTS,
+    retry: Optional[RetryPolicy] = None,
+    fault_seed: int = 0,
 ) -> RunResult:
     """Build ``name``, preload, replay ``trace``, flush, and collect.
 
@@ -253,6 +310,9 @@ def run_trace(
         dropbox_dedup_size=dropbox_dedup_size,
         seafile_chunk_size=seafile_chunk_size,
         obs=obs,
+        faults=faults,
+        retry=retry,
+        fault_seed=fault_seed,
     )
     with obs.span("run", solution=name, trace=trace.name):
         with obs.span("run.preload"):
@@ -289,6 +349,17 @@ def run_trace(
             "nodes_uploaded": stats.nodes_uploaded,
             "conflicts": stats.conflicts,
         }
+        if system.transport is not None:
+            tstats = system.transport.stats
+            extra.update(
+                {
+                    "transport_sent": tstats.sent,
+                    "transport_retransmits": tstats.retransmits,
+                    "transport_timeouts": tstats.timeouts,
+                    "transport_acked": tstats.acked,
+                    "server_dedup_drops": system.server.dedup_drops,
+                }
+            )
     elif hasattr(system.client, "sync_rounds"):
         extra = {"sync_rounds": system.client.sync_rounds}
     if obs.enabled:

@@ -301,6 +301,44 @@ class FileDownload(Message):
 
 
 @dataclass(frozen=True)
+class Envelope(Message):
+    """Reliable-delivery wrapper for one uplink message.
+
+    ``msg_id`` is a per-client monotonic id (from 1); ``attempt`` counts
+    transmissions of the same id (1 = first send). The server deduplicates
+    by ``(origin_client, msg_id)``, which is what turns the at-least-once
+    retransmit loop into exactly-once application.
+    """
+
+    msg_id: int
+    attempt: int
+    inner: Message = field(default=None)  # type: ignore[assignment]
+
+    def wire_size(self) -> int:
+        # 8-byte message id + 2-byte attempt counter.
+        return _MSG_HEADER + 8 + 2 + self.inner.wire_size()
+
+
+@dataclass(frozen=True)
+class EnvelopeAck(Message):
+    """Downlink acknowledgement of one :class:`Envelope`.
+
+    Carries the server's replies for the acknowledged message (``Ack`` /
+    ``ConflictNotice``), so a retransmitted message whose first ack was
+    lost still gets its replies delivered. ``duplicate`` marks acks
+    produced by the server's dedup table rather than a fresh apply.
+    """
+
+    ack_of: int
+    replies: Sequence[Message] = ()
+    duplicate: bool = False
+
+    def wire_size(self) -> int:
+        # 8-byte acked id + 1-byte duplicate flag.
+        return _MSG_HEADER + 8 + 1 + sum(r.wire_size() for r in self.replies)
+
+
+@dataclass(frozen=True)
 class Forward(Message):
     """Cloud-to-client fan-out of another client's incremental data.
 

@@ -1,10 +1,20 @@
-"""Byte accounting and transfer-time modelling for a client<->server link."""
+"""Byte accounting and transfer-time modelling for a client<->server link.
+
+Two channel flavours live here: the perfect pipe (:class:`Channel`) every
+experiment used historically, and :class:`LossyChannel`, which layers a
+seeded :class:`~repro.faults.network.NetworkFaults` plan on top — drops,
+duplicates, reorders, and transient partitions — for the fault-tolerant
+transport (``repro.net.reliable``) to fight through.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
+from repro.common.rng import DeterministicRandom
 from repro.cost.meter import CostMeter, NULL_METER
+from repro.faults.network import NO_FAULTS, NetworkFaults
 from repro.net.messages import Message
 from repro.obs import NULL_OBS, Observability
 
@@ -91,7 +101,13 @@ class Channel:
             self.obs.inc("channel.up.messages", type=kind)
             self.obs.inc("channel.up.busy_time", self._up_busy_until - start)
             self.obs.observe("channel.message.bytes", size)
-            self.obs.event("channel.upload", type=kind, bytes=size, done_at=done)
+            self.obs.event(
+                "channel.upload",
+                type=kind,
+                path=getattr(message, "path", ""),
+                bytes=size,
+                done_at=done,
+            )
         return done
 
     def download(self, message: Message, now: float = 0.0) -> float:
@@ -110,17 +126,46 @@ class Channel:
             self.obs.inc("channel.down.messages", type=kind)
             self.obs.inc("channel.down.busy_time", self._down_busy_until - start)
             self.obs.observe("channel.message.bytes", size)
-            self.obs.event("channel.download", type=kind, bytes=size, done_at=done)
+            self.obs.event(
+                "channel.download",
+                type=kind,
+                path=getattr(message, "path", ""),
+                bytes=size,
+                done_at=done,
+            )
         return done
+
+    # -- delivery-time API (the reliable transport consumes this) ----------
+
+    def transmit_up(self, message: Message, now: float) -> List[float]:
+        """Send uplink; returns the delivery time of each surviving copy.
+
+        The perfect pipe delivers exactly one copy, on time. Lossy
+        subclasses may return zero, one, or two delivery times.
+        """
+        return [self.upload(message, now)]
+
+    def transmit_down(self, message: Message, now: float) -> List[float]:
+        """Send downlink; returns the delivery time of each surviving copy."""
+        return [self.download(message, now)]
 
     def upload_idle_at(self, now: float) -> bool:
         """True when the uplink has drained everything handed to it."""
         return self._up_busy_until <= now
 
+    def download_idle_at(self, now: float) -> bool:
+        """True when the downlink has drained everything handed to it."""
+        return self._down_busy_until <= now
+
     @property
     def up_busy_until(self) -> float:
         """Virtual time at which the uplink finishes its queued transfers."""
         return self._up_busy_until
+
+    @property
+    def down_busy_until(self) -> float:
+        """Virtual time at which the downlink finishes its queued transfers."""
+        return self._down_busy_until
 
     # -- internals -----------------------------------------------------------
 
@@ -128,3 +173,107 @@ class Channel:
         meter.charge_bytes(category, size)
         if self.model.encrypted:
             meter.charge_bytes("encrypt", size)
+
+
+@dataclass
+class FaultStats:
+    """Cumulative fault counts for one lossy link (both directions)."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    partition_drops: int = 0
+
+
+class LossyChannel(Channel):
+    """A :class:`Channel` whose deliveries obey a seeded fault plan.
+
+    ``transmit_up``/``transmit_down`` first charge the transfer exactly
+    like the perfect pipe (a dropped message still spent its bytes on the
+    wire — that is the cost retransmission models exist to expose), then
+    draw the message's fate from per-direction forked RNG streams:
+
+    - *partition* (deterministic in virtual time): the copy is lost;
+    - *drop*: the copy is lost;
+    - *duplicate*: a second copy is transmitted (and charged) too;
+    - *reorder*: the first copy's delivery is delayed by
+      ``faults.reorder_delay`` so a later send can overtake it.
+
+    Every message consumes exactly three fate draws per direction, so the
+    fault schedule depends only on the seed and the message sequence —
+    identical seeds yield identical schedules, with or without
+    observability attached.
+    """
+
+    def __init__(
+        self,
+        model: NetworkModel = PC_NETWORK,
+        *,
+        faults: NetworkFaults = NO_FAULTS,
+        seed: int = 0,
+        client_meter: CostMeter = NULL_METER,
+        server_meter: CostMeter = NULL_METER,
+        obs: Observability = NULL_OBS,
+    ):
+        super().__init__(
+            model, client_meter=client_meter, server_meter=server_meter, obs=obs
+        )
+        faults.validate()
+        self.faults = faults
+        root = DeterministicRandom(seed).fork("lossy-channel")
+        self._fate_rng = {"up": root.fork("up"), "down": root.fork("down")}
+        self.fault_stats = FaultStats()
+
+    def transmit_up(self, message: Message, now: float) -> List[float]:
+        return self._transmit("up", message, now)
+
+    def transmit_down(self, message: Message, now: float) -> List[float]:
+        return self._transmit("down", message, now)
+
+    # -- internals -----------------------------------------------------------
+
+    def _transmit(self, direction: str, message: Message, now: float) -> List[float]:
+        send = self.upload if direction == "up" else self.download
+        done = send(message, now)
+        rng = self._fate_rng[direction]
+        # Fixed draw order/count per message keeps schedules seed-stable.
+        dropped = rng.random() < self.faults.drop_prob
+        duplicated = rng.random() < self.faults.dup_prob
+        reordered = rng.random() < self.faults.reorder_prob
+
+        if self.faults.in_partition(now):
+            self.fault_stats.partition_drops += 1
+            self._note_fault(direction, "partition", message)
+            return []
+        if dropped:
+            self.fault_stats.dropped += 1
+            self._note_fault(direction, "drop", message)
+            return []
+        deliveries = [done]
+        if duplicated:
+            # The duplicate occupies the link again: charged, counted.
+            deliveries.append(send(message, now))
+            self.fault_stats.duplicated += 1
+            self._note_fault(direction, "duplicate", message)
+        if reordered:
+            deliveries[0] = done + self.faults.reorder_delay
+            self.fault_stats.reordered += 1
+            self._note_fault(direction, "reorder", message)
+        return deliveries
+
+    def _note_fault(self, direction: str, fate: str, message: Message) -> None:
+        if not self.obs.enabled:
+            return
+        metric = {
+            "partition": "channel.faults.partition_drops",
+            "drop": "channel.faults.dropped",
+            "duplicate": "channel.faults.duplicated",
+            "reorder": "channel.faults.reordered",
+        }[fate]
+        self.obs.inc(metric, direction=direction)
+        self.obs.event(
+            "channel.fault",
+            direction=direction,
+            fate=fate,
+            type=type(message).__name__,
+        )

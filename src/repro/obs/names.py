@@ -11,7 +11,8 @@ Naming scheme: ``<subsystem>.<object>.<aspect>`` with dot separators and
 ``snake_case`` segments. Subsystem prefixes in use: ``client`` (the
 DeltaCFS client engine), ``queue`` (the Sync Queue), ``relation`` (the
 Relation Table), ``channel`` (the accounted link), ``server`` (the cloud
-apply path), ``run`` (the experiment harness).
+apply path), ``transport`` (the reliable delivery layer), ``run`` (the
+experiment harness).
 """
 
 from __future__ import annotations
@@ -297,6 +298,73 @@ METRICS: Tuple[MetricSpec, ...] = (
         unit="bytes",
         buckets=BYTE_BUCKETS,
     ),
+    MetricSpec(
+        "channel.faults.dropped",
+        COUNTER,
+        "messages lost in transit by the fault plan, labelled by direction",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "channel.faults.duplicated",
+        COUNTER,
+        "messages the lossy link delivered twice, labelled by direction",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "channel.faults.reordered",
+        COUNTER,
+        "deliveries delayed past later sends, labelled by direction",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "channel.faults.partition_drops",
+        COUNTER,
+        "messages swallowed by a partition window, labelled by direction",
+        unit="msgs",
+    ),
+    # -- reliable transport ------------------------------------------------
+    MetricSpec(
+        "transport.sent",
+        COUNTER,
+        "envelopes transmitted, first attempts and retransmits alike",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "transport.retries",
+        COUNTER,
+        "retransmissions (attempts beyond the first) of unacked envelopes",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "transport.timeouts",
+        COUNTER,
+        "retry timers that expired without an ack arriving",
+        unit="ops",
+    ),
+    MetricSpec(
+        "transport.acked",
+        COUNTER,
+        "envelopes acknowledged and retired from the in-flight window",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "transport.dup_acks",
+        COUNTER,
+        "acknowledgements for already-retired envelopes (late or duplicate)",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "transport.inflight",
+        GAUGE,
+        "envelopes awaiting acknowledgement (in-flight window depth)",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "transport.outbox",
+        GAUGE,
+        "messages queued behind the bounded in-flight window",
+        unit="msgs",
+    ),
     # -- server apply path -------------------------------------------------
     MetricSpec(
         "server.apply.applied",
@@ -320,6 +388,12 @@ METRICS: Tuple[MetricSpec, ...] = (
         "server.forwards.sent",
         COUNTER,
         "accepted messages fanned out verbatim to sharing clients",
+        unit="msgs",
+    ),
+    MetricSpec(
+        "server.dedup.drops",
+        COUNTER,
+        "retransmitted envelopes absorbed by the message-id dedup table",
         unit="msgs",
     ),
     # -- harness / run -----------------------------------------------------
@@ -416,12 +490,34 @@ EVENTS: Tuple[EventSpec, ...] = (
     EventSpec(
         "channel.upload",
         "event",
-        "a message entered the uplink; attrs: type, bytes, done_at",
+        "a message entered the uplink; attrs: type, path, bytes, done_at",
     ),
     EventSpec(
         "channel.download",
         "event",
-        "a message entered the downlink; attrs: type, bytes, done_at",
+        "a message entered the downlink; attrs: type, path, bytes, done_at",
+    ),
+    EventSpec(
+        "channel.fault",
+        "event",
+        "the fault plan perturbed a delivery; attrs: direction, fate "
+        "(drop | duplicate | reorder | partition), type",
+    ),
+    # -- reliable transport ------------------------------------------------
+    EventSpec(
+        "transport.send",
+        "event",
+        "an envelope entered the uplink; attrs: msg_id, attempt, type",
+    ),
+    EventSpec(
+        "transport.ack",
+        "event",
+        "an envelope was acknowledged; attrs: msg_id, attempts, rtt",
+    ),
+    EventSpec(
+        "transport.timeout",
+        "event",
+        "a retry timer expired unacked; attrs: msg_id, attempt, waited",
     ),
     # -- server ------------------------------------------------------------
     EventSpec(
@@ -455,6 +551,12 @@ EVENTS: Tuple[EventSpec, ...] = (
         "server.apply",
         "span",
         "server-side application of one message or group; attrs: type, origin",
+    ),
+    EventSpec(
+        "transport.retransmit_round",
+        "span",
+        "one sweep retransmitting every envelope whose timer expired; "
+        "attrs: due",
     ),
 )
 

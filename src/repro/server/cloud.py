@@ -9,6 +9,7 @@ cloud").
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -20,6 +21,7 @@ from repro.delta.patch import apply_delta
 from repro.net.messages import (
     Ack,
     ConflictNotice,
+    Envelope,
     Forward,
     Message,
     MetaOp,
@@ -78,6 +80,12 @@ class CloudServer:
         # Order in which paths reached their current content — used by the
         # causal-ordering reliability test (Table IV "Causal" column).
         self.upload_order: List[str] = []
+        # Reliable-delivery dedup: (origin_client, msg_id) -> cached replies.
+        # Bounded per client; the transport's in-flight window is far
+        # smaller, so evicted ids can no longer be retransmitted.
+        self._dedup: Dict[int, "OrderedDict[int, Tuple[Message, ...]]"] = {}
+        self.dedup_window = 4096
+        self.dedup_drops = 0
 
     # -- client registry (multi-client sync) --------------------------------
 
@@ -130,6 +138,29 @@ class CloudServer:
             if result.ok:
                 self._forward(message, origin_client)
         return result
+
+    def handle_envelope(
+        self, envelope: Envelope, origin_client: int = 0
+    ) -> Tuple[List[Message], bool]:
+        """Apply one reliable-delivery envelope exactly once.
+
+        Returns ``(replies, duplicate)``. A retransmit of an already-applied
+        ``msg_id`` is absorbed by the dedup table: the cached replies are
+        returned verbatim (so a lost first ack is recoverable) and nothing
+        touches the store — in particular the base-version conflict check
+        never runs again, so a duplicate cannot misfire as a conflict.
+        """
+        cache = self._dedup.setdefault(origin_client, OrderedDict())
+        cached = cache.get(envelope.msg_id)
+        if cached is not None:
+            self.dedup_drops += 1
+            self.obs.inc("server.dedup.drops")
+            return list(cached), True
+        result = self.handle(envelope.inner, origin_client)
+        cache[envelope.msg_id] = tuple(result.replies)
+        while len(cache) > self.dedup_window:
+            cache.popitem(last=False)
+        return list(result.replies), False
 
     # -- transactional groups -------------------------------------------------
 

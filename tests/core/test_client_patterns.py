@@ -300,3 +300,64 @@ class TestRelationHousekeeping:
         assert not any(
             p.startswith(client.config.tmp_dir) for p in server.store.paths()
         )
+
+
+class TestUnlinkIncarnations:
+    # Regression: unlink's causality shortcut used to cancel *every*
+    # pending node for the path — including the previous incarnation's
+    # queued unlink — so the cloud kept a file the client had deleted.
+
+    def test_unlink_create_unlink_converges(self, rng):
+        clock, client, server, channel = build()
+        client.create("/a")
+        settle(clock, client)  # create ships; cloud has /a
+        client.unlink("/a")    # queued unlink (incarnation 1 ends)
+        client.create("/a")    # queued create (incarnation 2)
+        client.unlink("/a")    # incarnation 2 dies before upload
+        settle(clock, client)
+        assert not server.store.exists("/a")
+
+    def test_write_unlink_create_unlink_converges(self, rng):
+        clock, client, server, channel = build()
+        client.create("/a")
+        client.write("/a", 0, b"v1")
+        client.close("/a")
+        settle(clock, client)
+        client.write("/a", 0, b"v2")  # pending write of incarnation 1
+        client.unlink("/a")
+        client.create("/a")
+        client.unlink("/a")
+        settle(clock, client)
+        assert not server.store.exists("/a")
+
+    def test_shortcut_still_elides_unshipped_incarnations(self, rng):
+        # both creates die in the queue: the cloud hears nothing at all
+        clock, client, server, channel = build()
+        client.create("/a")
+        client.unlink("/a")
+        client.create("/a")
+        client.unlink("/a")
+        settle(clock, client)
+        assert not server.store.exists("/a")
+        assert all(r.status == "applied" for r in server.apply_log)
+
+    def test_stale_relation_probe_gcs_preserved_tmp(self, rng):
+        # a create probing a *stale* entry must GC its preserved tmp file
+        # immediately, not leak it until the next expiry pump
+        clock, client, server, channel = build()
+        client.create("/f")
+        client.write("/f", 0, b"x" * 100)
+        client.close("/f")
+        settle(clock, client)
+        client.unlink("/f")
+        # no pump here: the entry goes stale while nothing expires it
+        clock.advance(client.config.relation_timeout + 1.0)
+        client.create("/f")  # stale probe
+        leftover = [
+            p
+            for p in client.inner.walk_files()
+            if p.startswith(client.config.tmp_dir)
+        ]
+        assert leftover == []
+        settle(clock, client)
+        assert server.store.exists("/f")

@@ -112,3 +112,37 @@ class TestValidation:
         # 5 delete t0: creates a fresh (harmless) entry
         table.record_unlink("/t0", "/.tmp/t0", now=0.5)
         assert table.expire(now=10.0)[0].src == "/t0"
+
+
+class TestStaleProbeEviction:
+    # A stale entry discovered by match_created must be evicted on the
+    # spot and handed back for GC — not left to linger (leaking its
+    # preserved tmp file) until the next expire() pass.
+
+    def test_stale_entry_evicted_in_place(self, table):
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        stale = []
+        assert table.match_created("/f", now=5.0, stale_out=stale) is None
+        assert len(table) == 0
+        assert len(stale) == 1
+        assert stale[0].dst == "/.tmp/f"
+        assert stale[0].origin == "unlink"
+
+    def test_stale_out_optional(self, table):
+        table.record_rename("/f", "/t0", now=0.0)
+        assert table.match_created("/f", now=5.0) is None
+        assert len(table) == 0
+
+    def test_stale_counted_once(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        table = RelationTable(timeout=2.0, obs=obs)
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        stale = []
+        table.match_created("/f", now=5.0, stale_out=stale)
+        # re-probing and a later expire() sweep must not re-count it
+        table.match_created("/f", now=5.1, stale_out=stale)
+        table.expire(now=6.0)
+        assert obs.metrics.counter_value("relation.entries.stale") == 1.0
+        assert len(stale) == 1

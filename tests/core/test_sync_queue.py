@@ -262,3 +262,48 @@ class TestBookkeeping:
         q.enqueue(MetaNode(path="/b", kind="create"), now=0.0)
         q.enqueue(MetaNode(path="/a", kind="unlink"), now=0.0)
         assert [n.kind for n in q.pending_nodes("/a")] == ["create", "unlink"]
+
+
+class TestCoalesceClamp:
+    # A hot file's debounce refreshes on every write; without the clamp a
+    # steady writer starves its own upload (and, FIFO, everything queued
+    # behind it) forever.
+
+    def test_hot_node_ships_by_age(self):
+        q = SyncQueue(upload_delay=3.0, max_coalesce_delay=8.0)
+        node = q.enqueue(_write_node("/hot"), now=0.0)
+        node.add_write(0, b"x")
+        # writes keep landing: the debounce never elapses
+        node.enqueue_time = 7.5
+        assert q.next_unit(now=8.0) is not None  # age clamp fired
+
+    def test_quiet_node_still_debounced(self):
+        q = SyncQueue(upload_delay=3.0, max_coalesce_delay=8.0)
+        node = q.enqueue(_write_node("/hot"), now=0.0)
+        node.add_write(0, b"x")
+        node.enqueue_time = 1.0
+        assert q.next_unit(now=2.0) is None  # neither delay nor clamp due
+
+    def test_default_clamp_is_four_upload_delays(self):
+        q = SyncQueue(upload_delay=3.0)
+        assert q.max_coalesce_delay == 12.0
+
+    def test_hot_head_no_longer_starves_tail(self):
+        q = SyncQueue(upload_delay=3.0, max_coalesce_delay=8.0)
+        hot = q.enqueue(_write_node("/hot"), now=0.0)
+        hot.add_write(0, b"x")
+        q.enqueue(MetaNode(path="/other", kind="create"), now=0.5)
+        # the hot file is written every second; pre-clamp the head was
+        # never due and /other waited forever
+        shipped = []
+        now = 0.0
+        for _ in range(20):
+            now += 1.0
+            hot.enqueue_time = now  # another write on the hot file
+            while True:
+                unit = q.next_unit(now)
+                if unit is None:
+                    break
+                shipped.extend(n.path for n in unit.nodes)
+        assert "/hot" in shipped
+        assert "/other" in shipped

@@ -50,3 +50,48 @@ def test_table4_full(capfd):
     for baseline in ("dropbox", "seafile"):
         assert outcomes[baseline].corrupted == "upload"
         assert outcomes[baseline].causal_order == "N"
+
+
+class TestLossConvergence:
+    """The fault-tolerant transport's acceptance: byte-identical sync
+    despite seeded drops, duplicates, and reordering."""
+
+    def test_lossless_run_has_no_retries(self):
+        from repro.harness.reliability import loss_convergence_test
+
+        out = loss_convergence_test(0.0, saves=3, scale=128)
+        assert out.converged
+        assert out.retries == 0
+        assert out.dedup_drops == 0
+
+    def test_converges_at_twenty_percent_loss(self):
+        from repro.harness.reliability import loss_convergence_test
+
+        out = loss_convergence_test(
+            0.20, dup_rate=0.05, reorder_rate=0.05, seed=7, saves=3, scale=128
+        )
+        assert out.converged, out.mismatched
+        assert out.conflict_copies == 0
+        assert out.retries > 0  # the link really was lossy
+
+    def test_identical_seeds_identical_schedules(self):
+        from repro.harness.reliability import loss_convergence_test
+
+        a = loss_convergence_test(0.15, seed=3, saves=3, scale=128)
+        b = loss_convergence_test(0.15, seed=3, saves=3, scale=128)
+        assert a.retransmit_log == b.retransmit_log
+        assert (a.up_bytes, a.down_bytes) == (b.up_bytes, b.down_bytes)
+
+    def test_different_seeds_differ(self):
+        from repro.harness.reliability import loss_convergence_test
+
+        a = loss_convergence_test(0.15, seed=3, saves=3, scale=128)
+        b = loss_convergence_test(0.15, seed=4, saves=3, scale=128)
+        assert a.retransmit_log != b.retransmit_log
+
+    def test_reliable_mode_rejected_for_baselines(self):
+        from repro.faults.network import NetworkFaults
+        from repro.harness.runner import build_system
+
+        with pytest.raises(ValueError):
+            build_system("dropbox", faults=NetworkFaults(drop_prob=0.1))

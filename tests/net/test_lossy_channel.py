@@ -1,0 +1,139 @@
+"""Tests for the fault-injecting channel (drops, dups, reorders, partitions)."""
+
+import pytest
+
+from repro.faults.network import NetworkFaults
+from repro.net.messages import Ack, UploadFull
+from repro.net.transport import Channel, LossyChannel, NetworkModel
+
+FAST = NetworkModel(bandwidth_up=1e9, bandwidth_down=1e9, latency=0.0)
+
+
+def _msg(n=1000):
+    return UploadFull(path="/f", data=b"x" * n)
+
+
+class TestPerfectPipeDeliveryAPI:
+    def test_transmit_up_delivers_one_copy(self):
+        channel = Channel(model=FAST)
+        deliveries = channel.transmit_up(_msg(), now=0.0)
+        assert len(deliveries) == 1
+
+    def test_transmit_down_delivers_one_copy(self):
+        channel = Channel(model=FAST)
+        assert len(channel.transmit_down(Ack(path="/f"), now=0.0)) == 1
+
+
+class TestFates:
+    def test_no_faults_always_delivers(self):
+        channel = LossyChannel(model=FAST, seed=1)
+        for _ in range(50):
+            assert len(channel.transmit_up(_msg(), now=0.0)) == 1
+        assert channel.fault_stats.dropped == 0
+
+    def test_total_loss_rejected(self):
+        # drop_prob == 1.0 is a plan that can never converge
+        with pytest.raises(ValueError):
+            LossyChannel(model=FAST, faults=NetworkFaults(drop_prob=1.0))
+
+    def test_high_loss_drops_most(self):
+        channel = LossyChannel(
+            model=FAST, faults=NetworkFaults(drop_prob=0.9), seed=1
+        )
+        delivered = sum(
+            len(channel.transmit_up(_msg(), now=0.0)) for _ in range(100)
+        )
+        assert delivered < 30
+        assert channel.fault_stats.dropped == 100 - delivered
+
+    def test_duplicate_delivers_two_copies(self):
+        channel = LossyChannel(
+            model=FAST, faults=NetworkFaults(dup_prob=1.0), seed=1
+        )
+        deliveries = channel.transmit_up(_msg(), now=0.0)
+        assert len(deliveries) == 2
+        assert channel.fault_stats.duplicated == 1
+
+    def test_reorder_delays_delivery(self):
+        faults = NetworkFaults(reorder_prob=1.0, reorder_delay=0.5)
+        lossy = LossyChannel(model=FAST, faults=faults, seed=1)
+        clean = Channel(model=FAST)
+        delayed = lossy.transmit_up(_msg(), now=0.0)[0]
+        on_time = clean.transmit_up(_msg(), now=0.0)[0]
+        assert delayed == pytest.approx(on_time + 0.5)
+        assert lossy.fault_stats.reordered == 1
+
+    def test_partial_loss_roughly_matches_probability(self):
+        channel = LossyChannel(
+            model=FAST, faults=NetworkFaults(drop_prob=0.2), seed=3
+        )
+        delivered = sum(
+            len(channel.transmit_up(_msg(), now=0.0)) for _ in range(500)
+        )
+        assert 330 <= delivered <= 470  # ~400 expected
+
+
+class TestByteCharging:
+    def test_dropped_message_still_charged(self):
+        # a lost message spent its bytes on the wire
+        faults = NetworkFaults(partitions=((0.0, 100.0),))
+        channel = LossyChannel(model=FAST, faults=faults, seed=1)
+        msg = _msg()
+        assert channel.transmit_up(msg, now=0.0) == []
+        assert channel.stats.up_bytes == msg.wire_size()
+        assert channel.stats.up_messages == 1
+
+    def test_duplicate_charged_twice(self):
+        channel = LossyChannel(
+            model=FAST, faults=NetworkFaults(dup_prob=1.0), seed=1
+        )
+        msg = _msg()
+        channel.transmit_up(msg, now=0.0)
+        assert channel.stats.up_bytes == 2 * msg.wire_size()
+        assert channel.stats.up_messages == 2
+
+
+class TestPartitions:
+    def test_messages_inside_window_are_lost(self):
+        faults = NetworkFaults(partitions=((5.0, 10.0),))
+        channel = LossyChannel(model=FAST, faults=faults, seed=1)
+        assert channel.transmit_up(_msg(), now=7.0) == []
+        assert channel.fault_stats.partition_drops == 1
+
+    def test_messages_outside_window_survive(self):
+        faults = NetworkFaults(partitions=((5.0, 10.0),))
+        channel = LossyChannel(model=FAST, faults=faults, seed=1)
+        assert len(channel.transmit_up(_msg(), now=4.0)) == 1
+        assert len(channel.transmit_up(_msg(), now=11.0)) == 1
+        assert channel.fault_stats.partition_drops == 0
+
+
+class TestDeterminism:
+    def _fates(self, seed, n=100):
+        faults = NetworkFaults(drop_prob=0.2, dup_prob=0.1, reorder_prob=0.1)
+        channel = LossyChannel(model=FAST, faults=faults, seed=seed)
+        return [tuple(channel.transmit_up(_msg(), now=0.0)) for _ in range(n)]
+
+    def test_identical_seeds_identical_schedules(self):
+        assert self._fates(7) == self._fates(7)
+
+    def test_different_seeds_differ(self):
+        assert self._fates(7) != self._fates(8)
+
+    def test_directions_use_independent_streams(self):
+        faults = NetworkFaults(drop_prob=0.5)
+        a = LossyChannel(model=FAST, faults=faults, seed=7)
+        b = LossyChannel(model=FAST, faults=faults, seed=7)
+        # interleaving downlink traffic must not perturb uplink fates
+        up_only = [len(a.transmit_up(_msg(), now=0.0)) for _ in range(50)]
+        interleaved = []
+        for _ in range(50):
+            interleaved.append(len(b.transmit_up(_msg(), now=0.0)))
+            b.transmit_down(Ack(path="/f"), now=0.0)
+        assert up_only == interleaved
+
+
+class TestValidation:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel(model=FAST, faults=NetworkFaults(drop_prob=1.5))

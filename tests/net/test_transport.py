@@ -84,3 +84,30 @@ class TestTransferTime:
         # a busy uplink does not delay downloads
         done = channel.download(Ack(), now=0.0)
         assert done < 1.0
+
+
+class TestDownlinkIdleApi:
+    # Symmetric to upload_idle_at/up_busy_until: the fullsync idle-link
+    # gate and the reliable transport both need downlink visibility.
+
+    def test_download_idle_detection(self):
+        channel = Channel(model=NetworkModel(bandwidth_down=1e3))
+        assert channel.download_idle_at(0.0)
+        channel.download(Ack(path="/f"), now=0.0)
+        assert not channel.download_idle_at(0.001)
+        assert channel.download_idle_at(100.0)
+
+    def test_down_busy_until_tracks_transfers(self):
+        channel = Channel(model=NetworkModel(bandwidth_down=1e6, latency=0.0))
+        assert channel.down_busy_until == 0.0
+        channel.download(Ack(path="/f"), now=0.0)
+        first = channel.down_busy_until
+        assert first > 0.0
+        channel.download(Ack(path="/f"), now=0.0)
+        assert channel.down_busy_until > first  # serialized
+
+    def test_directions_tracked_independently(self):
+        channel = Channel(model=NetworkModel(bandwidth_up=1e3, bandwidth_down=1e9))
+        channel.upload(UploadFull(path="/f", data=b"x" * 100_000), now=0.0)
+        assert not channel.upload_idle_at(1.0)
+        assert channel.download_idle_at(1.0)

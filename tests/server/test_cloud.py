@@ -220,3 +220,61 @@ class TestFirstWriteWins:
         )
         assert result.status == "conflict"
         assert len(server.file_content("/f")) == 100  # not truncated
+
+
+class TestEnvelopeDedup:
+    # At-least-once delivery, exactly-once effect: a retransmitted
+    # envelope must be answered from the dedup cache, never re-applied
+    # (a re-apply would trip the base-version check as a bogus conflict).
+
+    def _envelope(self, msg_id, inner, attempt=1):
+        from repro.net.messages import Envelope
+
+        return Envelope(msg_id=msg_id, attempt=attempt, inner=inner)
+
+    def test_duplicate_returns_cached_replies(self):
+        server = CloudServer()
+        create = MetaOp(kind="create", path="/f", new_version=V(1, 0))
+        replies1, dup1 = server.handle_envelope(self._envelope(1, create), 1)
+        replies2, dup2 = server.handle_envelope(
+            self._envelope(1, create, attempt=2), 1
+        )
+        assert not dup1 and dup2
+        assert replies1 == replies2
+        assert server.dedup_drops == 1
+        assert len(server.apply_log) == 1  # applied exactly once
+
+    def test_duplicate_write_is_not_a_conflict(self):
+        server = CloudServer()
+        server.handle_envelope(
+            self._envelope(1, MetaOp(kind="create", path="/f", new_version=V(1, 0))), 1
+        )
+        write = UploadWrite(
+            path="/f", offset=0, data=b"abc",
+            base_version=V(1, 0), new_version=V(1, 1),
+        )
+        server.handle_envelope(self._envelope(2, write), 1)
+        replies, dup = server.handle_envelope(self._envelope(2, write, attempt=2), 1)
+        assert dup
+        assert server.file_content("/f") == b"abc"
+        # the retransmit must not be applied against the *new* version and
+        # misfire first-write-wins
+        assert all(r.status == "applied" for r in server.apply_log)
+        assert not any("conflicted copy" in p for p in server.store.paths())
+
+    def test_dedup_is_per_origin_client(self):
+        server = CloudServer()
+        a = MetaOp(kind="create", path="/a", new_version=V(1, 0))
+        b = MetaOp(kind="create", path="/b", new_version=V(2, 0))
+        _, dup_a = server.handle_envelope(self._envelope(1, a), 1)
+        _, dup_b = server.handle_envelope(self._envelope(1, b), 2)
+        assert not dup_a and not dup_b  # same msg_id, different clients
+        assert server.store.exists("/a") and server.store.exists("/b")
+
+    def test_dedup_window_bounded(self):
+        server = CloudServer()
+        server.dedup_window = 4
+        for i in range(10):
+            op = MetaOp(kind="create", path=f"/f{i}", new_version=V(1, i))
+            server.handle_envelope(self._envelope(i + 1, op), 1)
+        assert len(server._dedup[1]) == 4

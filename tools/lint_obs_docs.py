@@ -7,7 +7,8 @@ Two-way check:
    (backtick-quoted) in ``docs/observability.md``;
 2. every backtick-quoted dotted name in the doc that uses an instrumented
    subsystem prefix (``client.`` / ``queue.`` / ``relation.`` /
-   ``channel.`` / ``server.`` / ``run.``) must be declared in code.
+   ``channel.`` / ``server.`` / ``transport.`` / ``run.``) must be
+   declared in code.
 
 Run from the repo root (CI does)::
 
@@ -27,7 +28,15 @@ DOC = REPO_ROOT / "docs" / "observability.md"
 
 # A dotted instrumentation name: lowercase snake_case segments, >= 2 deep.
 NAME_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
-PREFIXES = ("client.", "queue.", "relation.", "channel.", "server.", "run.")
+PREFIXES = (
+    "client.",
+    "queue.",
+    "relation.",
+    "channel.",
+    "server.",
+    "transport.",
+    "run.",
+)
 
 
 def documented_names(text: str) -> set:
