@@ -178,6 +178,65 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _replay_with_crash(args, trace, journal_kv, obs, faults) -> int:
+    """Replay with a simulated crash after op ``--crash-at N``.
+
+    Runs the first N ops, kills the client (volatile state gone, journal
+    kept), runs ``recover()``, then finishes the trace. Prints the
+    recovery report next to the usual traffic summary so a user can see
+    what the journal bought them.
+    """
+    from repro.faults.crash import simulate_crash
+    from repro.harness.runner import _preload, build_system
+    from repro.workloads.traces import apply_op
+
+    n = args.crash_at
+    if not 0 <= n <= len(trace.ops):
+        print(f"--crash-at {n} out of range (trace has {len(trace.ops)} ops)",
+              file=sys.stderr)
+        return 2
+    system = build_system(
+        "deltacfs", obs=obs, faults=faults, fault_seed=args.fault_seed,
+        journal_kv=journal_kv,
+    )
+    _preload(system, trace)
+    system.reset_counters()  # match run_trace: measure past the preload
+    clock = system.clock
+
+    def run_ops(ops) -> None:
+        for op in ops:
+            while op.timestamp > clock.now():
+                step = min(1.0, op.timestamp - clock.now())
+                clock.advance(step)
+                system.pump(clock.now())
+            apply_op(system.fs, op)
+        system.pump(clock.now())
+
+    run_ops(trace.ops[:n])
+    dirty = simulate_crash(system.client)
+    report = system.client.recover()
+    run_ops(trace.ops[n:])
+    for _ in range(10):
+        clock.advance(1.0)
+        system.pump(clock.now())
+    system.flush()
+
+    print(f"crashed after op {n}/{len(trace.ops)}; "
+          f"{len(dirty)} dirty file(s) at the cut")
+    print(f"recovery: {report.nodes_replayed} node(s) replayed, "
+          f"{report.nodes_already_applied} already applied, "
+          f"{report.nodes_rebased} rebased, "
+          f"{report.blocks_repaired} block(s) repaired "
+          f"({format_bytes(report.bytes_downloaded)} down), "
+          f"{report.full_file_fallbacks} full-file fallback(s)")
+    print(f"total traffic: up {format_bytes(system.channel.stats.up_bytes)}  "
+          f"down {format_bytes(system.channel.stats.down_bytes)}")
+    if args.metrics:
+        print()
+        print(obs.report())
+    return 0
+
+
 def _cmd_replay(args) -> int:
     from repro.faults.network import NO_FAULTS, NetworkFaults
     from repro.harness.runner import SOLUTIONS, run_trace
@@ -186,6 +245,14 @@ def _cmd_replay(args) -> int:
 
     if args.solution not in SOLUTIONS:
         print(f"unknown solution {args.solution!r}; pick one of {SOLUTIONS}",
+              file=sys.stderr)
+        return 2
+    if args.journal is not None and args.solution != "deltacfs":
+        print("--journal requires --solution deltacfs (the journaled client)",
+              file=sys.stderr)
+        return 2
+    if args.crash_at is not None and args.journal is None:
+        print("--crash-at requires --journal (recovery replays the journal)",
               file=sys.stderr)
         return 2
     faults = NO_FAULTS
@@ -209,8 +276,18 @@ def _cmd_replay(args) -> int:
     # Observability is opt-in: without either flag the run uses NULL_OBS
     # and is byte-identical to an uninstrumented run.
     obs = Observability() if (args.metrics or args.trace_out) else NULL_OBS
+    journal_kv = None
+    if args.journal is not None:
+        from repro.kvstore.kv import LogStructuredKV
+
+        # sync=True: the journal only helps if the records survive the
+        # crash, so every append is fsynced.
+        journal_kv = LogStructuredKV(args.journal, sync=True)
+    if args.crash_at is not None:
+        return _replay_with_crash(args, trace, journal_kv, obs, faults)
     result = run_trace(
-        args.solution, trace, obs=obs, faults=faults, fault_seed=args.fault_seed
+        args.solution, trace, obs=obs, faults=faults,
+        fault_seed=args.fault_seed, journal_kv=journal_kv,
     )
     print(
         format_table(
@@ -298,6 +375,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed for the fault plan and retransmit jitter (identical "
              "seeds reproduce identical schedules)",
+    )
+    replay.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="attach a crash-recovery journal (fsynced WAL at PATH; "
+             "deltacfs only)",
+    )
+    replay.add_argument(
+        "--crash-at", type=int, default=None, metavar="N",
+        help="kill the client after trace op N, recover from the journal, "
+             "then finish the trace (requires --journal)",
     )
     replay.set_defaults(func=_cmd_replay)
     return parser

@@ -141,6 +141,26 @@ class ChecksumStore:
                 kwargs["block_index"] = index
             raise exc_type(f"{path} block {index}: checksum mismatch", **kwargs)
 
+    def mismatched_blocks(self, path: str, content: bytes) -> List[int]:
+        """Block indices where ``content`` disagrees with stored checksums.
+
+        The non-raising sibling of :meth:`verify_file`, for crash repair:
+        the sweep needs *which* blocks are damaged, not just that one is.
+        A block with no stored checksum (or a stored checksum with no
+        block) counts as mismatched.
+        """
+        n_blocks = (len(content) + self.block_size - 1) // self.block_size
+        bad: List[int] = []
+        for index in range(n_blocks):
+            try:
+                self._verify_block(path, content, index, InconsistencyDetected)
+            except InconsistencyDetected:
+                bad.append(index)
+        for index in self.blocks_of(path):
+            if index >= n_blocks and index not in bad:
+                bad.append(index)
+        return sorted(bad)
+
     def blocks_of(self, path: str) -> List[int]:
         """Indices of the blocks currently checksummed for ``path``."""
         prefix = path.encode() + b"\x00"

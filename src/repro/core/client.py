@@ -105,6 +105,12 @@ class DeltaCFSClient(PassthroughFileSystem):
             units go through its envelope/ack/retry machinery instead of
             the synchronous channel+server path — required when the
             channel is lossy.
+        journal_kv: optional KV store backing the crash-recovery journal.
+            When set, sync intent (pending queue nodes, relation entries,
+            undo spans, the version counter) is journaled as operations
+            are intercepted, and :meth:`recover` can rebuild the volatile
+            state after a crash. Pair with a ``LogStructuredKV`` opened in
+            ``sync=True`` mode for real power-cut durability.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         obs: Observability = NULL_OBS,
         checksum_kv=None,
         transport: Optional[ReliableTransport] = None,
+        journal_kv=None,
     ):
         super().__init__(inner)
         self.config = config if config is not None else DeltaCFSConfig()
@@ -159,6 +166,11 @@ class DeltaCFSClient(PassthroughFileSystem):
         )
         self.undo: Optional[UndoLog] = (
             UndoLog(meter=meter) if self.config.enable_undo_log else None
+        )
+        from repro.core.recovery import SyncJournal
+
+        self.journal: Optional[SyncJournal] = (
+            SyncJournal(journal_kv, obs=obs) if journal_kv is not None else None
         )
         self.stats = ClientStats()
         # Versions whose nodes were removed from the queue before upload
@@ -208,14 +220,14 @@ class DeltaCFSClient(PassthroughFileSystem):
             old_slice = self.inner.read(
                 path, offset, min(len(data), old_size - offset)
             )
-            self.undo.record_write(path, offset, len(data), old_slice, old_size)
+            self._undo_record(path, offset, len(data), old_slice, old_size)
         elif self.undo is not None:
-            self.undo.record_write(path, offset, len(data), b"", old_size)
+            self._undo_record(path, offset, len(data), b"", old_size)
 
         self.inner.write(path, offset, data)
 
         # Writing to a preserved old version invalidates its relations.
-        self.relations.invalidate_dst(path)
+        self._journal_forget_relations(self.relations.invalidate_dst(path))
 
         node = self.queue.active_write_node(path)
         if node is None:
@@ -237,6 +249,9 @@ class DeltaCFSClient(PassthroughFileSystem):
             # (Figure 6's delay gives delta replacement its window).
             node.enqueue_time = now
         node.add_write(offset, data)
+        # (Re-)journal the node with the new write absorbed — the record is
+        # keyed by seq, so a coalesced write simply overwrites it.
+        self._journal_node(node)
 
         if self.checksums is not None:
             content = self.inner.read_file(path)
@@ -288,15 +303,16 @@ class DeltaCFSClient(PassthroughFileSystem):
         old_size = self.inner.size(path)
         if self.undo is not None and length < old_size:
             tail = self.inner.read(path, length, old_size - length)
-            self.undo.record_write(path, length, len(tail), tail, old_size)
+            self._undo_record(path, length, len(tail), tail, old_size)
         self.inner.truncate(path, length)
-        self.relations.invalidate_dst(path)
+        self._journal_forget_relations(self.relations.invalidate_dst(path))
         self._pack_and_maybe_compress(path, now)
         base = self.versions.get(path)
         node = TruncateNode(
             path=path, length=length, base_version=base, new_version=self._mint()
         )
         self.queue.enqueue(node, now)
+        self._journal_node(node)
         self.versions[path] = node.new_version
         if self.checksums is not None:
             self.checksums.reindex(path, self.inner.read_file(path))
@@ -335,6 +351,7 @@ class DeltaCFSClient(PassthroughFileSystem):
 
         self.inner.rename(src, dst)
         self.relations.record_rename(src, dst, now)
+        self._journal_relation(src)
         if self.checksums is not None:
             self.checksums.rename(src, dst)
 
@@ -402,6 +419,7 @@ class DeltaCFSClient(PassthroughFileSystem):
             first_create = min(create_seqs)
             doomed = [n for n in pending if n.seq >= first_create]
             self.queue.cancel_nodes(doomed)
+            self._journal_forget(doomed)
             self._dead_versions.update(
                 n.new_version for n in doomed if n.new_version is not None
             )
@@ -507,6 +525,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         if pending:
             self.queue.pack(path)
             self.queue.cancel_nodes(pending)
+            self._journal_forget(pending)
             self._dead_versions.update(
                 n.new_version for n in pending if n.new_version is not None
             )
@@ -551,6 +570,20 @@ class DeltaCFSClient(PassthroughFileSystem):
         """Pull the cloud's copy of ``path`` and restore it locally."""
         return self._recover(path)
 
+    def recover(self):
+        """Post-crash recovery: replay the journal and resync (tentpole).
+
+        Requires a journal (``journal_kv``). Restores the version counter,
+        Relation Table, and undo logs; renegotiates base versions with the
+        cloud; re-enqueues un-uploaded journaled nodes; and sweeps the
+        dirty set against the durable checksum store, repairing crash
+        damage block-by-block. Returns a
+        :class:`~repro.core.recovery.RecoveryReport`.
+        """
+        from repro.core.recovery import perform_recovery
+
+        return perform_recovery(self)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -562,11 +595,53 @@ class DeltaCFSClient(PassthroughFileSystem):
         return self.clock.now()
 
     def _mint(self) -> VersionStamp:
-        return self._counter.next()
+        stamp = self._counter.next()
+        if self.journal is not None:
+            # A recovered client must never re-mint a stamp the cloud has
+            # already seen, so the counter is journaled at mint time.
+            self.journal.record_vercnt(self._counter.current)
+        return stamp
 
     def _unsynced(self, path: str) -> bool:
         """Paths outside sync scope: the preservation tmp area."""
         return path.startswith(self.config.tmp_dir + "/") or path == self.config.tmp_dir
+
+    # -- journal hooks (no-ops when no journal is attached) ----------------
+
+    def _journal_node(self, node: QueueNode) -> None:
+        if self.journal is not None:
+            self.journal.record_node(node)
+
+    def _journal_forget(self, nodes) -> None:
+        if self.journal is not None:
+            for node in nodes:
+                self.journal.forget_node(node.seq)
+
+    def _journal_relation(self, src: str) -> None:
+        if self.journal is not None:
+            entry = next(
+                (e for e in self.relations.entries() if e.src == src), None
+            )
+            if entry is not None:
+                self.journal.record_relation(entry)
+
+    def _journal_forget_relations(self, entries) -> None:
+        if self.journal is not None:
+            for entry in entries:
+                self.journal.forget_relation(entry.src)
+
+    def _undo_record(
+        self, path: str, offset: int, length: int, old_slice: bytes, old_size: int
+    ) -> None:
+        self.undo.record_write(path, offset, length, old_slice, old_size)
+        if self.journal is not None:
+            self.journal.record_undo(path, old_size, offset, length, old_slice)
+
+    def _undo_clear(self, path: str) -> None:
+        if self.undo is not None:
+            self.undo.clear(path)
+        if self.journal is not None:
+            self.journal.forget_undo(path)
 
     def _enqueue_meta(
         self,
@@ -579,6 +654,7 @@ class DeltaCFSClient(PassthroughFileSystem):
     ) -> None:
         node = MetaNode(path=path, kind=kind, dest=dest, new_version=new_version)
         self.queue.enqueue(node, now)
+        self._journal_node(node)
 
     # -- transactional-update delta path ---------------------------------
 
@@ -663,6 +739,8 @@ class DeltaCFSClient(PassthroughFileSystem):
             new_version=self._mint(),
         )
         self.queue.replace_with_delta(doomed, node, now)
+        self._journal_forget(doomed)
+        self._journal_node(node)
         self._dead_versions.update(v for v in doomed_versions if v is not None)
         self.versions[path] = node.new_version
         if preserved_tmp is not None:
@@ -694,8 +772,7 @@ class DeltaCFSClient(PassthroughFileSystem):
             if node is None:
                 if pending_entry is not None and pending_entry.origin == "unlink":
                     self._drop_preserved(pending_entry.dst)
-                if self.undo is not None:
-                    self.undo.clear(path)
+                self._undo_clear(path)
                 return
             if self.obs.enabled:
                 self.obs.inc("client.pack.count")
@@ -732,8 +809,7 @@ class DeltaCFSClient(PassthroughFileSystem):
                 self._compress_node(
                     path, node, old_content, node.base_version, now, count_inplace=True
                 )
-            if self.undo is not None:
-                self.undo.clear(path)
+            self._undo_clear(path)
 
     def _compress_node(
         self,
@@ -790,6 +866,8 @@ class DeltaCFSClient(PassthroughFileSystem):
                 new_version=self._mint(),
             )
             self.queue.replace_with_delta([node], replacement, now)
+            self._journal_forget([node])
+            self._journal_node(replacement)
             if node.new_version is not None:
                 self._dead_versions.add(node.new_version)
             self.versions[path] = replacement.new_version
@@ -831,6 +909,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         # delta can name its base snapshot on the server.
         self.versions[preserved] = self.versions.get(path)
         self.relations.record_unlink(path, preserved, now)
+        self._journal_relation(path)
         return True
 
     def _drop_preserved(self, preserved_path: str) -> None:
@@ -848,11 +927,16 @@ class DeltaCFSClient(PassthroughFileSystem):
         entry = self.relations.match_created(path, now, stale_out=stale)
         for dead in stale:
             self._collect_expired_entry(dead)
+        self._journal_forget_relations(stale)
+        if entry is not None:
+            self._journal_forget_relations([entry])
         return entry
 
     def _expire_relations(self, now: float) -> None:
-        for entry in self.relations.expire(now):
+        expired = self.relations.expire(now)
+        for entry in expired:
             self._collect_expired_entry(entry)
+        self._journal_forget_relations(expired)
 
     def _collect_expired_entry(self, entry: RelationEntry) -> None:
         if entry.origin == "unlink":
@@ -864,6 +948,8 @@ class DeltaCFSClient(PassthroughFileSystem):
     # -- uploading ---------------------------------------------------------
 
     def _upload_unit(self, unit: UploadUnit, now: float) -> None:
+        # The nodes left the queue for good: their journal records are done.
+        self._journal_forget(unit.nodes)
         messages = [self._node_to_message(n) for n in unit.nodes]
         messages = [m for m in messages if m is not None]
         if not messages:

@@ -1,0 +1,808 @@
+"""Crash-recovery journal: durable sync intent + post-crash resync.
+
+The prototype keeps the Sync Queue, Relation Table, and undo logs in
+memory; a power cut loses every un-uploaded change and the paper leaves the
+"recently modified files" sweep to the restart logic. This module closes
+that gap with a *sync-intent journal*: as operations are intercepted, the
+client appends compact records to the same WAL-backed key-value store that
+already makes the Checksum Store durable (the LevelDB role), and
+:func:`perform_recovery` replays them after a crash.
+
+What is journaled (and when):
+
+- **queue nodes** — every Sync Queue node with its payload (write runs,
+  truncate length, delta instruction stream, namespace op), re-recorded on
+  coalesce and forgotten on ship/cancel/replace;
+- **relation entries** — the live Relation Table rows, so an interrupted
+  transactional update can still trigger delta encoding after restart
+  (their preserved tmp blobs live in the file system, which survives);
+- **undo spans** — the physical undo records for open in-place updates,
+  so pack-time compression still has its base;
+- **VerCnt** — the client's version counter, so a recovered client never
+  re-mints a stamp the cloud has already seen.
+
+Recovery then (1) restores the counter, relations, and undo logs, (2)
+renegotiates base versions with the cloud in one metadata round trip
+(``ResyncRequest``/``ResyncReply``), dropping journaled nodes the server
+already applied and rebasing the rest, (3) re-enqueues the survivors in
+their original order, and (4) sweeps the dirty set against the durable
+checksum store, repairing injected crash inconsistency block-by-block from
+ranged downloads patched with the journaled pending writes — recovery
+traffic is bounded by the dirty + damaged regions, never whole files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.version import VersionStamp
+from repro.core.relation_table import RelationEntry
+from repro.core.sync_queue import (
+    DeltaNode,
+    MetaNode,
+    QueueNode,
+    TruncateNode,
+    WriteNode,
+)
+from repro.delta.format import Delta
+from repro.kvstore.kv import KVStore
+from repro.obs import NULL_OBS, Observability
+
+# -- key layout --------------------------------------------------------------
+
+_J = b"j\x00"
+_K_VERCNT = _J + b"meta\x00vercnt"
+_P_NODE = _J + b"node\x00"
+_P_REL = _J + b"rel\x00"
+_P_UNDO = _J + b"undo\x00"
+
+_KIND_WRITE = 1
+_KIND_TRUNCATE = 2
+_KIND_DELTA = 3
+_KIND_META = 4
+
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+def _node_key(seq: int) -> bytes:
+    return _P_NODE + _U64.pack(seq)
+
+
+def _rel_key(src: str) -> bytes:
+    return _P_REL + src.encode()
+
+
+def _undo_key(path: str, index: int) -> bytes:
+    return _P_UNDO + path.encode() + b"\x00" + _U64.pack(index)
+
+
+# -- record (de)serialization ------------------------------------------------
+
+
+def _pack_bytes(data: bytes) -> bytes:
+    return _U32.pack(len(data)) + data
+
+
+def _unpack_bytes(buf: bytes, pos: int) -> Tuple[bytes, int]:
+    (length,) = _U32.unpack_from(buf, pos)
+    pos += _U32.size
+    return buf[pos : pos + length], pos + length
+
+
+def _pack_str(text: str) -> bytes:
+    return _pack_bytes(text.encode())
+
+
+def _unpack_str(buf: bytes, pos: int) -> Tuple[str, int]:
+    raw, pos = _unpack_bytes(buf, pos)
+    return raw.decode(), pos
+
+
+def _pack_version(version: Optional[VersionStamp]) -> bytes:
+    if version is None:
+        return b"\x00"
+    return b"\x01" + _U64.pack(version.client_id) + _U64.pack(version.counter)
+
+
+def _unpack_version(buf: bytes, pos: int) -> Tuple[Optional[VersionStamp], int]:
+    flag = buf[pos]
+    pos += 1
+    if not flag:
+        return None, pos
+    (client_id,) = _U64.unpack_from(buf, pos)
+    (counter,) = _U64.unpack_from(buf, pos + _U64.size)
+    return VersionStamp(client_id, counter), pos + 2 * _U64.size
+
+
+def encode_node(node: QueueNode) -> bytes:
+    """Serialize one Sync Queue node into a journal record."""
+    head = (
+        _pack_str(node.path)
+        + _pack_version(node.base_version)
+        + _pack_version(node.new_version)
+    )
+    if isinstance(node, WriteNode):
+        body = bytes([1 if node.packed else 0]) + _U32.pack(len(node.writes))
+        for offset, data in node.writes:
+            body += _U64.pack(offset) + _pack_bytes(data)
+        return bytes([_KIND_WRITE]) + head + body
+    if isinstance(node, TruncateNode):
+        return bytes([_KIND_TRUNCATE]) + head + _U64.pack(node.length)
+    if isinstance(node, DeltaNode):
+        return (
+            bytes([_KIND_DELTA])
+            + head
+            + _pack_version(node.content_base)
+            + _pack_bytes(node.delta.encode())
+        )
+    if isinstance(node, MetaNode):
+        dest = node.dest if node.dest is not None else ""
+        return (
+            bytes([_KIND_META])
+            + head
+            + _pack_str(node.kind)
+            + bytes([1 if node.dest is not None else 0])
+            + _pack_str(dest)
+        )
+    raise TypeError(f"cannot journal {type(node).__name__}")
+
+
+def decode_node(buf: bytes) -> QueueNode:
+    """Rebuild a Sync Queue node from its journal record."""
+    kind = buf[0]
+    pos = 1
+    path, pos = _unpack_str(buf, pos)
+    base_version, pos = _unpack_version(buf, pos)
+    new_version, pos = _unpack_version(buf, pos)
+    if kind == _KIND_WRITE:
+        packed = bool(buf[pos])
+        pos += 1
+        (n_runs,) = _U32.unpack_from(buf, pos)
+        pos += _U32.size
+        writes: List[Tuple[int, bytes]] = []
+        for _ in range(n_runs):
+            (offset,) = _U64.unpack_from(buf, pos)
+            pos += _U64.size
+            data, pos = _unpack_bytes(buf, pos)
+            writes.append((offset, data))
+        return WriteNode(
+            path=path,
+            base_version=base_version,
+            new_version=new_version,
+            writes=writes,
+            packed=packed,
+        )
+    if kind == _KIND_TRUNCATE:
+        (length,) = _U64.unpack_from(buf, pos)
+        return TruncateNode(
+            path=path,
+            base_version=base_version,
+            new_version=new_version,
+            length=length,
+        )
+    if kind == _KIND_DELTA:
+        content_base, pos = _unpack_version(buf, pos)
+        blob, pos = _unpack_bytes(buf, pos)
+        return DeltaNode(
+            path=path,
+            base_version=base_version,
+            new_version=new_version,
+            content_base=content_base,
+            delta=Delta.decode(blob),
+        )
+    if kind == _KIND_META:
+        op_kind, pos = _unpack_str(buf, pos)
+        has_dest = bool(buf[pos])
+        pos += 1
+        dest, pos = _unpack_str(buf, pos)
+        return MetaNode(
+            path=path,
+            base_version=base_version,
+            new_version=new_version,
+            kind=op_kind,
+            dest=dest if has_dest else None,
+        )
+    raise ValueError(f"unknown journal node kind {kind}")
+
+
+def _encode_relation(entry: RelationEntry) -> bytes:
+    return (
+        _pack_str(entry.dst)
+        + _F64.pack(entry.created_at)
+        + _pack_str(entry.origin)
+    )
+
+
+def _decode_relation(src: str, buf: bytes) -> RelationEntry:
+    pos = 0
+    dst, pos = _unpack_str(buf, pos)
+    (created_at,) = _F64.unpack_from(buf, pos)
+    pos += _F64.size
+    origin, pos = _unpack_str(buf, pos)
+    return RelationEntry(src=src, dst=dst, created_at=created_at, origin=origin)
+
+
+def _encode_undo(base_size: int, offset: int, length: int, old_data: bytes) -> bytes:
+    return (
+        _U64.pack(base_size)
+        + _U64.pack(offset)
+        + _U64.pack(length)
+        + _pack_bytes(old_data)
+    )
+
+
+def _decode_undo(buf: bytes) -> Tuple[int, int, int, bytes]:
+    (base_size,) = _U64.unpack_from(buf, 0)
+    (offset,) = _U64.unpack_from(buf, _U64.size)
+    (length,) = _U64.unpack_from(buf, 2 * _U64.size)
+    old_data, _ = _unpack_bytes(buf, 3 * _U64.size)
+    return base_size, offset, length, old_data
+
+
+# -- the journal -------------------------------------------------------------
+
+
+@dataclass
+class UndoState:
+    """One file's journaled undo log: base size plus recorded writes."""
+
+    base_size: int = 0
+    records: List[Tuple[int, int, bytes]] = field(default_factory=list)
+
+
+@dataclass
+class JournalState:
+    """Everything :meth:`SyncJournal.load` reconstructs after a crash."""
+
+    vercnt: int = 0
+    nodes: List[Tuple[int, QueueNode]] = field(default_factory=list)
+    relations: List[RelationEntry] = field(default_factory=list)
+    undo: Dict[str, UndoState] = field(default_factory=dict)
+
+
+class SyncJournal:
+    """Sync-intent journal over a (durable) :class:`KVStore`.
+
+    Records are idempotent puts/deletes keyed by the volatile object's
+    identity (node seq, relation src, undo path+index), so re-recording a
+    coalesced node simply overwrites its previous record. Pair it with a
+    :class:`~repro.kvstore.kv.LogStructuredKV` opened in ``sync=True`` mode
+    so an acked append survives the very power cut this models.
+    """
+
+    def __init__(self, kv: KVStore, *, obs: Observability = NULL_OBS):
+        self.kv = kv
+        self.obs = obs
+        self._undo_index: Dict[str, int] = {}
+
+    # -- write side --------------------------------------------------------
+
+    def record_vercnt(self, counter: int) -> None:
+        """Persist the last minted version counter."""
+        self._put(_K_VERCNT, _U64.pack(counter), kind="vercnt")
+
+    def record_node(self, node: QueueNode) -> None:
+        """Persist (or re-persist, after coalescing) one queue node."""
+        if node.seq < 0:
+            raise ValueError("cannot journal a node that was never enqueued")
+        self._put(_node_key(node.seq), encode_node(node), kind="node")
+
+    def forget_node(self, seq: int) -> None:
+        """Drop a node record (it shipped, was cancelled, or was replaced)."""
+        self.kv.delete(_node_key(seq))
+        self.obs.inc("journal.records.forgotten", kind="node")
+
+    def record_relation(self, entry: RelationEntry) -> None:
+        """Persist one Relation Table entry."""
+        self._put(_rel_key(entry.src), _encode_relation(entry), kind="relation")
+
+    def forget_relation(self, src: str) -> None:
+        """Drop a relation record (matched, expired, or invalidated)."""
+        self.kv.delete(_rel_key(src))
+        self.obs.inc("journal.records.forgotten", kind="relation")
+
+    def record_undo(
+        self, path: str, base_size: int, offset: int, length: int, old_data: bytes
+    ) -> None:
+        """Persist one undo record (old bytes a write displaced)."""
+        index = self._undo_index.get(path, 0)
+        self._undo_index[path] = index + 1
+        self._put(
+            _undo_key(path, index),
+            _encode_undo(base_size, offset, length, old_data),
+            kind="undo",
+        )
+
+    def forget_undo(self, path: str) -> None:
+        """Drop a file's undo records (sync point reached)."""
+        removed = self.kv.delete_prefix(_P_UNDO + path.encode() + b"\x00")
+        if removed:
+            self.obs.inc("journal.records.forgotten", value=removed, kind="undo")
+        self._undo_index.pop(path, None)
+
+    def clear(self) -> None:
+        """Wipe every journal record (fresh client, or tests)."""
+        self.kv.delete_prefix(_J)
+        self._undo_index.clear()
+
+    # -- read side ---------------------------------------------------------
+
+    def load(self) -> JournalState:
+        """Reconstruct the journaled state (post-crash replay input)."""
+        state = JournalState()
+        raw_vercnt = self.kv.get(_K_VERCNT)
+        if raw_vercnt is not None:
+            (state.vercnt,) = _U64.unpack(raw_vercnt)
+        for key, value in self.kv.items(_P_NODE):
+            (seq,) = _U64.unpack(key[len(_P_NODE) :])
+            state.nodes.append((seq, decode_node(value)))
+        state.nodes.sort(key=lambda pair: pair[0])
+        for key, value in self.kv.items(_P_REL):
+            src = key[len(_P_REL) :].decode()
+            state.relations.append(_decode_relation(src, value))
+        for key, value in self.kv.items(_P_UNDO):
+            body = key[len(_P_UNDO) :]
+            path = body[: -(_U64.size + 1)].decode()
+            (index,) = _U64.unpack(body[-_U64.size :])
+            base_size, offset, length, old_data = _decode_undo(value)
+            undo = state.undo.setdefault(path, UndoState(base_size=base_size))
+            undo.records.append((offset, length, old_data))
+            if index >= self._undo_index.get(path, 0):
+                self._undo_index[path] = index + 1
+        return state
+
+    # -- internals ---------------------------------------------------------
+
+    def _put(self, key: bytes, value: bytes, *, kind: str) -> None:
+        self.kv.put(key, value)
+        if self.obs.enabled:
+            self.obs.inc("journal.records.written", kind=kind)
+            self.obs.inc("journal.bytes.written", len(key) + len(value))
+
+
+# -- post-crash recovery -----------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`DeltaCFSClient.recover` pass did."""
+
+    dirty_paths: List[str] = field(default_factory=list)
+    damaged_paths: List[str] = field(default_factory=list)
+    nodes_replayed: int = 0
+    nodes_already_applied: int = 0
+    nodes_rebased: int = 0
+    relations_restored: int = 0
+    blocks_repaired: int = 0
+    bytes_downloaded: int = 0
+    full_file_fallbacks: int = 0
+
+
+def perform_recovery(client) -> RecoveryReport:
+    """Replay the journal into ``client`` and run the post-crash resync.
+
+    The client is assumed freshly crashed: volatile structures empty (a
+    restarted process, or :func:`repro.faults.crash.simulate_crash`), the
+    backing file system and the journal/checksum KVs intact.
+    """
+    journal: Optional[SyncJournal] = client.journal
+    if journal is None:
+        raise RuntimeError("client has no journal to recover from")
+    report = RecoveryReport()
+    obs = client.obs
+    now = client.clock.now()
+    state = journal.load()
+
+    with obs.span("client.recover", nodes=len(state.nodes)):
+        obs.inc("recovery.runs")
+        _restore_counter(client, state)
+        report.relations_restored = _restore_relations(client, state, now)
+        _restore_undo(client, state)
+        local_paths = _local_paths(client)
+        server_versions = _renegotiate_versions(client, local_paths, now)
+        _replay_nodes(client, state, server_versions, now, report)
+        _sweep_and_repair(client, local_paths, server_versions, now, report)
+        client.stats.recoveries += 1
+    return report
+
+
+def _restore_counter(client, state: JournalState) -> None:
+    from repro.common.version import VersionCounter
+
+    start = max(client._counter.current, state.vercnt)
+    client._counter = VersionCounter(client.client_id, start=start)
+
+
+def _restore_relations(client, state: JournalState, now: float) -> int:
+    """Re-admit journaled relation entries whose preserved dst survived.
+
+    ``created_at`` is refreshed to ``now``: the transactional-update window
+    the crash interrupted restarts, rather than expiring retroactively for
+    wall time the client never observed.
+    """
+    restored = 0
+    for entry in state.relations:
+        if not client.inner.exists(entry.dst):
+            client.journal.forget_relation(entry.src)
+            continue
+        client.relations.restore(
+            RelationEntry(
+                src=entry.src, dst=entry.dst, created_at=now, origin=entry.origin
+            )
+        )
+        restored += 1
+    return restored
+
+
+def _restore_undo(client, state: JournalState) -> None:
+    if client.undo is None:
+        return
+    for path, undo in state.undo.items():
+        if not client.inner.exists(path):
+            client.journal.forget_undo(path)
+            continue
+        client.undo.restore(path, undo.base_size, undo.records)
+
+
+def _local_paths(client) -> List[str]:
+    """Every local file outside the preserved-content tmp area."""
+    tmp = client.config.tmp_dir
+    return sorted(
+        p
+        for p in client.inner.walk_files()
+        if not (p == tmp or p.startswith(tmp + "/"))
+    )
+
+
+def _renegotiate_versions(
+    client, local_paths: List[str], now: float
+) -> Dict[str, Optional[VersionStamp]]:
+    """One metadata round trip: the server's current version per path.
+
+    Rebuilds the client's synced-version map (volatile, lost in the crash)
+    so post-recovery writes name valid base versions, and tells the replay
+    which journaled nodes the server already applied before the cut.
+    """
+    from repro.net.messages import ResyncRequest, ResyncReply
+
+    if client.server is None:
+        return {}
+    request = ResyncRequest(paths=tuple(local_paths))
+    client.channel.upload(request, now)
+    pairs = client.server.resync_versions(local_paths)
+    reply = ResyncReply(versions=tuple(pairs))
+    client.channel.download(reply, now)
+    versions: Dict[str, Optional[VersionStamp]] = dict(pairs)
+    for path, version in versions.items():
+        if version is not None:
+            client.versions[path] = version
+    return versions
+
+
+def _replay_nodes(
+    client,
+    state: JournalState,
+    server_versions: Dict[str, Optional[VersionStamp]],
+    now: float,
+    report: RecoveryReport,
+) -> None:
+    """Re-enqueue journaled nodes, dropping/rebasing against the server."""
+    obs = client.obs
+    dirty: List[str] = []
+    # The version each path will hold when the next pending node for it
+    # applies: the server head initially, then the previous pending
+    # node's minted version as the chain re-enqueues. Rebasing against
+    # the *server* head alone would break intra-chain bases — the second
+    # pending node correctly bases on the first one's new_version, which
+    # the server hasn't seen yet.
+    heads: Dict[str, Optional[VersionStamp]] = {}
+    replaying: Dict[str, bool] = {}
+    for old_seq, node in state.nodes:
+        client.journal.forget_node(old_seq)
+        server_head = server_versions.get(node.path)
+        expected_head = heads.get(node.path, server_head)
+        if (
+            node.new_version is not None
+            and server_head is not None
+            and server_head == node.new_version
+            and not replaying.get(node.path)
+        ):
+            # The cut fell after this node's upload was applied: nothing
+            # to redo, just adopt the server's view.
+            client.versions[node.path] = node.new_version
+            heads[node.path] = node.new_version
+            report.nodes_already_applied += 1
+            obs.inc("recovery.nodes.already_applied")
+            if obs.enabled:
+                obs.event(
+                    "recovery.node.replayed",
+                    path=node.path,
+                    kind=type(node).__name__,
+                    disposition="already_applied",
+                )
+            continue
+        disposition = "replayed"
+        if (
+            not isinstance(node, MetaNode)
+            and node.base_version != expected_head
+            and node.path in server_versions
+        ):
+            # The server moved past (or never saw) the journaled base;
+            # renegotiate so the re-upload applies cleanly instead of
+            # misfiring as a concurrent-update conflict.
+            node.base_version = expected_head
+            report.nodes_rebased += 1
+            obs.inc("recovery.nodes.rebased")
+            disposition = "rebased"
+        client.queue.restore(node, now)
+        client.journal.record_node(node)
+        replaying[node.path] = True
+        if node.new_version is not None:
+            client.versions[node.path] = node.new_version
+            heads[node.path] = node.new_version
+        report.nodes_replayed += 1
+        obs.inc("recovery.nodes.replayed")
+        if obs.enabled:
+            obs.event(
+                "recovery.node.replayed",
+                path=node.path,
+                kind=type(node).__name__,
+                disposition=disposition,
+            )
+        if node.path not in dirty:
+            dirty.append(node.path)
+    report.dirty_paths = sorted(set(dirty) | set(state.undo))
+
+
+def _sweep_and_repair(
+    client,
+    local_paths: List[str],
+    server_versions: Dict[str, Optional[VersionStamp]],
+    now: float,
+    report: RecoveryReport,
+) -> None:
+    """The paper's "recently modified files" sweep, with bounded repair.
+
+    Every local file's blocks are compared against the durable checksum
+    store — damage can land in clean files too, so the sweep is not
+    limited to the journal's dirty set. The comparison is pure local
+    hashing; network traffic happens only for mismatching blocks. A
+    mismatching block is crash damage (it changed beneath the operation
+    surface); the repair pulls only that block range from the cloud and
+    re-applies the journaled pending operations that cover it, so
+    un-uploaded dirty data is never lost and the downlink is bounded by
+    the damaged span.
+    """
+    if client.checksums is None:
+        return
+    obs = client.obs
+    pending_ops = _pending_ops_by_path(client)
+    for path in sorted(set(local_paths) | set(report.dirty_paths)):
+        if not client.inner.exists(path):
+            continue
+        obs.inc("recovery.files.swept")
+        content = client.inner.read_file(path)
+        bad_blocks = client.checksums.mismatched_blocks(path, content)
+        if not bad_blocks:
+            continue
+        report.damaged_paths.append(path)
+        obs.inc("recovery.files.damaged")
+        repaired = _repair_blocks(
+            client, path, content, bad_blocks, pending_ops.get(path, []),
+            server_versions, now, report,
+        )
+        if obs.enabled:
+            obs.event(
+                "recovery.file.repaired",
+                path=path,
+                blocks=len(bad_blocks),
+                full_file=not repaired,
+            )
+
+
+# A pending operation, in journal sequence order:
+#   ("write", [(offset, data), ...])  merged runs of one WriteNode
+#   ("trunc", length)                 a TruncateNode
+#   ("delta", DeltaNode)              a triggered delta (needs its base)
+_PendingOp = Tuple[str, object]
+
+
+def _pending_ops_by_path(client) -> Dict[str, List[_PendingOp]]:
+    """The re-enqueued (pending) intents per path, in sequence order.
+
+    Order matters for reconstruction: a write after a truncate lands on
+    the shortened file, a truncate after a write cuts it. The queue is
+    FIFO, so iteration order *is* journal sequence order.
+    """
+    ops: Dict[str, List[_PendingOp]] = {}
+    for node in client.queue.nodes():
+        if isinstance(node, WriteNode):
+            ops.setdefault(node.path, []).append(("write", node.merged_writes()))
+        elif isinstance(node, TruncateNode):
+            ops.setdefault(node.path, []).append(("trunc", node.length))
+        elif isinstance(node, DeltaNode):
+            ops.setdefault(node.path, []).append(("delta", node))
+    return ops
+
+
+def _overlay_pending(
+    patch: bytearray, offset: int, pending_ops: List[_PendingOp]
+) -> None:
+    """Apply pending write/truncate intents to ``patch`` (a slice of the
+    file starting at ``offset``), in sequence order.
+
+    This reconstructs what the damaged range held at the cut: the cloud's
+    (older) bytes already in ``patch``, transformed by every journaled
+    operation that was still pending — dirty data wins over stale data.
+    """
+    end = offset + len(patch)
+    for kind, arg in pending_ops:
+        if kind == "trunc":
+            # Bytes at/after the cut point were zeroed (shrink) or born
+            # zero (extension); later writes may overwrite them below.
+            length = int(arg)  # type: ignore[arg-type]
+            if length < end:
+                lo = max(length, offset)
+                patch[lo - offset :] = b"\x00" * (end - lo)
+        elif kind == "write":
+            for run_offset, run_data in arg:  # type: ignore[union-attr]
+                lo = max(run_offset, offset)
+                hi = min(run_offset + len(run_data), end)
+                if lo < hi:
+                    patch[lo - offset : hi - offset] = run_data[
+                        lo - run_offset : hi - run_offset
+                    ]
+
+
+def _repair_blocks(
+    client,
+    path: str,
+    content: bytes,
+    bad_blocks: List[int],
+    pending_ops: List[_PendingOp],
+    server_versions: Dict[str, Optional[VersionStamp]],
+    now: float,
+    report: RecoveryReport,
+) -> bool:
+    """Overwrite damaged blocks with cloud bytes + journaled pending intents.
+
+    Returns True when the block-wise repair settled the file. A pending
+    delta defeats range-wise reconstruction (its target bytes exist only
+    relative to its base), and a reconstruction that still disagrees with
+    the durable checksums means the range model is missing history (e.g.
+    the file predates the checksum store) — both fall back to
+    :func:`_full_reconstruction`, never to blindly adopting the stale
+    cloud copy.
+    """
+    from repro.net.messages import RangeRequest, RangeReply
+
+    block = client.checksums.block_size
+    data = bytearray(content)
+    on_server = (
+        client.server is not None
+        and server_versions.get(path) is not None
+        and client.server.store.exists(path)
+    )
+    if any(kind == "delta" for kind, _ in pending_ops):
+        return _full_reconstruction(
+            client, path, content, pending_ops, on_server, now, report
+        )
+    for start, count in _contiguous_runs(bad_blocks):
+        offset = start * block
+        length = count * block
+        if on_server:
+            request = RangeRequest(path=path, offset=offset, length=length)
+            client.channel.upload(request, now)
+            chunk, version = client.server.file_range(path, offset, length)
+            client.channel.download(
+                RangeReply(path=path, offset=offset, data=chunk, version=version),
+                now,
+            )
+            report.bytes_downloaded += len(chunk)
+            client.obs.inc("recovery.bytes.downloaded", len(chunk))
+        else:
+            # Never uploaded: the journaled pending intents are the only
+            # source of truth for this region.
+            chunk = b"\x00" * min(length, len(data) - offset)
+        end = min(offset + length, len(data))
+        patch = bytearray(data[offset:end])
+        patch[: len(chunk)] = chunk[: end - offset]
+        _overlay_pending(patch, offset, pending_ops)
+        data[offset:end] = patch
+        report.blocks_repaired += count
+        client.obs.inc("recovery.blocks.repaired", count)
+
+    repaired = bytes(data)
+    if client.checksums.mismatched_blocks(path, repaired):
+        return _full_reconstruction(
+            client, path, content, pending_ops, on_server, now, report
+        )
+    client.inner.write_file(path, repaired)
+    return True
+
+
+def _full_reconstruction(
+    client,
+    path: str,
+    content: bytes,
+    pending_ops: List[_PendingOp],
+    on_server: bool,
+    now: float,
+    report: RecoveryReport,
+) -> bool:
+    """Rebuild the whole file: cloud base + pending intents, in order.
+
+    The expensive path (downlink = file size), taken only when block-wise
+    repair cannot converge. Crucially it still *replays the journaled
+    intents on top* of the cloud base instead of adopting the cloud copy
+    verbatim — the crash must never silently roll back dirty data. If
+    even this disagrees with the durable checksums, the candidate with
+    fewer damaged blocks wins and the checksums are re-indexed to it
+    (best effort: the durable record was incomplete).
+    """
+    from repro.delta.patch import apply_delta
+    from repro.net.messages import RangeRequest, RangeReply
+
+    report.full_file_fallbacks += 1
+    client.obs.inc("recovery.full_file_fallbacks")
+    if on_server:
+        size = client.server.store.lookup(path).size
+        request = RangeRequest(path=path, offset=0, length=size)
+        client.channel.upload(request, now)
+        chunk, version = client.server.file_range(path, 0, size)
+        client.channel.download(
+            RangeReply(path=path, offset=0, data=chunk, version=version), now
+        )
+        report.bytes_downloaded += len(chunk)
+        client.obs.inc("recovery.bytes.downloaded", len(chunk))
+        rebuilt = bytearray(chunk)
+    else:
+        rebuilt = bytearray()
+    for kind, arg in pending_ops:
+        if kind == "trunc":
+            length = int(arg)  # type: ignore[arg-type]
+            if length <= len(rebuilt):
+                del rebuilt[length:]
+            else:
+                rebuilt.extend(b"\x00" * (length - len(rebuilt)))
+        elif kind == "write":
+            for run_offset, run_data in arg:  # type: ignore[union-attr]
+                if run_offset + len(run_data) > len(rebuilt):
+                    rebuilt.extend(
+                        b"\x00" * (run_offset + len(run_data) - len(rebuilt))
+                    )
+                rebuilt[run_offset : run_offset + len(run_data)] = run_data
+        elif kind == "delta":
+            base = bytes(rebuilt)
+            try:
+                rebuilt = bytearray(apply_delta(base, arg.delta))
+            except Exception:
+                pass  # keep the base; the checksum contest below decides
+
+    candidate = bytes(rebuilt)
+    bad_candidate = client.checksums.mismatched_blocks(path, candidate)
+    if not bad_candidate:
+        client.inner.write_file(path, candidate)
+        return False
+    # Neither source is clean: keep whichever disagrees with the durable
+    # record the least, and re-index so the store describes reality again.
+    bad_content = client.checksums.mismatched_blocks(path, content)
+    winner = candidate if len(bad_candidate) <= len(bad_content) else content
+    client.inner.write_file(path, winner)
+    client.checksums.reindex(path, winner)
+    return False
+
+
+def _contiguous_runs(blocks: List[int]) -> List[Tuple[int, int]]:
+    """Collapse sorted block indices into (start, count) runs."""
+    runs: List[Tuple[int, int]] = []
+    for index in blocks:
+        if runs and index == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((index, 1))
+    return runs

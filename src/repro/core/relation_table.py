@@ -88,6 +88,16 @@ class RelationTable:
         self._note_insert(path, preserved_at, "unlink", superseded)
         return superseded
 
+    def restore(self, entry: RelationEntry) -> None:
+        """Re-admit a journaled entry during crash recovery.
+
+        The caller has already checked the ``dst exists`` invariant and
+        refreshed ``created_at``; this is a plain insert that keeps the
+        normal observability flowing.
+        """
+        self._entries[entry.src] = entry
+        self._note_insert(entry.src, entry.dst, entry.origin, None)
+
     def match_created(
         self,
         path: str,

@@ -205,6 +205,19 @@ class SyncQueue:
             self._update_gauges()
         return node
 
+    def restore(self, node: QueueNode, now: float) -> QueueNode:
+        """Re-admit a journaled node during crash recovery.
+
+        The node gets a fresh seq (journal replay preserves relative order
+        by re-admitting in old-seq order) and enters *packed*: its
+        coalescing window ended when the process died, and post-recovery
+        writes to the same path must open a fresh node rather than mutate
+        replayed history.
+        """
+        if isinstance(node, WriteNode):
+            node.packed = True
+        return self.enqueue(node, now)
+
     def note_coalesced(self, node: WriteNode, offset: int, nbytes: int) -> None:
         """Record that a write was absorbed into an active node (telemetry)."""
         if self.obs.enabled:

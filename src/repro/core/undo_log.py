@@ -105,6 +105,22 @@ class UndoLog:
             data[record.offset : record.offset + len(record.old_data)] = record.old_data
         return bytes(data[: log.base_size])
 
+    def restore(
+        self, path: str, base_size: int, records: List[Tuple[int, int, bytes]]
+    ) -> None:
+        """Rebuild one file's log from journaled ``(offset, length, old)``.
+
+        Crash recovery re-admits the journaled spans in their original
+        order so ``reconstruct_old`` replays them with the same
+        oldest-bytes-win semantics.
+        """
+        log = FileUndoLog(base_size=base_size)
+        for offset, length, old_data in records:
+            if old_data:
+                log.records.append(_UndoRecord(offset=offset, old_data=old_data))
+            log.written.append((offset, length))
+        self._files[path] = log
+
     def clear(self, path: str) -> None:
         """Drop the log after a sync point (node packed and uploaded)."""
         self._files.pop(path, None)

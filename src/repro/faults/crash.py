@@ -42,22 +42,42 @@ def inject_crash_inconsistency(
 
 
 def simulate_crash(client) -> List[str]:
-    """Model a power cut for a DeltaCFS client: volatile state is lost.
+    """Model a power cut for a DeltaCFS client: memory is lost, disk stays.
 
     The Sync Queue, relation table, and undo logs are in-memory in the
-    prototype and vanish; the checksum store survives (it is in LevelDB).
+    prototype and vanish; the checksum store and the recovery journal
+    survive (they live in the WAL-backed KV — the LevelDB role). The
+    volatile structures are rebuilt empty **with the client's original
+    observability and meter wiring** — a restarted process re-instruments
+    itself; rebuilding into ``NULL_OBS`` would silently blind every
+    post-crash metric.
+
+    For a journaled client the synced-version map and version counter are
+    also wiped (they are process memory too) — :meth:`recover` rebuilds
+    them from the journal and the cloud. A journal-less client keeps them,
+    preserving the legacy test model where the sweep is improvised by the
+    caller.
+
     Returns the paths that had un-uploaded changes (the "recently modified
     files" the post-crash sweep inspects).
     """
     dirty = sorted({node.path for node in client.queue.nodes()})
-    # rebuild the volatile structures empty
     client.queue.__init__(
         upload_delay=client.config.upload_delay,
         capacity=client.config.sync_queue_capacity,
         max_coalesce_delay=client.config.max_coalesce_delay,
+        obs=client.obs,
     )
-    client.relations.__init__(timeout=client.config.relation_timeout)
+    client.relations.__init__(
+        timeout=client.config.relation_timeout, obs=client.obs
+    )
     if client.undo is not None:
         client.undo.__init__(meter=client.meter)
     client._pending_create_delta.clear()
+    if client.journal is not None:
+        from repro.common.version import VersionCounter
+
+        client._dead_versions.clear()
+        client.versions.clear()
+        client._counter = VersionCounter(client.client_id)
     return dirty

@@ -21,15 +21,22 @@ Three tests per service:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.common.clock import VirtualClock
 from repro.common.errors import CorruptionDetected
+from repro.common.rng import DeterministicRandom
+from repro.core.client import DeltaCFSClient
 from repro.faults.corruption import flip_bit
 from repro.faults.crash import inject_crash_inconsistency, simulate_crash
 from repro.faults.network import NetworkFaults
 from repro.harness.runner import build_system
+from repro.kvstore.kv import KVStore, LogStructuredKV, MemoryKV
 from repro.net.reliable import RetryPolicy
-from repro.obs import Observability
+from repro.net.transport import Channel
+from repro.obs import NULL_OBS, Observability
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
 from repro.workloads.traces import replay
 from repro.workloads.word import word_trace
 
@@ -181,6 +188,151 @@ class LossOutcome:
     up_bytes: int = 0
     down_bytes: int = 0
     retransmit_log: List[Tuple[float, int, int]] = field(default_factory=list)
+
+
+# -- crash → recover → verify round trip (the journal's acceptance) ---------
+
+
+@dataclass
+class CrashRecoveryOutcome:
+    """Result of one crash→recover→verify round trip."""
+
+    converged: bool
+    mismatched: List[str] = field(default_factory=list)
+    dirty_bytes: int = 0
+    damaged_span: int = 0
+    recovery_up_bytes: int = 0
+    recovery_down_bytes: int = 0
+    nodes_replayed: int = 0
+    nodes_already_applied: int = 0
+    nodes_rebased: int = 0
+    blocks_repaired: int = 0
+    full_file_fallbacks: int = 0
+
+    @property
+    def bounded(self) -> bool:
+        """Recovery traffic stayed below one seed-file size in each
+        direction — i.e. no whole-file re-upload or re-download happened."""
+        return (
+            self.recovery_up_bytes < _SIZE and self.recovery_down_bytes < _SIZE
+        )
+
+
+def _reopened(kv: KVStore) -> KVStore:
+    """Model the restart for the durable KVs: close and reopen from disk.
+
+    A :class:`MemoryKV` survives by object identity (the in-process crash
+    model); a :class:`LogStructuredKV` goes through a real close/replay
+    cycle so the round trip also exercises WAL recovery.
+    """
+    if isinstance(kv, LogStructuredKV):
+        path, sync = kv._path, kv._sync
+        kv.close()
+        return LogStructuredKV(path, sync=sync)
+    return kv
+
+
+def crash_recovery_roundtrip(
+    *,
+    seed: int = 7,
+    dirty_writes: int = 4,
+    write_size: int = 2048,
+    kv_factory: Optional[Callable[[str], KVStore]] = None,
+    obs: Observability = NULL_OBS,
+) -> CrashRecoveryOutcome:
+    """Crash a journaled client mid-burst, restart it, recover, verify.
+
+    A full process-death model: the first client instance is abandoned
+    (its volatile queue/relations/undo vanish with it), crash damage is
+    injected beneath the file system, and a **fresh** client is built over
+    the surviving file system + durable KVs. ``recover()`` must converge
+    the client and the cloud byte-identically while re-uploading only the
+    dirty burst and re-downloading only the damaged span.
+
+    ``kv_factory`` builds the two durable stores (called with ``"journal"``
+    and ``"checksums"``); default is in-memory. Pass a factory returning
+    :class:`LogStructuredKV` (``sync=True`` for the journal) to exercise
+    the real WAL restart path.
+    """
+    factory = kv_factory if kv_factory is not None else (lambda _name: MemoryKV())
+    clock = VirtualClock()
+    obs.bind_clock(clock)
+    server = CloudServer(obs=obs)
+    fs = MemoryFileSystem()
+    journal_kv = factory("journal")
+    checksum_kv = factory("checksums")
+    rng = DeterministicRandom(seed).fork("crash-roundtrip")
+
+    client = DeltaCFSClient(
+        fs,
+        server=server,
+        channel=Channel(),
+        clock=clock,
+        checksum_kv=checksum_kv,
+        journal_kv=journal_kv,
+        obs=obs,
+    )
+    client.create(_FILE)
+    client.write(_FILE, 0, _seed_content())
+    client.close(_FILE)
+    for _ in range(6):
+        clock.advance(1.0)
+        client.pump(clock.now())
+    client.flush()
+
+    # The dirty burst the power cut interrupts: journaled, never uploaded.
+    dirty_bytes = 0
+    for _ in range(dirty_writes):
+        offset = rng.randint(0, _SIZE - write_size)
+        client.write(_FILE, offset, rng.random_bytes(write_size))
+        dirty_bytes += write_size
+    expected = fs.read_file(_FILE)
+
+    # Power cut: the process dies. Drop the client, restart the KVs.
+    server.unregister_client(client.client_id)
+    journal_kv = _reopened(journal_kv)
+    checksum_kv = _reopened(checksum_kv)
+    damaged_span = 4096
+    inject_crash_inconsistency(fs, _FILE, seed=seed, span=damaged_span)
+
+    # Restart: a fresh client over the surviving fs + durable stores,
+    # with a fresh channel so its stats isolate the recovery traffic.
+    channel = Channel()
+    client2 = DeltaCFSClient(
+        fs,
+        server=server,
+        channel=channel,
+        clock=clock,
+        client_id=client.client_id,
+        checksum_kv=checksum_kv,
+        journal_kv=journal_kv,
+        obs=obs,
+    )
+    report = client2.recover()
+    for _ in range(6):
+        clock.advance(1.0)
+        client2.pump(clock.now())
+    client2.flush()
+
+    mismatched: List[str] = []
+    local = fs.read_file(_FILE)
+    if local != expected:
+        mismatched.append(_FILE + " (local diverged from pre-crash content)")
+    if not server.store.exists(_FILE) or server.file_content(_FILE) != local:
+        mismatched.append(_FILE)
+    return CrashRecoveryOutcome(
+        converged=not mismatched,
+        mismatched=mismatched,
+        dirty_bytes=dirty_bytes,
+        damaged_span=damaged_span,
+        recovery_up_bytes=channel.stats.up_bytes,
+        recovery_down_bytes=channel.stats.down_bytes,
+        nodes_replayed=report.nodes_replayed,
+        nodes_already_applied=report.nodes_already_applied,
+        nodes_rebased=report.nodes_rebased,
+        blocks_repaired=report.blocks_repaired,
+        full_file_fallbacks=report.full_file_fallbacks,
+    )
 
 
 def loss_convergence_test(

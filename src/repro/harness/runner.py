@@ -64,8 +64,12 @@ def build_system(
     faults: NetworkFaults = NO_FAULTS,
     retry: Optional[RetryPolicy] = None,
     fault_seed: int = 0,
+    journal_kv=None,
 ) -> SystemUnderTest:
     """Construct a sync system by name.
+
+    ``journal_kv`` (DeltaCFS only) attaches a crash-recovery journal backed
+    by the given KV store, enabling ``client.recover()`` after a crash.
 
     ``profile`` selects PC vs mobile CPU costs; ``network`` the link model
     (slow WAN for mobile). ``wait_for_idle_link`` defaults to True for the
@@ -93,6 +97,11 @@ def build_system(
     if reliable and name != "deltacfs":
         raise ValueError(
             f"reliable mode (fault injection) is only wired for 'deltacfs', "
+            f"not {name!r}"
+        )
+    if journal_kv is not None and name != "deltacfs":
+        raise ValueError(
+            f"the crash-recovery journal is only wired for 'deltacfs', "
             f"not {name!r}"
         )
     clock = clock if clock is not None else VirtualClock()
@@ -136,6 +145,7 @@ def build_system(
             config=config,
             obs=obs,
             transport=transport,
+            journal_kv=journal_kv,
         )
         if transport is not None:
             transport.client_id = client.client_id
@@ -293,6 +303,7 @@ def run_trace(
     faults: NetworkFaults = NO_FAULTS,
     retry: Optional[RetryPolicy] = None,
     fault_seed: int = 0,
+    journal_kv=None,
 ) -> RunResult:
     """Build ``name``, preload, replay ``trace``, flush, and collect.
 
@@ -313,6 +324,7 @@ def run_trace(
         faults=faults,
         retry=retry,
         fault_seed=fault_seed,
+        journal_kv=journal_kv,
     )
     with obs.span("run", solution=name, trace=trace.name):
         with obs.span("run.preload"):

@@ -45,15 +45,18 @@ class MemoryKV(KVStore):
         self._data: Dict[bytes, bytes] = {}
 
     def get(self, key: bytes) -> bytes | None:
-        return self._data.get(key)
+        # Normalize like put() does: a bytearray/memoryview key must find
+        # (and below, delete) the entry its bytes-typed twin inserted.
+        return self._data.get(bytes(key))
 
     def put(self, key: bytes, value: bytes) -> None:
         self._data[bytes(key)] = bytes(value)
 
     def delete(self, key: bytes) -> None:
-        self._data.pop(key, None)
+        self._data.pop(bytes(key), None)
 
     def items(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        prefix = bytes(prefix)
         for key in sorted(k for k in self._data if k.startswith(prefix)):
             yield key, self._data[key]
 
@@ -64,11 +67,20 @@ class LogStructuredKV(KVStore):
     Every mutation appends a WAL record before updating the index; reopen
     replays the log, discarding any torn tail. ``compact()`` rewrites the
     log to current state (atomic via rename) once dead records accumulate.
+
+    ``sync=True`` fsyncs after every append: an acked write then survives a
+    power cut, not just a process crash. The recovery journal requires this
+    — its whole point is outliving the power cut it models — while the
+    checksum store can keep the cheaper flush-only default (a stale
+    checksum only ever causes a false *positive* sweep hit).
     """
 
-    def __init__(self, path: str, *, auto_compact_ratio: float = 4.0):
+    def __init__(
+        self, path: str, *, auto_compact_ratio: float = 4.0, sync: bool = False
+    ):
         self._path = path
         self._auto_compact_ratio = auto_compact_ratio
+        self._sync = sync
         self._data: Dict[bytes, bytes] = {}
         self._records = 0
         if os.path.exists(path):
@@ -86,7 +98,7 @@ class LogStructuredKV(KVStore):
         self._fh = open(path, "ab")
 
     def get(self, key: bytes) -> bytes | None:
-        return self._data.get(key)
+        return self._data.get(bytes(key))
 
     def put(self, key: bytes, value: bytes) -> None:
         key, value = bytes(key), bytes(value)
@@ -101,6 +113,7 @@ class LogStructuredKV(KVStore):
         self._data.pop(key, None)
 
     def items(self, prefix: bytes = b"") -> Iterator[Tuple[bytes, bytes]]:
+        prefix = bytes(prefix)
         for key in sorted(k for k in self._data if k.startswith(prefix)):
             yield key, self._data[key]
 
@@ -111,9 +124,14 @@ class LogStructuredKV(KVStore):
         self._fh = open(self._path, "ab")
 
     def close(self) -> None:
-        """Flush and close the log file."""
+        """Flush, fsync, and close the log file.
+
+        The fsync runs regardless of ``sync`` mode: close is the one point
+        where even a flush-only store promises its records are on disk.
+        """
         if not self._fh.closed:
             self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
 
     def __enter__(self) -> "LogStructuredKV":
@@ -127,6 +145,8 @@ class LogStructuredKV(KVStore):
     def _append(self, op: int, key: bytes, value: bytes = b"") -> None:
         self._fh.write(wal.encode_record(op, key, value))
         self._fh.flush()
+        if self._sync:
+            os.fsync(self._fh.fileno())
         self._records += 1
         live = max(1, len(self._data))
         if self._records > live * self._auto_compact_ratio and self._records > 64:

@@ -301,6 +301,67 @@ class FileDownload(Message):
 
 
 @dataclass(frozen=True)
+class ResyncRequest(Message):
+    """Post-crash version renegotiation: which versions does the cloud hold?
+
+    One metadata round trip replaces journaling every synced-version map
+    update: the recovering client lists its local paths and learns the
+    server's current ``<CliID, VerCnt>`` per path, so journaled nodes can
+    be dropped (already applied) or rebased before re-upload.
+    """
+
+    paths: Sequence[str] = ()
+
+    def wire_size(self) -> int:
+        return _MSG_HEADER + 4 + sum(_path_size(p) for p in self.paths)
+
+
+@dataclass(frozen=True)
+class ResyncReply(Message):
+    """The server's current version per requested path (None = absent)."""
+
+    versions: Sequence = ()  # of (path, Optional[VersionStamp])
+
+    def wire_size(self) -> int:
+        return _MSG_HEADER + 4 + sum(
+            _path_size(p) + _version_size(v) for p, v in self.versions
+        )
+
+
+@dataclass(frozen=True)
+class RangeRequest(Message):
+    """Client asks for one byte range of a file (bounded crash repair)."""
+
+    path: str
+    offset: int
+    length: int
+
+    def wire_size(self) -> int:
+        return _MSG_HEADER + _path_size(self.path) + 8 + 8
+
+
+@dataclass(frozen=True)
+class RangeReply(Message):
+    """The requested range's bytes — the whole point of bounded recovery:
+    only the damaged span travels, never the whole file."""
+
+    path: str
+    offset: int
+    data: bytes = field(repr=False)
+    version: Optional[VersionStamp] = None
+
+    def wire_size(self) -> int:
+        return (
+            _MSG_HEADER
+            + _path_size(self.path)
+            + 8
+            + 4
+            + len(self.data)
+            + _version_size(self.version)
+        )
+
+
+@dataclass(frozen=True)
 class Envelope(Message):
     """Reliable-delivery wrapper for one uplink message.
 

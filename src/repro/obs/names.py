@@ -11,8 +11,9 @@ Naming scheme: ``<subsystem>.<object>.<aspect>`` with dot separators and
 ``snake_case`` segments. Subsystem prefixes in use: ``client`` (the
 DeltaCFS client engine), ``queue`` (the Sync Queue), ``relation`` (the
 Relation Table), ``channel`` (the accounted link), ``server`` (the cloud
-apply path), ``transport`` (the reliable delivery layer), ``run`` (the
-experiment harness).
+apply path), ``transport`` (the reliable delivery layer), ``journal``
+(the crash-recovery sync-intent journal), ``recovery`` (post-crash
+recovery), ``run`` (the experiment harness).
 """
 
 from __future__ import annotations
@@ -396,6 +397,79 @@ METRICS: Tuple[MetricSpec, ...] = (
         "retransmitted envelopes absorbed by the message-id dedup table",
         unit="msgs",
     ),
+    # -- crash-recovery journal --------------------------------------------
+    MetricSpec(
+        "journal.records.written",
+        COUNTER,
+        "sync-intent records persisted, labelled by kind "
+        "(node | relation | undo | vercnt)",
+        unit="records",
+    ),
+    MetricSpec(
+        "journal.records.forgotten",
+        COUNTER,
+        "journal records retired (shipped, cancelled, or replaced), "
+        "labelled by kind",
+        unit="records",
+    ),
+    MetricSpec(
+        "journal.bytes.written",
+        COUNTER,
+        "key+value bytes appended to the journal KV",
+        unit="bytes",
+    ),
+    # -- post-crash recovery -----------------------------------------------
+    MetricSpec(
+        "recovery.runs", COUNTER, "Client.recover() passes executed", unit="ops"
+    ),
+    MetricSpec(
+        "recovery.nodes.replayed",
+        COUNTER,
+        "journaled nodes re-enqueued for upload after a crash",
+        unit="nodes",
+    ),
+    MetricSpec(
+        "recovery.nodes.already_applied",
+        COUNTER,
+        "journaled nodes dropped because the cloud already held their version",
+        unit="nodes",
+    ),
+    MetricSpec(
+        "recovery.nodes.rebased",
+        COUNTER,
+        "replayed nodes whose base version was renegotiated to the cloud head",
+        unit="nodes",
+    ),
+    MetricSpec(
+        "recovery.files.swept",
+        COUNTER,
+        "dirty files checked against the durable checksum store",
+        unit="files",
+    ),
+    MetricSpec(
+        "recovery.files.damaged",
+        COUNTER,
+        "swept files with at least one mismatching block (crash inconsistency)",
+        unit="files",
+    ),
+    MetricSpec(
+        "recovery.blocks.repaired",
+        COUNTER,
+        "damaged blocks rebuilt from ranged downloads + journaled writes",
+        unit="blocks",
+    ),
+    MetricSpec(
+        "recovery.bytes.downloaded",
+        COUNTER,
+        "ranged-download bytes pulled during block repair",
+        unit="bytes",
+    ),
+    MetricSpec(
+        "recovery.full_file_fallbacks",
+        COUNTER,
+        "repairs that fell back to pulling the whole cloud copy",
+        unit="files",
+    ),
     # -- harness / run -----------------------------------------------------
     MetricSpec("run.pump.calls", COUNTER, "pump invocations during the run", unit="ops"),
     MetricSpec(
@@ -525,6 +599,18 @@ EVENTS: Tuple[EventSpec, ...] = (
         "event",
         "first-write-wins rejected an update; attrs: path, conflict_path",
     ),
+    # -- post-crash recovery -----------------------------------------------
+    EventSpec(
+        "recovery.node.replayed",
+        "event",
+        "a journaled node was dispositioned during recovery; attrs: path, "
+        "kind, disposition (replayed | rebased | already_applied)",
+    ),
+    EventSpec(
+        "recovery.file.repaired",
+        "event",
+        "a damaged file finished block repair; attrs: path, blocks, full_file",
+    ),
     # -- spans -------------------------------------------------------------
     EventSpec("run", "span", "one (solution, trace) experiment run; attrs: solution, trace"),
     EventSpec("run.preload", "span", "preload files installed and synced outside measurement"),
@@ -546,6 +632,11 @@ EVENTS: Tuple[EventSpec, ...] = (
         "span",
         "one upload unit shipped and its replies processed; attrs: nodes, "
         "transactional",
+    ),
+    EventSpec(
+        "client.recover",
+        "span",
+        "one post-crash recovery pass (journal replay + sweep); attrs: nodes",
     ),
     EventSpec(
         "server.apply",

@@ -515,3 +515,28 @@ class CloudServer:
     def file_version(self, path: str) -> Optional[VersionStamp]:
         """Current version of ``path`` (raises if absent)."""
         return self.store.get(path).version
+
+    def resync_versions(
+        self, paths: List[str]
+    ) -> List[Tuple[str, Optional[VersionStamp]]]:
+        """Current version per path (``None`` = not on the cloud).
+
+        The post-crash renegotiation: a recovering client learns which of
+        its journaled updates already landed and what base its re-uploads
+        must name. Metadata only — no content moves.
+        """
+        out: List[Tuple[str, Optional[VersionStamp]]] = []
+        for path in paths:
+            stored = self.store.lookup(path)
+            out.append((path, stored.version if stored is not None else None))
+        return out
+
+    def file_range(
+        self, path: str, offset: int, length: int
+    ) -> Tuple[bytes, Optional[VersionStamp]]:
+        """One byte range of ``path`` (clipped to the file end) + version.
+
+        Serves the bounded crash repair: only the damaged span travels.
+        """
+        stored = self.store.get(path)
+        return stored.content[offset : offset + length], stored.version

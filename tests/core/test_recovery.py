@@ -1,0 +1,334 @@
+"""Tests for the crash-recovery journal (repro.core.recovery).
+
+The contract under test: everything the client *intends* to sync is
+journaled durably as it is intercepted, and after a crash (volatile
+state gone, journal + checksums kept) ``Client.recover()`` converges the
+client and the cloud byte-identically — re-uploading only dirty data and
+re-downloading only damaged blocks, never whole files it can avoid.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.rng import DeterministicRandom
+from repro.common.version import VersionStamp
+from repro.core.client import DeltaCFSClient
+from repro.core.recovery import (
+    SyncJournal,
+    decode_node,
+    encode_node,
+)
+from repro.core.relation_table import RelationEntry
+from repro.core.sync_queue import (
+    DeltaNode,
+    MetaNode,
+    TruncateNode,
+    WriteNode,
+)
+from repro.delta.format import Delta
+from repro.faults.crash import inject_crash_inconsistency, simulate_crash
+from repro.kvstore.kv import MemoryKV
+from repro.net.transport import Channel
+from repro.server.cloud import CloudServer
+from repro.vfs.filesystem import MemoryFileSystem
+
+
+def _build(client_id=1, fs=None, server=None, clock=None, jkv=None, ckv=None):
+    clock = clock or VirtualClock()
+    server = server or CloudServer()
+    fs = fs or MemoryFileSystem()
+    client = DeltaCFSClient(
+        fs,
+        server=server,
+        channel=Channel(),
+        clock=clock,
+        client_id=client_id,
+        checksum_kv=ckv if ckv is not None else MemoryKV(),
+        journal_kv=jkv if jkv is not None else MemoryKV(),
+    )
+    return client, fs, server, clock
+
+
+def _settle(client, clock, rounds=6):
+    for _ in range(rounds):
+        clock.advance(1.0)
+        client.pump(clock.now())
+    client.flush()
+
+
+class TestNodeCodec:
+    def _roundtrip(self, node):
+        clone = decode_node(encode_node(node))
+        assert type(clone) is type(node)
+        assert clone.path == node.path
+        assert clone.base_version == node.base_version
+        assert clone.new_version == node.new_version
+        return clone
+
+    def test_write_node(self):
+        node = WriteNode(
+            "/a.txt",
+            base_version=VersionStamp(1, 4),
+            new_version=VersionStamp(1, 5),
+        )
+        node.add_write(0, b"hello")
+        node.add_write(4096, b"\x00\xff" * 10)
+        node.pack()
+        clone = self._roundtrip(node)
+        assert clone.writes == node.writes
+        assert clone.packed is True
+
+    def test_unpacked_write_node(self):
+        node = WriteNode("/a", new_version=VersionStamp(2, 1))
+        node.add_write(7, b"x")
+        clone = self._roundtrip(node)
+        assert clone.packed is False
+
+    def test_truncate_node(self):
+        node = TruncateNode("/t", length=12345, new_version=VersionStamp(1, 9))
+        assert self._roundtrip(node).length == 12345
+
+    def test_delta_node(self):
+        from repro.delta.bitwise import bitwise_delta
+        from repro.delta.patch import apply_delta
+
+        old = bytes(range(256)) * 32
+        new = old[:4000] + b"edit" + old[4000:]
+        node = DeltaNode(
+            "/d",
+            base_version=VersionStamp(1, 2),
+            new_version=VersionStamp(1, 3),
+            delta=bitwise_delta(old, new, 4096),
+            content_base=VersionStamp(1, 1),
+        )
+        clone = self._roundtrip(node)
+        assert clone.content_base == node.content_base
+        assert apply_delta(old, clone.delta) == new
+
+    def test_meta_node(self):
+        node = MetaNode("/old", kind="rename", dest="/new",
+                        new_version=VersionStamp(3, 1))
+        clone = self._roundtrip(node)
+        assert clone.kind == "rename"
+        assert clone.dest == "/new"
+
+    def test_meta_node_no_dest(self):
+        node = MetaNode("/gone", kind="unlink")
+        clone = self._roundtrip(node)
+        assert clone.dest is None
+
+
+class TestSyncJournal:
+    def test_roundtrip(self):
+        kv = MemoryKV()
+        journal = SyncJournal(kv)
+        journal.record_vercnt(17)
+        node = WriteNode("/w", seq=3)
+        node.add_write(0, b"abc")
+        journal.record_node(node)
+        journal.record_relation(
+            RelationEntry(src="/r", dst="/r~", origin="rename", created_at=1.5)
+        )
+        journal.record_undo("/w", 4096, 0, 3, b"old")
+        state = journal.load()
+        assert state.vercnt == 17
+        assert [seq for seq, _ in state.nodes] == [3]
+        assert state.relations[0].src == "/r"
+        assert state.undo["/w"].base_size == 4096
+        assert state.undo["/w"].records == [(0, 3, b"old")]
+
+    def test_forget(self):
+        journal = SyncJournal(MemoryKV())
+        node = WriteNode("/w", seq=1)
+        node.add_write(0, b"x")
+        journal.record_node(node)
+        journal.forget_node(1)
+        journal.record_relation(
+            RelationEntry(src="/r", dst="/d", origin="unlink", created_at=0.0)
+        )
+        journal.forget_relation("/r")
+        journal.record_undo("/u", 10, 0, 1, b"z")
+        journal.forget_undo("/u")
+        state = journal.load()
+        assert state.nodes == []
+        assert state.relations == []
+        assert state.undo == {}
+
+    def test_nodes_load_in_seq_order(self):
+        journal = SyncJournal(MemoryKV())
+        for seq in (5, 2, 9):
+            node = MetaNode("/m%d" % seq, seq=seq, kind="create")
+            journal.record_node(node)
+        assert [s for s, _ in journal.load().nodes] == [2, 5, 9]
+
+    def test_unsequenced_node_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SyncJournal(MemoryKV()).record_node(WriteNode("/w"))
+
+
+class TestRecovery:
+    def test_journal_drains_as_uploads_complete(self):
+        client, fs, server, clock = _build()
+        client.create("/f")
+        client.write("/f", 0, b"d" * 1000)
+        client.close("/f")
+        assert len(client.journal.load().nodes) > 0
+        _settle(client, clock)
+        assert client.journal.load().nodes == []
+
+    def test_crash_recover_converges(self):
+        client, fs, server, clock = _build()
+        content = bytes((i * 37) % 256 for i in range(64 * 1024))
+        client.create("/f")
+        client.write("/f", 0, content)
+        client.close("/f")
+        _settle(client, clock)
+        # dirty burst, then the lights go out
+        client.write("/f", 100, b"A" * 300)
+        client.write("/f", 30_000, b"B" * 2000)
+        expected = fs.read_file("/f")
+        simulate_crash(client)
+        assert len(client.queue) == 0
+        report = client.recover()
+        assert report.nodes_replayed >= 1
+        _settle(client, clock)
+        assert fs.read_file("/f") == expected
+        assert server.file_content("/f") == expected
+
+    def test_recover_repairs_injected_damage(self):
+        client, fs, server, clock = _build()
+        content = bytes((i * 131 + 17) % 256 for i in range(128 * 1024))
+        client.create("/f")
+        client.write("/f", 0, content)
+        client.close("/f")
+        _settle(client, clock)
+        expected = fs.read_file("/f")
+        simulate_crash(client)
+        inject_crash_inconsistency(fs, "/f", seed=3)
+        report = client.recover()
+        assert report.blocks_repaired > 0
+        assert report.full_file_fallbacks == 0
+        # downloaded only the damaged span's blocks, not the file
+        assert report.bytes_downloaded < len(content) // 4
+        _settle(client, clock)
+        assert fs.read_file("/f") == expected
+        assert server.file_content("/f") == expected
+
+    def test_already_applied_intent_not_reuploaded(self):
+        client, fs, server, clock = _build()
+        client.create("/f")
+        client.write("/f", 0, b"k" * 5000)
+        client.close("/f")
+        _settle(client, clock)
+        # Model a crash in the ack window: the upload landed on the cloud
+        # but the journal entry survived (forget never ran).
+        head = server.file_version("/f")
+        ghost = WriteNode("/f", seq=999, new_version=head)
+        ghost.add_write(0, b"k" * 5000)
+        ghost.pack()
+        client.journal.record_node(ghost)
+        simulate_crash(client)
+        up_before = client.channel.stats.up_bytes
+        report = client.recover()
+        assert report.nodes_already_applied == 1
+        assert report.nodes_replayed == 0
+        _settle(client, clock)
+        # metadata renegotiation only — the 5000 payload bytes never move
+        assert client.channel.stats.up_bytes - up_before < 1000
+        assert server.file_content("/f") == fs.read_file("/f")
+
+    def test_pending_rename_survives_crash(self):
+        client, fs, server, clock = _build()
+        client.create("/a")
+        client.write("/a", 0, b"body" * 100)
+        client.close("/a")
+        _settle(client, clock)
+        client.rename("/a", "/b")
+        simulate_crash(client)
+        client.recover()
+        _settle(client, clock)
+        assert server.store.exists("/b")
+        assert not server.store.exists("/a")
+        assert server.file_content("/b") == fs.read_file("/b")
+
+    def test_recover_without_journal_raises(self):
+        import pytest
+
+        clock = VirtualClock()
+        client = DeltaCFSClient(
+            MemoryFileSystem(), server=CloudServer(), clock=clock
+        )
+        with pytest.raises(RuntimeError):
+            client.recover()
+
+    def test_version_counter_never_reissues(self):
+        client, fs, server, clock = _build()
+        client.create("/f")
+        client.write("/f", 0, b"v1")
+        client.close("/f")
+        _settle(client, clock)
+        minted_before = client._counter.current
+        simulate_crash(client)
+        assert client._counter.current == 0  # volatile counter died
+        client.recover()
+        assert client._counter.current >= minted_before
+
+
+class TestCrashAtRandomPoints:
+    """Stateful sweep: crash after every prefix of a seeded op sequence;
+    recovery must always converge client and cloud byte-identically."""
+
+    def _random_ops(self, rng, paths):
+        ops = []
+        for _ in range(12):
+            path = paths[rng.randint(0, len(paths) - 1)]
+            roll = rng.randint(0, 9)
+            if roll < 6:
+                offset = rng.randint(0, 48 * 1024)
+                ops.append(("write", path, offset, rng.random_bytes(
+                    rng.randint(1, 4096))))
+            elif roll < 8:
+                ops.append(("close", path))
+            else:
+                ops.append(("truncate", path, rng.randint(1, 32 * 1024)))
+        return ops
+
+    def _apply(self, client, op):
+        if op[0] == "write":
+            client.write(op[1], op[2], op[3])
+        elif op[0] == "close":
+            client.close(op[1])
+        elif op[0] == "truncate":
+            client.truncate(op[1], op[2])
+
+    def test_converges_from_any_crash_point(self):
+        paths = ["/x", "/y"]
+        for seed in (1, 2, 3, 5, 8):
+            rng = DeterministicRandom(seed).fork("ops")
+            ops = self._random_ops(DeterministicRandom(seed).fork("gen"), paths)
+            crash_at = rng.randint(1, len(ops))
+            client, fs, server, clock = _build()
+            for path in paths:
+                client.create(path)
+                client.write(path, 0, bytes(
+                    (i + seed) % 256 for i in range(32 * 1024)))
+                client.close(path)
+            _settle(client, clock)
+            for op in ops[:crash_at]:
+                self._apply(client, op)
+                if rng.randint(0, 3) == 0:
+                    clock.advance(1.0)
+                    client.pump(clock.now())
+            expected = {p: fs.read_file(p) for p in paths}
+            simulate_crash(client)
+            if rng.randint(0, 1):
+                inject_crash_inconsistency(fs, paths[0], seed=seed)
+            client.recover()
+            _settle(client, clock, rounds=10)
+            for path in paths:
+                assert fs.read_file(path) == expected[path], (
+                    f"seed={seed} local diverged on {path}"
+                )
+                assert server.file_content(path) == expected[path], (
+                    f"seed={seed} cloud diverged on {path}"
+                )

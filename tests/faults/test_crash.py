@@ -44,6 +44,32 @@ def test_simulate_crash_drops_volatile_state():
     assert len(client.relations) == 0
 
 
+def test_post_crash_queue_keeps_observability():
+    """Regression: simulate_crash used to rebuild the queue/relations/undo
+    bare, silently detaching them from the run's Observability — post-crash
+    activity disappeared from every ``queue.*``/``relation.*`` series."""
+    from repro.obs import Observability
+
+    obs = Observability()
+    clock = VirtualClock()
+    obs.bind_clock(clock)
+    client = DeltaCFSClient(
+        MemoryFileSystem(), server=CloudServer(obs=obs), clock=clock, obs=obs
+    )
+    client.create("/a")
+    client.write("/a", 0, b"before")
+    before = obs.metrics.counter_total("queue.nodes.created")
+    assert before > 0
+    simulate_crash(client)
+    client.create("/b")
+    client.write("/b", 0, b"after")
+    assert obs.metrics.counter_total("queue.nodes.created") > before
+    assert client.queue.obs is obs
+    assert client.relations.obs is obs
+    # the rebuilt undo log still charges the client meter
+    assert client.undo.meter is client.meter
+
+
 def test_checksum_store_survives_crash():
     # the checksum store is the durable piece (LevelDB in the paper)
     client = DeltaCFSClient(

@@ -64,6 +64,25 @@ class TestContract:
             kv.put(str(i).encode(), b"v")
         assert len(kv) == 7
 
+    def test_bytearray_keys_normalized(self, kv):
+        """bytes and bytearray spelling the same key must alias (the
+        journal builds keys in bytearrays; MemoryKV used to miss them on
+        get/delete because bytearray is unhashable-by-value vs bytes)."""
+        kv.put(bytearray(b"k"), b"v")
+        assert kv.get(b"k") == b"v"
+        assert kv.get(bytearray(b"k")) == b"v"
+        kv.put(b"k2", b"v2")
+        kv.delete(bytearray(b"k2"))
+        assert kv.get(b"k2") is None
+        assert len(kv) == 1
+
+    def test_bytearray_prefix_normalized(self, kv):
+        kv.put(b"p\x00a", b"1")
+        kv.put(b"p\x00b", b"2")
+        kv.put(b"q\x00c", b"3")
+        assert len(list(kv.items(bytearray(b"p\x00")))) == 2
+        assert kv.delete_prefix(bytearray(b"p\x00")) == 2
+
     @given(
         st.dictionaries(
             st.binary(min_size=1, max_size=12), st.binary(max_size=20), max_size=30
@@ -133,3 +152,77 @@ class TestPersistence:
         open(path, "wb").write(bytes(data))
         with LogStructuredKV(path) as kv:
             assert kv.get(b"first") == b"1"
+
+    def test_truncate_at_every_byte_recovers_clean_prefix(self, tmp_path):
+        """A crash can cut the WAL anywhere. Whatever the cut point, reopen
+        must recover exactly the records that landed wholly before it —
+        never garbage, never a record past the cut."""
+        path = str(tmp_path / "d.log")
+        ops = [
+            (b"a", b"1"),
+            (b"bb", b"two"),
+            (b"a", b"rewritten"),
+            (b"ccc", b""),
+            (b"bb", None),  # delete
+        ]
+        # Record the file size and logical state after each complete record.
+        checkpoints = [(0, {})]
+        state = {}
+        with LogStructuredKV(path) as kv:
+            for key, value in ops:
+                if value is None:
+                    kv.delete(key)
+                    state.pop(key, None)
+                else:
+                    kv.put(key, value)
+                    state[key] = value
+                kv._fh.flush()
+                import os
+
+                checkpoints.append((os.path.getsize(path), dict(state)))
+        full = open(path, "rb").read()
+        assert checkpoints[-1][0] == len(full)
+        for cut in range(len(full) + 1):
+            open(path, "wb").write(full[:cut])
+            expected = {}
+            for size, snapshot in checkpoints:
+                if size <= cut:
+                    expected = snapshot
+            with LogStructuredKV(path) as kv:
+                assert {k: v for k, v in kv.items()} == expected, (
+                    f"cut at byte {cut}"
+                )
+        open(path, "wb").write(full)
+
+
+class TestSyncMode:
+    def _count_fsyncs(self, monkeypatch):
+        import repro.kvstore.kv as kvmod
+
+        calls = []
+        real = kvmod.os.fsync
+        monkeypatch.setattr(kvmod.os, "fsync", lambda fd: calls.append(fd) or real(fd))
+        return calls
+
+    def test_sync_mode_fsyncs_every_append(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        kv = LogStructuredKV(str(tmp_path / "j.log"), sync=True)
+        kv.put(b"a", b"1")
+        kv.put(b"b", b"2")
+        kv.delete(b"a")
+        assert len(calls) == 3  # one per append, before close
+        kv.close()
+
+    def test_default_mode_skips_per_append_fsync(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        kv = LogStructuredKV(str(tmp_path / "c.log"))
+        kv.put(b"a", b"1")
+        kv.put(b"b", b"2")
+        assert calls == []
+
+    def test_close_fsyncs_regardless_of_mode(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        kv = LogStructuredKV(str(tmp_path / "c.log"))
+        kv.put(b"a", b"1")
+        kv.close()
+        assert len(calls) == 1

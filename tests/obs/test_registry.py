@@ -152,6 +152,7 @@ def test_catalog_names_follow_the_scheme():
         parts = name.split(".")
         assert len(parts) >= 2, name
         assert parts[0] in {"client", "queue", "relation", "channel",
-                            "server", "transport", "run"}, name
+                            "server", "transport", "journal", "recovery",
+                            "run"}, name
         for part in parts:
             assert part == part.lower(), name

@@ -7,8 +7,8 @@ Two-way check:
    (backtick-quoted) in ``docs/observability.md``;
 2. every backtick-quoted dotted name in the doc that uses an instrumented
    subsystem prefix (``client.`` / ``queue.`` / ``relation.`` /
-   ``channel.`` / ``server.`` / ``transport.`` / ``run.``) must be
-   declared in code.
+   ``channel.`` / ``server.`` / ``transport.`` / ``journal.`` /
+   ``recovery.`` / ``run.``) must be declared in code.
 
 Run from the repo root (CI does)::
 
@@ -35,6 +35,8 @@ PREFIXES = (
     "channel.",
     "server.",
     "transport.",
+    "journal.",
+    "recovery.",
     "run.",
 )
 
