@@ -8,6 +8,8 @@ Usage (installed, or ``python -m repro``):
     python -m repro trace word --out word.trace --scale 16 --ops 10
     python -m repro replay word.trace --solution deltacfs
     python -m repro replay word.trace --metrics --trace-out trace.jsonl
+    python -m repro inspect trace.jsonl --attribution
+    python -m repro experiment fig8 --fast --bench-json benchmarks/
 """
 
 from __future__ import annotations
@@ -65,26 +67,56 @@ def _print_run_results(title: str, results) -> None:
     )
 
 
+def _write_bench_snapshot(directory: str, name: str, results) -> None:
+    """Emit ``BENCH_<name>.json`` into ``directory`` (see bench_snapshot)."""
+    import json
+    import os
+
+    from repro.harness.runner import bench_snapshot
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench_snapshot(name, results), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
 def _cmd_experiment(args) -> int:
     from repro.harness import experiments
 
     fast = args.fast
     wanted = args.name
+    bench_dir = args.bench_json
     ran_any = False
+    benched_any = False
 
     if wanted in ("table2", "all"):
-        _print_run_results("Table II / CPU", experiments.table2_cpu(fast))
+        results = experiments.table2_cpu(fast)
+        _print_run_results("Table II / CPU", results)
+        if bench_dir:
+            _write_bench_snapshot(bench_dir, "table2", results)
+            benched_any = True
         ran_any = True
     if wanted in ("fig8", "all"):
-        _print_run_results("Figure 8 / network on PC", experiments.fig8_network_pc(fast))
+        results = experiments.fig8_network_pc(fast)
+        _print_run_results("Figure 8 / network on PC", results)
+        if bench_dir:
+            _write_bench_snapshot(bench_dir, "fig8", results)
+            benched_any = True
         ran_any = True
     if wanted in ("fig9", "all"):
-        _print_run_results(
-            "Figure 9 / network on mobile", experiments.fig9_network_mobile(fast)
-        )
+        results = experiments.fig9_network_mobile(fast)
+        _print_run_results("Figure 9 / network on mobile", results)
+        if bench_dir:
+            _write_bench_snapshot(bench_dir, "fig9", results)
+            benched_any = True
         ran_any = True
     if wanted in ("fig1", "all"):
         results = experiments.fig1_motivation(fast)
+        if bench_dir:
+            _write_bench_snapshot(bench_dir, "fig1", results)
+            benched_any = True
         print("\n=== Figure 1 / motivation ===")
         print(
             format_table(
@@ -144,6 +176,13 @@ def _cmd_experiment(args) -> int:
     if not ran_any:
         print(f"unknown experiment {wanted!r}", file=sys.stderr)
         return 2
+    if bench_dir and not benched_any:
+        print(
+            f"--bench-json covers RunResult experiments "
+            f"(table2/fig8/fig9/fig1), not {wanted!r}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -176,6 +215,15 @@ def _cmd_trace(args) -> int:
         f"{format_bytes(trace.stats.update_bytes)} logical update"
     )
     return 0
+
+
+def _finish_trace_out(path: str, sink, obs) -> None:
+    """Append the metrics snapshot record to a streamed trace and report."""
+    from repro.obs.export import write_snapshot_record
+
+    write_snapshot_record(sink, obs.metrics, obs.clock.now())
+    print(f"\nwrote {path}: {obs.tracer.records_recorded} trace records "
+          f"+ metrics snapshot")
 
 
 def _replay_with_crash(args, trace, journal_kv, obs, faults) -> int:
@@ -274,8 +322,25 @@ def _cmd_replay(args) -> int:
             return 2
     trace = load_trace_file(args.trace)
     # Observability is opt-in: without either flag the run uses NULL_OBS
-    # and is byte-identical to an uninstrumented run.
-    obs = Observability() if (args.metrics or args.trace_out) else NULL_OBS
+    # and is byte-identical to an uninstrumented run. --trace-out streams
+    # each record to the file as it happens (no buffering), then appends a
+    # metrics snapshot record so `repro inspect` can reconcile and export
+    # OpenMetrics from the one file.
+    trace_sink = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        try:
+            trace_sink = open(args.trace_out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot write trace to {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        obs = Observability(tracer=Tracer(sink=trace_sink))
+    elif args.metrics:
+        obs = Observability()
+    else:
+        obs = NULL_OBS
     journal_kv = None
     if args.journal is not None:
         from repro.kvstore.kv import LogStructuredKV
@@ -283,12 +348,21 @@ def _cmd_replay(args) -> int:
         # sync=True: the journal only helps if the records survive the
         # crash, so every append is fsynced.
         journal_kv = LogStructuredKV(args.journal, sync=True)
-    if args.crash_at is not None:
-        return _replay_with_crash(args, trace, journal_kv, obs, faults)
-    result = run_trace(
-        args.solution, trace, obs=obs, faults=faults,
-        fault_seed=args.fault_seed, journal_kv=journal_kv,
-    )
+    try:
+        if args.crash_at is not None:
+            rc = _replay_with_crash(args, trace, journal_kv, obs, faults)
+            if rc == 0 and trace_sink is not None:
+                _finish_trace_out(args.trace_out, trace_sink, obs)
+            return rc
+        result = run_trace(
+            args.solution, trace, obs=obs, faults=faults,
+            fault_seed=args.fault_seed, journal_kv=journal_kv,
+        )
+        if trace_sink is not None:
+            _finish_trace_out(args.trace_out, trace_sink, obs)
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
     print(
         format_table(
             ["trace", "solution", "cli CPU", "srv CPU", "up", "down", "TUE"],
@@ -306,15 +380,111 @@ def _cmd_replay(args) -> int:
     if args.metrics:
         print()
         print(obs.report())
-    if args.trace_out:
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    """Offline analysis of a recorded JSONL trace (see repro.obs.analyze)."""
+    from repro.obs.analyze import (
+        AttributionError,
+        TraceFormatError,
+        attribute_uplink,
+        critical_path,
+        event_counts,
+        load_trace,
+        span_rollup,
+    )
+    from repro.obs.export import (
+        check_openmetrics,
+        to_openmetrics,
+        write_chrome_trace,
+    )
+
+    try:
+        doc = load_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    rc = 0
+    targeted = args.attribution or args.chrome_out or args.openmetrics_out
+    if args.summary or not targeted:
+        rollup = span_rollup(doc)
+        print(f"{args.trace}: {len(doc.spans)} spans, "
+              f"{len(doc.point_events())} events"
+              + (", metrics snapshot embedded" if doc.snapshot else ""))
+        if rollup:
+            print()
+            print(format_table(
+                ["span", "count", "total s", "self s", "open"],
+                [[r.name, r.count, f"{r.total:.3f}", f"{r.self_time:.3f}",
+                  r.truncated or ""] for r in rollup],
+            ))
+        path = critical_path(doc)
+        if path:
+            print("\ncritical path (longest span chain):")
+            for depth, span in enumerate(path):
+                print(f"  {'  ' * depth}{span.name}  {span.duration:.3f}s"
+                      + ("  [unclosed]" if span.truncated else ""))
+        counts = event_counts(doc)
+        if counts:
+            print()
+            print(format_table(
+                ["event", "count"], [[name, n] for name, n in counts]
+            ))
+
+    if args.attribution:
+        attribution = attribute_uplink(doc)
+        print("\nuplink cost attribution (measured window):")
+        print(format_table(
+            ["path", "mechanism", "bytes", "msgs"],
+            [[r.path or "(protocol)", r.mechanism, format_bytes(r.bytes),
+              r.messages] for r in attribution.rows],
+        ))
+        print()
+        print(format_table(
+            ["mechanism", "bytes"],
+            [[m, format_bytes(b)]
+             for m, b in sorted(attribution.by_mechanism().items(),
+                                key=lambda kv: -kv[1])],
+        ))
+        print(f"\ntotal attributed: {attribution.total_bytes} B"
+              + (f"  (+ {attribution.preload_bytes} B preload, excluded)"
+                 if attribution.preload_bytes else ""))
         try:
-            count = obs.tracer.write_jsonl(args.trace_out)
-        except OSError as exc:
-            print(f"cannot write trace to {args.trace_out!r}: {exc}",
+            attribution.reconcile()
+        except AttributionError as exc:
+            print(f"attribution drift: {exc}", file=sys.stderr)
+            rc = 1
+        else:
+            print("reconciled: attribution total matches the recorded "
+                  "channel.up.bytes exactly")
+
+    if args.chrome_out:
+        n = write_chrome_trace(doc.records, args.chrome_out)
+        print(f"\nwrote {args.chrome_out}: {n} Chrome trace events "
+              f"(load in Perfetto / chrome://tracing)")
+
+    if args.openmetrics_out:
+        if doc.snapshot is None:
+            print("trace has no metrics snapshot record; re-record with "
+                  "--trace-out (the CLI appends one)", file=sys.stderr)
+            return 2
+        text = to_openmetrics(doc.snapshot.get("metrics", {}))
+        problems = check_openmetrics(text)
+        if problems:
+            print("OpenMetrics self-check failed: " + "; ".join(problems),
                   file=sys.stderr)
             return 1
-        print(f"\nwrote {args.trace_out}: {count} trace records")
-    return 0
+        with open(args.openmetrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\nwrote {args.openmetrics_out}: OpenMetrics exposition "
+              f"(self-check passed)")
+
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -334,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table2", "table3", "table4", "fig1", "fig2", "fig8", "fig9", "all"],
     )
     experiment.add_argument("--fast", action="store_true", help="reduced op counts")
+    experiment.add_argument(
+        "--bench-json", metavar="DIR", default=None,
+        help="also write BENCH_<name>.json snapshot(s) into DIR for "
+             "tools/bench_gate.py (table2/fig8/fig9/fig1)",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     trace = sub.add_parser("trace", help="generate and save a workload trace")
@@ -387,6 +562,30 @@ def build_parser() -> argparse.ArgumentParser:
              "then finish the trace (requires --journal)",
     )
     replay.set_defaults(func=_cmd_replay)
+
+    inspect = sub.add_parser(
+        "inspect", help="analyze a recorded JSONL trace offline"
+    )
+    inspect.add_argument("trace", help="trace.jsonl from replay --trace-out")
+    inspect.add_argument(
+        "--summary", action="store_true",
+        help="span rollup + critical path + event counts (default when no "
+             "other output is requested)",
+    )
+    inspect.add_argument(
+        "--attribution", action="store_true",
+        help="attribute every uplink byte to (path, mechanism) and "
+             "reconcile against the recorded totals (nonzero exit on drift)",
+    )
+    inspect.add_argument(
+        "--chrome-out", metavar="PATH", default=None,
+        help="export spans/events as Chrome trace-event JSON to PATH",
+    )
+    inspect.add_argument(
+        "--openmetrics-out", metavar="PATH", default=None,
+        help="export the embedded metrics snapshot as OpenMetrics text to PATH",
+    )
+    inspect.set_defaults(func=_cmd_inspect)
     return parser
 
 

@@ -954,11 +954,18 @@ class DeltaCFSClient(PassthroughFileSystem):
         messages = [m for m in messages if m is not None]
         if not messages:
             return
-        with self.obs.span(
-            "client.upload_unit",
-            nodes=len(unit.nodes),
-            transactional=unit.transactional,
-        ):
+        span_attrs: Dict[str, object] = {
+            "nodes": len(unit.nodes),
+            "transactional": unit.transactional,
+        }
+        if self.obs.enabled:
+            # Member paths and wire sizes let the offline analyzer split a
+            # grouped (or enveloped) upload's bytes back over the files
+            # that caused it; skipped on NULL_OBS to keep wire_size() off
+            # the hot path.
+            span_attrs["paths"] = [m.path for m in messages]
+            span_attrs["member_bytes"] = [m.wire_size() for m in messages]
+        with self.obs.span("client.upload_unit", **span_attrs):
             if unit.transactional and len(messages) > 1:
                 outbound: Message = TxnGroup(members=tuple(messages))
                 self.stats.groups_uploaded += 1

@@ -181,7 +181,12 @@ def fig9_network_mobile(fast: bool = False) -> List[RunResult]:
     results: List[RunResult] = []
     for trace_name, (trace, scale) in bench_traces(fast).items():
         for solution in MOBILE_SOLUTIONS:
-            results.append(run_mobile(solution, trace, scale, fast))
+            result = run_mobile(solution, trace, scale, fast)
+            # Stamp the setting here too (not only in table2_cpu), so the
+            # report rows and bench-snapshot keys are the same whether or
+            # not table2 populated the run cache first.
+            result.extra["setting"] = "mobile"
+            results.append(result)
     return results
 
 

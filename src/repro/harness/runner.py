@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.dropbox import DropboxClient
 from repro.baselines.fullsync import FullUploadClient
@@ -387,3 +388,50 @@ def run_trace(
         duration=system.clock.now(),
         extra=extra,
     )
+
+
+# ---------------------------------------------------------------------------
+# benchmark snapshots (the BENCH_<name>.json trajectory)
+# ---------------------------------------------------------------------------
+
+BENCH_SCHEMA = 1
+
+
+def bench_metrics(result: RunResult) -> Dict[str, float]:
+    """Flatten one run into the gate-comparable metric map.
+
+    Keys are ``{setting/}trace/solution/metric`` (setting appears only
+    when the experiment recorded one, e.g. ``mobile``), values are plain
+    floats so the snapshot JSON-serializes losslessly. ``tue`` is emitted
+    only when defined — division-by-zero runs (no logical update) have
+    nothing to gate.
+    """
+    prefix = f"{result.trace}/{result.solution}"
+    setting = result.extra.get("setting")
+    if setting:
+        prefix = f"{setting}/{prefix}"
+    out: Dict[str, float] = {
+        f"{prefix}/up_bytes": float(result.up_bytes),
+        f"{prefix}/down_bytes": float(result.down_bytes),
+        f"{prefix}/client_ticks": float(result.client_ticks),
+        f"{prefix}/server_ticks": float(result.server_ticks),
+    }
+    if math.isfinite(result.tue):
+        out[f"{prefix}/tue"] = float(result.tue)
+    return out
+
+
+def bench_snapshot(name: str, results: List[RunResult]) -> Dict[str, object]:
+    """The ``BENCH_<name>.json`` document for one experiment's runs.
+
+    The same shape is checked in as a baseline under
+    ``benchmarks/baselines/`` and compared by ``tools/bench_gate.py``;
+    baselines may additionally carry a ``tolerances`` map.
+    """
+    metrics: Dict[str, float] = {}
+    for result in results:
+        for key, value in bench_metrics(result).items():
+            if key in metrics:
+                raise ValueError(f"duplicate bench metric key {key!r} in {name}")
+            metrics[key] = value
+    return {"bench": name, "schema": BENCH_SCHEMA, "metrics": metrics}

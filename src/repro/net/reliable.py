@@ -169,6 +169,13 @@ class ReliableTransport:
         """
         msg_id = self._next_msg_id
         self._next_msg_id += 1
+        if self.obs.enabled:
+            # Emitted here — inside the caller's shipping span — so offline
+            # analysis can join the msg_id of every later (re)transmission
+            # back to the upload unit that produced the message.
+            self.obs.event(
+                "transport.enqueued", msg_id=msg_id, type=type(message).__name__
+            )
         # Launch only when the window has room AND nothing is already
         # queued — anything else would overtake the outbox order.
         if not self._outbox and len(self._inflight) < self.policy.window:

@@ -20,6 +20,11 @@ Two primitives, one facade:
 The full instrumentation contract — naming scheme, span hierarchy, JSONL
 schema — lives in ``docs/observability.md`` and is lint-checked against
 ``repro.obs.names`` in CI.
+
+The offline read side lives next door: :mod:`repro.obs.analyze` rebuilds
+span trees and attributes uplink bytes from a recorded JSONL trace, and
+:mod:`repro.obs.export` renders Chrome trace-event JSON and OpenMetrics
+exposition (``python -m repro inspect`` drives both).
 """
 
 from __future__ import annotations
@@ -27,9 +32,28 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.clock import VirtualClock
+from repro.obs.analyze import (
+    Attribution,
+    AttributionError,
+    Span,
+    TraceDoc,
+    attribute_uplink,
+    critical_path,
+    load_trace,
+    load_trace_lines,
+    span_rollup,
+)
+from repro.obs.export import (
+    check_openmetrics,
+    registry_openmetrics,
+    to_chrome_trace,
+    to_openmetrics,
+    write_chrome_trace,
+    write_snapshot_record,
+)
 from repro.obs.names import EVENT_NAMES, EVENTS, METRIC_NAMES, METRICS, EventSpec, MetricSpec
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
-from repro.obs.render import text_report, to_json
+from repro.obs.render import histogram_quantile, text_report, to_json
 from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 
 
@@ -130,4 +154,20 @@ __all__ = [
     "EVENT_NAMES",
     "text_report",
     "to_json",
+    "histogram_quantile",
+    "TraceDoc",
+    "Span",
+    "Attribution",
+    "AttributionError",
+    "load_trace",
+    "load_trace_lines",
+    "span_rollup",
+    "critical_path",
+    "attribute_uplink",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_openmetrics",
+    "registry_openmetrics",
+    "check_openmetrics",
+    "write_snapshot_record",
 ]

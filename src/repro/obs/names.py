@@ -44,11 +44,19 @@ class MetricSpec:
 
 @dataclass(frozen=True)
 class EventSpec:
-    """Declaration of one trace-event name (point event or span)."""
+    """Declaration of one trace-event name (point event or span).
+
+    ``attrs`` lists the attribute keys the emitter records, in documented
+    order. The doc-lint (``tools/lint_obs_docs.py``) checks the attr
+    tables in ``docs/observability.md`` against these declarations, and
+    the offline analyzer (``repro.obs.analyze``) relies on them when
+    joining events.
+    """
 
     name: str
     kind: str  # "event" | "span"
     help: str
+    attrs: Tuple[str, ...] = ()
 
 
 # Fixed bucket ladders. Bytes follow powers of four from 256 B to 16 MB;
@@ -483,136 +491,165 @@ EVENTS: Tuple[EventSpec, ...] = (
     EventSpec(
         "queue.node.created",
         "event",
-        "a node joined the queue tail; attrs: path, kind, seq",
+        "a node joined the queue tail",
+        attrs=("path", "kind", "seq"),
     ),
     EventSpec(
         "queue.node.coalesced",
         "event",
-        "a write was absorbed into an active write node; attrs: path, seq, "
-        "offset, bytes",
+        "a write was absorbed into an active write node",
+        attrs=("path", "seq", "offset", "bytes"),
     ),
     EventSpec(
         "queue.node.packed",
         "event",
-        "a write node froze; attrs: path, seq, writes, payload_bytes",
+        "a write node froze",
+        attrs=("path", "seq", "writes", "payload_bytes"),
     ),
     EventSpec(
         "queue.node.replaced_by_delta",
         "event",
-        "write nodes were swapped for a delta node; attrs: path, "
-        "replaced_seqs, delta_seq, delta_bytes, replaced_bytes",
+        "write nodes were swapped for a delta node",
+        attrs=("path", "replaced_seqs", "delta_seq", "delta_bytes", "replaced_bytes"),
     ),
     EventSpec(
         "queue.node.cancelled",
         "event",
-        "a never-uploaded node was dropped; attrs: path, seq, kind",
+        "a never-uploaded node was dropped",
+        attrs=("path", "seq", "kind"),
     ),
     EventSpec(
         "queue.node.shipped",
         "event",
-        "a node left the queue for upload; attrs: path, seq, kind, "
-        "payload_bytes, transactional",
+        "a node left the queue for upload",
+        attrs=("path", "seq", "kind", "payload_bytes", "transactional"),
     ),
     # -- relation table ----------------------------------------------------
     EventSpec(
         "relation.insert",
         "event",
-        "an entry was recorded; attrs: src, dst, origin",
+        "an entry was recorded",
+        attrs=("src", "dst", "origin"),
     ),
     EventSpec(
         "relation.match",
         "event",
-        "a created name matched a live entry (delta trigger); attrs: src, "
-        "dst, origin, age",
+        "a created name matched a live entry (delta trigger)",
+        attrs=("src", "dst", "origin", "age"),
     ),
     EventSpec(
         "relation.expire",
         "event",
-        "an entry timed out untriggered; attrs: src, dst, origin",
+        "an entry timed out untriggered",
+        attrs=("src", "dst", "origin"),
     ),
     EventSpec(
         "relation.invalidate",
         "event",
-        "an entry died because its preserved dst was destroyed; attrs: src, dst",
+        "an entry died because its preserved dst was destroyed",
+        attrs=("src", "dst"),
     ),
     # -- client delta decisions -------------------------------------------
     EventSpec(
         "client.delta.trigger",
         "event",
-        "a transactional update was recognized; attrs: path, rule "
-        "(relation_match | name_exists | pending_create | inplace)",
+        "a transactional update was recognized; rule is one of "
+        "relation_match | name_exists | pending_create | inplace",
+        attrs=("path", "rule"),
     ),
     EventSpec(
         "client.delta.kept",
         "event",
-        "the delta won the size contest; attrs: path, delta_bytes, "
-        "replaced_bytes",
+        "the delta won the size contest",
+        attrs=("path", "delta_bytes", "replaced_bytes"),
     ),
     EventSpec(
         "client.delta.rpc_wins",
         "event",
-        "the RPC payload was smaller, delta discarded; attrs: path, "
-        "delta_bytes, replaced_bytes",
+        "the RPC payload was smaller, delta discarded",
+        attrs=("path", "delta_bytes", "replaced_bytes"),
     ),
     EventSpec(
         "client.delta.no_base",
         "event",
-        "trigger abandoned: base version unresolvable on the cloud; "
-        "attrs: path",
+        "trigger abandoned: base version unresolvable on the cloud",
+        attrs=("path",),
     ),
     # -- channel -----------------------------------------------------------
     EventSpec(
         "channel.upload",
         "event",
-        "a message entered the uplink; attrs: type, path, bytes, done_at",
+        "a message entered the uplink",
+        attrs=("type", "path", "bytes", "done_at"),
     ),
     EventSpec(
         "channel.download",
         "event",
-        "a message entered the downlink; attrs: type, path, bytes, done_at",
+        "a message entered the downlink",
+        attrs=("type", "path", "bytes", "done_at"),
     ),
     EventSpec(
         "channel.fault",
         "event",
-        "the fault plan perturbed a delivery; attrs: direction, fate "
-        "(drop | duplicate | reorder | partition), type",
+        "the fault plan perturbed a delivery; fate is one of "
+        "drop | duplicate | reorder | partition",
+        attrs=("direction", "fate", "type"),
     ),
     # -- reliable transport ------------------------------------------------
     EventSpec(
+        "transport.enqueued",
+        "event",
+        "a message entered the reliable transport and took its msg_id; "
+        "fires inside the shipping span, so offline analysis can join "
+        "msg_id back to the upload unit (and its paths) that produced it",
+        attrs=("msg_id", "type"),
+    ),
+    EventSpec(
         "transport.send",
         "event",
-        "an envelope entered the uplink; attrs: msg_id, attempt, type",
+        "an envelope entered the uplink",
+        attrs=("msg_id", "attempt", "type"),
     ),
     EventSpec(
         "transport.ack",
         "event",
-        "an envelope was acknowledged; attrs: msg_id, attempts, rtt",
+        "an envelope was acknowledged",
+        attrs=("msg_id", "attempts", "rtt"),
     ),
     EventSpec(
         "transport.timeout",
         "event",
-        "a retry timer expired unacked; attrs: msg_id, attempt, waited",
+        "a retry timer expired unacked",
+        attrs=("msg_id", "attempt", "waited"),
     ),
     # -- server ------------------------------------------------------------
     EventSpec(
         "server.conflict",
         "event",
-        "first-write-wins rejected an update; attrs: path, conflict_path",
+        "first-write-wins rejected an update",
+        attrs=("path", "conflict_path"),
     ),
     # -- post-crash recovery -----------------------------------------------
     EventSpec(
         "recovery.node.replayed",
         "event",
-        "a journaled node was dispositioned during recovery; attrs: path, "
-        "kind, disposition (replayed | rebased | already_applied)",
+        "a journaled node was dispositioned during recovery; disposition "
+        "is one of replayed | rebased | already_applied",
+        attrs=("path", "kind", "disposition"),
     ),
     EventSpec(
         "recovery.file.repaired",
         "event",
-        "a damaged file finished block repair; attrs: path, blocks, full_file",
+        "a damaged file finished block repair",
+        attrs=("path", "blocks", "full_file"),
     ),
     # -- spans -------------------------------------------------------------
-    EventSpec("run", "span", "one (solution, trace) experiment run; attrs: solution, trace"),
+    EventSpec(
+        "run",
+        "span",
+        "one (solution, trace) experiment run",
+        attrs=("solution", "trace"),
+    ),
     EventSpec("run.preload", "span", "preload files installed and synced outside measurement"),
     EventSpec("run.replay", "span", "the measured trace replay"),
     EventSpec("run.settle", "span", "post-replay pumping until delays elapse"),
@@ -620,34 +657,41 @@ EVENTS: Tuple[EventSpec, ...] = (
     EventSpec(
         "client.pack",
         "span",
-        "pack-and-maybe-compress for one path; attrs: path",
+        "pack-and-maybe-compress for one path",
+        attrs=("path",),
     ),
     EventSpec(
         "client.delta.encode",
         "span",
-        "one bitwise delta encoding; attrs: path, old_bytes, new_bytes",
+        "one bitwise delta encoding",
+        attrs=("path", "old_bytes", "new_bytes"),
     ),
     EventSpec(
         "client.upload_unit",
         "span",
-        "one upload unit shipped and its replies processed; attrs: nodes, "
-        "transactional",
+        "one upload unit shipped and its replies processed; paths and "
+        "member_bytes list the member messages, in ship order, so every "
+        "wire byte of the unit (or its envelope) can be attributed back "
+        "to the files that caused it",
+        attrs=("nodes", "transactional", "paths", "member_bytes"),
     ),
     EventSpec(
         "client.recover",
         "span",
-        "one post-crash recovery pass (journal replay + sweep); attrs: nodes",
+        "one post-crash recovery pass (journal replay + sweep)",
+        attrs=("nodes",),
     ),
     EventSpec(
         "server.apply",
         "span",
-        "server-side application of one message or group; attrs: type, origin",
+        "server-side application of one message or group",
+        attrs=("type", "origin"),
     ),
     EventSpec(
         "transport.retransmit_round",
         "span",
-        "one sweep retransmitting every envelope whose timer expired; "
-        "attrs: due",
+        "one sweep retransmitting every envelope whose timer expired",
+        attrs=("due",),
     ),
 )
 
@@ -659,6 +703,14 @@ EVENT_NAMES: Tuple[str, ...] = tuple(spec.name for spec in EVENTS)
 def metric_spec(name: str) -> MetricSpec:
     """Look up a declared metric; raises ``KeyError`` for unknown names."""
     for spec in METRICS:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)
+
+
+def event_spec(name: str) -> EventSpec:
+    """Look up a declared event/span; raises ``KeyError`` for unknown names."""
+    for spec in EVENTS:
         if spec.name == name:
             return spec
     raise KeyError(name)

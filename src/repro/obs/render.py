@@ -8,11 +8,58 @@ for piping into other tools.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.report import format_table
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
+
+
+def histogram_quantile(hist: Dict[str, object], q: float) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    ``hist`` is the ``{count, sum, buckets}`` dict produced by
+    :meth:`repro.obs.registry.MetricsRegistry.histogram` (buckets are
+    per-bucket counts keyed ``le_<bound>`` / ``le_inf``, *not* cumulative).
+    The estimate interpolates linearly inside the bucket that holds the
+    target rank — the same convention Prometheus' ``histogram_quantile``
+    uses — so it is exact only at bucket boundaries. Samples past the last
+    finite bound clamp to that bound. Returns ``nan`` for an empty
+    histogram; ``q`` outside (0, 1] raises ``ValueError``.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    total = int(hist.get("count", 0))
+    if total <= 0:
+        return float("nan")
+    bounds_counts: List[Tuple[float, int]] = []
+    for key, n in hist["buckets"].items():  # type: ignore[union-attr]
+        bound = math.inf if key == "le_inf" else float(key[len("le_"):])
+        bounds_counts.append((bound, int(n)))
+    bounds_counts.sort(key=lambda bc: bc[0])
+    rank = q * total
+    cumulative = 0
+    lower = 0.0
+    for bound, n in bounds_counts:
+        if cumulative + n >= rank and n > 0:
+            if math.isinf(bound):
+                # No upper edge to interpolate toward: clamp to the last
+                # finite bound (or its own lower edge when it is first).
+                return lower
+            fraction = (rank - cumulative) / n
+            return lower + (bound - lower) * fraction
+        cumulative += n
+        if not math.isinf(bound):
+            lower = bound
+    return lower
+
+
+def histogram_quantiles(
+    hist: Dict[str, object], qs: Sequence[float] = (0.5, 0.9, 0.99)
+) -> List[float]:
+    """:func:`histogram_quantile` for several quantiles at once."""
+    return [histogram_quantile(hist, q) for q in qs]
 
 
 def text_report(
@@ -38,11 +85,27 @@ def text_report(
         for name, h in hists:
             count = h["count"]
             mean = (h["sum"] / count) if count else 0.0
+            p50, p90, p99 = histogram_quantiles(h)
             populated = ",".join(
                 f"{bucket}:{n}" for bucket, n in h["buckets"].items() if n
             )
-            rows.append([name, count, f"{mean:.3g}", populated])
-        lines.append(format_table(["histogram", "count", "mean", "buckets"], rows))
+            rows.append(
+                [
+                    name,
+                    count,
+                    f"{mean:.3g}",
+                    f"{p50:.3g}",
+                    f"{p90:.3g}",
+                    f"{p99:.3g}",
+                    populated,
+                ]
+            )
+        lines.append(
+            format_table(
+                ["histogram", "count", "mean", "~p50", "~p90", "~p99", "buckets"],
+                rows,
+            )
+        )
     if tracer is not None:
         events = tracer.events()
         if events:

@@ -139,19 +139,35 @@ _NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects trace events against a virtual clock."""
+    """Collects trace events against a virtual clock.
+
+    Two storage modes:
+
+    - **buffered** (default, ``sink=None``): every event is kept in an
+      in-memory list; read it back with :meth:`events` / :meth:`to_jsonl`
+      or persist it with :meth:`write_jsonl`.
+    - **streaming** (``sink=<writable text stream>``): each record is
+      serialized to one JSON line and written to ``sink`` the moment it is
+      recorded, and *nothing* is buffered — a long run's memory stays flat
+      no matter how many events it emits. The sink is borrowed, not owned:
+      the caller opens and closes it (and can append further records, e.g.
+      a metrics snapshot, after the run).
+    """
 
     def __init__(
         self,
         clock: Optional[VirtualClock] = None,
         *,
         known_names: Tuple[str, ...] = EVENT_NAMES,
+        sink=None,
     ):
         self.clock = clock if clock is not None else VirtualClock()
         self._known = set(known_names)
         self._events: List[TraceEvent] = []
         self._stack: List[_SpanHandle] = []
         self._id_counter = 0
+        self._sink = sink
+        self._sink_records = 0
 
     # -- declaration -------------------------------------------------------
 
@@ -193,8 +209,21 @@ class Tracer:
         """Id of the innermost open span, or ``None``."""
         return self._stack[-1].id if self._stack else None
 
+    @property
+    def streaming(self) -> bool:
+        """True when records go straight to a sink instead of the buffer."""
+        return self._sink is not None
+
+    @property
+    def records_recorded(self) -> int:
+        """Total records recorded so far (buffered or streamed)."""
+        return self._sink_records if self._sink is not None else len(self._events)
+
     def events(self) -> List[TraceEvent]:
-        """Snapshot of all recorded events, in emission order."""
+        """Snapshot of all recorded events, in emission order.
+
+        Empty in streaming mode — streamed records live at the sink only.
+        """
         return list(self._events)
 
     def event_names(self) -> List[str]:
@@ -209,7 +238,16 @@ class Tracer:
         )
 
     def write_jsonl(self, path: str) -> int:
-        """Write the trace to ``path``; returns the number of records."""
+        """Write the buffered trace to ``path``; returns the record count.
+
+        Only meaningful in buffered mode; a streaming tracer has already
+        written its records to the sink and raises ``RuntimeError``.
+        """
+        if self._sink is not None:
+            raise RuntimeError(
+                "streaming tracer does not buffer; its records are already "
+                "at the sink"
+            )
         text = self.to_jsonl()
         with open(path, "w", encoding="utf-8") as fh:
             if text:
@@ -217,10 +255,11 @@ class Tracer:
         return len(self._events)
 
     def reset(self) -> None:
-        """Drop all events and close the span stack."""
+        """Drop all buffered events and close the span stack."""
         self._events.clear()
         self._stack.clear()
         self._id_counter = 0
+        self._sink_records = 0
 
     # -- internals ---------------------------------------------------------
 
@@ -242,7 +281,14 @@ class Tracer:
         self._stack.pop()
 
     def _record(self, event: TraceEvent) -> None:
-        self._events.append(event)
+        if self._sink is not None:
+            self._sink.write(
+                json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._sink_records += 1
+        else:
+            self._events.append(event)
 
 
 class _NullTracer(Tracer):

@@ -147,7 +147,12 @@ class TestCli:
         records = [
             json.loads(line) for line in out_path.read_text().splitlines()
         ]
-        assert records and all(r["name"] in EVENT_NAMES for r in records)
+        # The stream is trace records followed by one metrics snapshot.
+        assert records and records[-1]["type"] == "snapshot"
+        trace_records = records[:-1]
+        assert trace_records
+        assert all(r["name"] in EVENT_NAMES for r in trace_records)
+        assert records[-1]["metrics"]
 
     def test_replay_without_flags_prints_no_metrics(self, tmp_path, capsys):
         from repro.cli import main
@@ -158,3 +163,23 @@ class TestCli:
         rc = main(["replay", str(trace_path)])
         assert rc == 0
         assert "client.delta" not in capsys.readouterr().out
+
+
+class TestRecoveryParity:
+    def test_crash_recovery_identical_with_and_without_instrumentation(self):
+        """Instrumenting the crash→recover→verify round trip must not move
+        a single byte: every outcome field matches the NULL_OBS run."""
+        import dataclasses
+
+        from repro.harness.reliability import crash_recovery_roundtrip
+
+        plain = crash_recovery_roundtrip(seed=7, dirty_writes=4)
+        obs = Observability()
+        instrumented = crash_recovery_roundtrip(seed=7, dirty_writes=4, obs=obs)
+
+        assert plain.converged and instrumented.converged
+        assert dataclasses.asdict(instrumented) == dataclasses.asdict(plain)
+        # ... and the instrumented run really was instrumented: the journal
+        # and queue machinery showed up in the trace and counters.
+        assert obs.tracer.events()
+        assert obs.metrics.counter_total("journal.records.written") > 0

@@ -1,0 +1,197 @@
+"""Offline trace analysis: span trees, rollups, critical path, and the
+byte-exact uplink cost attribution (the ISSUE-4 tentpole)."""
+
+import json
+
+import pytest
+
+from repro.faults.network import NetworkFaults
+from repro.harness.runner import run_trace
+from repro.net.reliable import RetryPolicy
+from repro.obs import Observability
+from repro.obs.analyze import (
+    Attribution,
+    AttributionError,
+    TraceFormatError,
+    _apportion,
+    attribute_uplink,
+    critical_path,
+    event_counts,
+    load_trace_lines,
+    span_rollup,
+)
+from repro.obs.export import snapshot_record
+from repro.workloads import gedit_trace
+
+
+def record_run(solution="deltacfs", saves=3, **kwargs):
+    """One instrumented run -> (RunResult, TraceDoc with snapshot)."""
+    obs = Observability()
+    result = run_trace(solution, gedit_trace(saves=saves), obs=obs, **kwargs)
+    lines = obs.tracer.to_jsonl().splitlines()
+    lines.append(json.dumps(snapshot_record(obs.metrics, obs.clock.now())))
+    return result, load_trace_lines(lines)
+
+
+class TestLoader:
+    def test_rebuilds_the_span_tree(self):
+        _, doc = record_run()
+        (root,) = doc.roots
+        assert root.name == "run"
+        assert root.attrs["solution"] == "deltacfs"
+        child_names = {c.name for c in root.children}
+        assert {"run.preload", "run.replay", "run.settle", "run.flush"} <= child_names
+        assert not any(s.truncated for s in doc.spans.values())
+        assert doc.snapshot is not None
+
+    def test_total_and_self_time(self):
+        _, doc = record_run()
+        (root,) = doc.roots
+        assert root.duration > 0
+        # Self time excludes child durations and never goes negative.
+        assert 0 <= root.self_time <= root.duration
+        replay = doc.find_spans("run.replay")[0]
+        assert replay.duration >= sum(c.duration for c in replay.children)
+
+    def test_rollup_sorted_by_total(self):
+        _, doc = record_run()
+        rows = span_rollup(doc)
+        assert rows[0].name == "run"
+        totals = [r.total for r in rows]
+        assert totals == sorted(totals, reverse=True)
+        by_name = {r.name: r for r in rows}
+        assert by_name["run"].count == 1
+        assert by_name["client.upload_unit"].count >= 1
+
+    def test_critical_path_descends_longest_children(self):
+        _, doc = record_run()
+        path = critical_path(doc)
+        assert path[0].name == "run"
+        for parent, child in zip(path, path[1:]):
+            assert child in parent.children
+            assert child.duration == max(c.duration for c in parent.children)
+
+    def test_event_counts(self):
+        _, doc = record_run()
+        counts = dict(event_counts(doc))
+        assert counts["client.delta.kept"] == 3
+
+    def test_unclosed_spans_marked_truncated(self):
+        lines = [
+            json.dumps({"type": "span_start", "name": "run", "id": 1,
+                        "parent": None, "ts": 0.0, "attrs": {}}),
+            json.dumps({"type": "event", "name": "channel.upload", "parent": 1,
+                        "ts": 2.0, "attrs": {"type": "MetaOp", "path": "/f",
+                                             "bytes": 10, "done_at": 2.1}}),
+        ]
+        doc = load_trace_lines(lines)
+        (root,) = doc.roots
+        assert root.truncated
+        assert root.end == 2.0  # closed at the last observed timestamp
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TraceFormatError):
+            load_trace_lines(["not json"])
+        with pytest.raises(TraceFormatError):
+            load_trace_lines([json.dumps({"no": "type"})])
+        with pytest.raises(TraceFormatError):
+            load_trace_lines([json.dumps(
+                {"type": "span_end", "name": "run", "id": 9, "parent": None,
+                 "ts": 1.0, "duration": 1.0})])
+
+
+class TestApportion:
+    def test_exact_split(self):
+        shares = _apportion(100, [1, 1, 1])
+        assert sum(shares) == 100
+        assert shares == [34, 33, 33]
+
+    def test_weights_respected(self):
+        assert _apportion(10, [9, 1]) == [9, 1]
+
+    def test_zero_weights_split_evenly(self):
+        shares = _apportion(7, [0, 0])
+        assert sum(shares) == 7
+
+    def test_empty(self):
+        assert _apportion(5, []) == []
+
+    def test_always_sums_exactly(self):
+        for total in (0, 1, 17, 999):
+            for weights in ([3, 7, 11], [1], [5, 5, 5, 5], [0, 2]):
+                assert sum(_apportion(total, weights)) == total
+
+
+class TestAttribution:
+    def test_reconciles_exactly_for_every_solution(self):
+        for solution in ("deltacfs", "nfs", "dropbox", "seafile", "fullsync"):
+            result, doc = record_run(solution)
+            att = attribute_uplink(doc)
+            att.reconcile(expected_up_bytes=result.up_bytes)
+            assert att.total_bytes == result.up_bytes
+
+    def test_deltacfs_bytes_land_on_the_real_file(self):
+        result, doc = record_run("deltacfs")
+        att = attribute_uplink(doc)
+        by_path = att.by_path()
+        # The gedit dance edits /notes.txt; that's where the bytes must go.
+        assert max(by_path, key=by_path.get) == "/notes.txt"
+        assert "txn_group" in att.by_mechanism()
+
+    def test_nfs_is_rpc(self):
+        _, doc = record_run("nfs")
+        mech = attribute_uplink(doc).by_mechanism()
+        assert mech.get("rpc", 0) > 0.9 * sum(mech.values())
+
+    def test_lossy_reliable_run_reconciles_and_shows_overhead(self):
+        result, doc = record_run(
+            "deltacfs",
+            faults=NetworkFaults(drop_prob=0.3, dup_prob=0.15),
+            retry=RetryPolicy(),
+            fault_seed=11,
+        )
+        att = attribute_uplink(doc)
+        att.reconcile(expected_up_bytes=result.up_bytes)
+        mech = att.by_mechanism()
+        assert mech.get("retransmit_overhead", 0) > 0
+        # Snapshot cross-check happened too (snapshot embedded).
+        assert att.snapshot_up_bytes == att.total_bytes
+
+    def test_many_seeds_stay_exact(self):
+        for seed in range(4):
+            result, doc = record_run(
+                "deltacfs",
+                faults=NetworkFaults(drop_prob=0.4, dup_prob=0.2,
+                                     reorder_prob=0.1),
+                retry=RetryPolicy(),
+                fault_seed=seed,
+            )
+            attribute_uplink(doc).reconcile(expected_up_bytes=result.up_bytes)
+
+    def test_preload_traffic_excluded(self):
+        result, doc = record_run("deltacfs")
+        att = attribute_uplink(doc)
+        assert att.preload_bytes > 0  # gedit preloads /notes.txt
+        assert att.total_bytes == result.up_bytes  # and it is not counted
+
+    def test_drift_raises(self):
+        result, doc = record_run("deltacfs")
+        att = attribute_uplink(doc)
+        with pytest.raises(AttributionError):
+            att.reconcile(expected_up_bytes=result.up_bytes + 1)
+        tampered = Attribution(
+            rows=att.rows,
+            total_bytes=att.total_bytes - 5,
+            channel_up_bytes=att.channel_up_bytes,
+            preload_bytes=att.preload_bytes,
+            snapshot_up_bytes=att.snapshot_up_bytes,
+        )
+        with pytest.raises(AttributionError):
+            tampered.reconcile()
+
+    def test_rows_sorted_by_bytes(self):
+        _, doc = record_run("deltacfs")
+        rows = attribute_uplink(doc).rows
+        assert [r.bytes for r in rows] == sorted(
+            (r.bytes for r in rows), reverse=True
+        )

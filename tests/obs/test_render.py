@@ -1,0 +1,73 @@
+"""Histogram quantile estimation against known distributions, and the
+quantile columns in the text report."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.render import histogram_quantile, histogram_quantiles, text_report
+
+
+def byte_hist(values):
+    reg = MetricsRegistry()
+    for v in values:
+        reg.observe("channel.message.bytes", v)
+    return reg.histogram("channel.message.bytes"), reg
+
+
+class TestHistogramQuantile:
+    def test_uniform_in_one_bucket_interpolates(self):
+        # 100 samples all landing in the (256, 1024] bucket: the estimator
+        # interpolates linearly, so p50 sits mid-bucket.
+        hist, _ = byte_hist([500] * 100)
+        assert histogram_quantile(hist, 0.5) == pytest.approx(640.0)
+        assert histogram_quantile(hist, 1.0) == pytest.approx(1024.0)
+
+    def test_known_two_bucket_split(self):
+        # 50 samples <= 256, 50 in (256, 1024]: p50 is exactly the 256
+        # boundary; p75 is halfway up the second bucket.
+        hist, _ = byte_hist([100] * 50 + [500] * 50)
+        assert histogram_quantile(hist, 0.5) == pytest.approx(256.0)
+        assert histogram_quantile(hist, 0.75) == pytest.approx(640.0)
+
+    def test_exponentialish_distribution_ordering(self):
+        values = [2 ** i for i in range(4, 24)]  # 16 B .. 8 MB
+        hist, _ = byte_hist(values)
+        p50, p90, p99 = histogram_quantiles(hist)
+        assert p50 < p90 <= p99
+        # The top sample is 8 MB; p99 must land in the top finite bucket.
+        assert p99 <= 16777216.0
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        hist, _ = byte_hist([10 ** 9] * 10)  # all beyond the 16 MB bound
+        assert histogram_quantile(hist, 0.5) == pytest.approx(16777216.0)
+
+    def test_empty_histogram_is_nan(self):
+        hist, _ = byte_hist([1])
+        empty = {"count": 0, "sum": 0.0, "buckets": dict(hist["buckets"])}
+        assert math.isnan(histogram_quantile(empty, 0.5))
+
+    def test_bad_quantile_rejected(self):
+        hist, _ = byte_hist([1])
+        for q in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                histogram_quantile(hist, q)
+
+    def test_median_accuracy_within_bucket_resolution(self):
+        # The estimate can only be as good as the bucket bounds: it must
+        # land inside the bucket that truly holds the median.
+        values = list(range(100, 5000, 100))
+        hist, _ = byte_hist(values)
+        true_median = values[len(values) // 2]
+        estimate = histogram_quantile(hist, 0.5)
+        assert 1024.0 <= estimate <= 4096.0  # the bucket holding the median
+        assert abs(estimate - true_median) <= 4096 - 1024
+
+
+class TestReportColumns:
+    def test_report_shows_quantile_columns(self):
+        _, reg = byte_hist([500] * 100)
+        report = text_report(reg)
+        assert "~p50" in report and "~p90" in report and "~p99" in report
+        assert "640" in report  # the interpolated p50 from above

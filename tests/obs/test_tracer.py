@@ -150,3 +150,65 @@ def test_known_names_default_to_catalog():
     _, tracer = make_tracer()
     for name in EVENT_NAMES:
         tracer._check(name)  # none raise
+
+
+class TestStreamingSink:
+    """sink= mode: records hit the sink immediately and nothing buffers."""
+
+    def make_streaming(self):
+        import io
+
+        clock = VirtualClock()
+        sink = io.StringIO()
+        return clock, sink, Tracer(clock, sink=sink)
+
+    def test_records_written_immediately(self):
+        clock, sink, tracer = self.make_streaming()
+        with tracer.span("run", solution="deltacfs"):
+            # The span_start line is at the sink before the span closes.
+            (line,) = sink.getvalue().splitlines()
+            assert json.loads(line)["type"] == "span_start"
+            clock.advance(1.0)
+            tracer.event("client.delta.kept", path="/f", delta_bytes=1,
+                         full_bytes=2, ratio=0.5)
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [r["type"] for r in records] == [
+            "span_start", "event", "span_end",
+        ]
+
+    def test_nothing_buffers(self):
+        _, sink, tracer = self.make_streaming()
+        tracer.event("relation.insert", src="/a", dst="/b", origin="rename")
+        assert tracer.streaming
+        assert tracer.events() == []
+        assert tracer.event_names() == []
+        assert tracer.to_jsonl() == ""
+        assert sink.getvalue()  # ... but the sink got the record
+
+    def test_records_recorded_counts_streamed_records(self):
+        clock, sink, tracer = self.make_streaming()
+        assert tracer.records_recorded == 0
+        with tracer.span("run"):
+            tracer.event("relation.insert", src="/a", dst="/b",
+                         origin="rename")
+        assert tracer.records_recorded == 3
+        assert tracer.records_recorded == len(sink.getvalue().splitlines())
+
+    def test_write_jsonl_refused_in_streaming_mode(self, tmp_path):
+        _, _, tracer = self.make_streaming()
+        with pytest.raises(RuntimeError):
+            tracer.write_jsonl(str(tmp_path / "out.jsonl"))
+
+    def test_streamed_output_matches_buffered(self):
+        def drive(tracer, clock):
+            with tracer.span("run", solution="deltacfs"):
+                with tracer.span("run.replay"):
+                    tracer.event("queue.node.created", path="/f",
+                                 kind="WriteNode", seq=1)
+                clock.advance(2.0)
+
+        clock_b, buffered = make_tracer()
+        drive(buffered, clock_b)
+        clock_s, sink, streamed = self.make_streaming()
+        drive(streamed, clock_s)
+        assert sink.getvalue() == buffered.to_jsonl() + "\n"

@@ -46,3 +46,88 @@ def test_replay_unknown_solution(tmp_path, capsys):
 def test_bad_subcommand():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def _record_trace(tmp_path, capsys):
+    """Produce a recorded trace.jsonl via the CLI and return its path."""
+    gtrace = str(tmp_path / "g.trace")
+    jsonl = str(tmp_path / "trace.jsonl")
+    assert main(["trace", "gedit", "--out", gtrace, "--ops", "2"]) == 0
+    assert main(["replay", gtrace, "--trace-out", jsonl]) == 0
+    capsys.readouterr()
+    return jsonl
+
+
+def test_inspect_summary(tmp_path, capsys):
+    jsonl = _record_trace(tmp_path, capsys)
+    assert main(["inspect", jsonl]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "run.replay" in out
+    assert "metrics snapshot embedded" in out
+
+
+def test_inspect_attribution_reconciles(tmp_path, capsys):
+    jsonl = _record_trace(tmp_path, capsys)
+    assert main(["inspect", jsonl, "--attribution"]) == 0
+    out = capsys.readouterr().out
+    assert "uplink cost attribution" in out
+    assert "/notes.txt" in out
+    assert "reconciled" in out
+
+
+def test_inspect_exporters(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import check_openmetrics
+
+    jsonl = _record_trace(tmp_path, capsys)
+    chrome = str(tmp_path / "chrome.json")
+    om = str(tmp_path / "metrics.om.txt")
+    assert main(["inspect", jsonl, "--chrome-out", chrome,
+                 "--openmetrics-out", om]) == 0
+    doc = json.loads(open(chrome).read())
+    assert doc["traceEvents"]
+    text = open(om).read()
+    assert check_openmetrics(text) == []
+
+
+def test_inspect_bad_inputs(tmp_path, capsys):
+    assert main(["inspect", str(tmp_path / "missing.jsonl")]) == 2
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text("not json\n")
+    assert main(["inspect", str(garbage)]) == 2
+    capsys.readouterr()
+
+
+def test_inspect_openmetrics_needs_snapshot(tmp_path, capsys):
+    import json
+
+    bare = tmp_path / "bare.jsonl"
+    bare.write_text(json.dumps(
+        {"type": "span_start", "name": "run", "id": 1, "parent": None,
+         "ts": 0.0, "attrs": {}}) + "\n")
+    rc = main(["inspect", str(bare), "--openmetrics-out",
+               str(tmp_path / "om.txt")])
+    assert rc == 2
+    assert "snapshot" in capsys.readouterr().err
+
+
+def test_experiment_bench_json(tmp_path, capsys):
+    import json
+
+    bench_dir = str(tmp_path / "bench")
+    assert main(["experiment", "fig1", "--fast",
+                 "--bench-json", bench_dir]) == 0
+    capsys.readouterr()
+    snap = json.loads(open(f"{bench_dir}/BENCH_fig1.json").read())
+    assert snap["bench"] == "fig1" and snap["schema"] == 1
+    assert any(key.endswith("/up_bytes") for key in snap["metrics"])
+    assert all(isinstance(v, float) for v in snap["metrics"].values())
+
+
+def test_experiment_bench_json_rejects_non_run_experiments(tmp_path, capsys):
+    rc = main(["experiment", "table4", "--bench-json",
+               str(tmp_path / "bench")])
+    assert rc == 2
+    assert "RunResult" in capsys.readouterr().err

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Doc-lint: keep docs/observability.md and repro.obs.names in lockstep.
 
-Two-way check:
+Three checks:
 
 1. every metric/event/span name declared in ``repro.obs.names`` must appear
    (backtick-quoted) in ``docs/observability.md``;
 2. every backtick-quoted dotted name in the doc that uses an instrumented
    subsystem prefix (``client.`` / ``queue.`` / ``relation.`` /
    ``channel.`` / ``server.`` / ``transport.`` / ``journal.`` /
-   ``recovery.`` / ``run.``) must be declared in code.
+   ``recovery.`` / ``run.``) must be declared in code;
+3. the span/event **attr** tables in the doc (``| name | attrs | ... |``
+   rows) must list exactly the attrs each ``EventSpec`` declares, in the
+   declared order — and every declared event/span must have a row.
 
 Run from the repo root (CI does)::
 
@@ -51,9 +54,46 @@ def documented_names(text: str) -> set:
     return found
 
 
+# A row of an attr table: | `name` | `a, b, c` | ... |  (— = no attrs).
+ATTR_TABLE_HEADER_RE = re.compile(r"^\|\s*(span|event)\s*\|\s*attrs\s*\|")
+ATTR_ROW_RE = re.compile(r"^\|\s*`(?P<name>[^`]+)`\s*\|(?P<attrs>[^|]*)\|")
+
+
+def documented_attrs(text: str) -> dict:
+    """name -> attr tuple, parsed from the doc's span/event attr tables."""
+    found = {}
+    in_table = False
+    for line in text.splitlines():
+        if ATTR_TABLE_HEADER_RE.match(line):
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        if not line.startswith("|"):
+            in_table = False
+            continue
+        row = ATTR_ROW_RE.match(line)
+        if row is None:  # the |---|---| separator row
+            continue
+        cell = row.group("attrs").strip()
+        if cell in ("—", "-", ""):
+            attrs = ()
+        else:
+            quoted = re.match(r"^`(?P<list>[^`]*)`$", cell)
+            if quoted is None:
+                # Malformed cell; record a sentinel that can't match.
+                attrs = ("<unparseable attrs cell>",)
+            else:
+                attrs = tuple(
+                    a.strip() for a in quoted.group("list").split(",") if a.strip()
+                )
+        found[row.group("name")] = attrs
+    return found
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.obs.names import EVENT_NAMES, METRIC_NAMES
+    from repro.obs.names import EVENT_NAMES, EVENTS, METRIC_NAMES
 
     declared = set(METRIC_NAMES) | set(EVENT_NAMES)
     # The bare "run" span has no dot; the doc regex cannot see it, and it
@@ -81,8 +121,37 @@ def main() -> int:
               "declared in repro.obs.names:", file=sys.stderr)
         for name in missing_from_code:
             print(f"  - {name}", file=sys.stderr)
+
+    # -- attr tables vs EventSpec.attrs ------------------------------------
+    doc_attrs = documented_attrs(DOC.read_text(encoding="utf-8"))
+    attr_problems = []
+    for spec in EVENTS:
+        if spec.name not in doc_attrs:
+            attr_problems.append(
+                f"{spec.name}: no attr-table row (add it to the span/event "
+                f"table in docs/observability.md)"
+            )
+        elif doc_attrs[spec.name] != spec.attrs:
+            attr_problems.append(
+                f"{spec.name}: doc lists attrs "
+                f"({', '.join(doc_attrs[spec.name]) or '—'}) but code declares "
+                f"({', '.join(spec.attrs) or '—'})"
+            )
+    declared_event_names = {spec.name for spec in EVENTS}
+    for name in sorted(set(doc_attrs) - declared_event_names):
+        attr_problems.append(
+            f"{name}: has an attr-table row but no EventSpec declaration"
+        )
+    if attr_problems:
+        ok = False
+        print("doc-lint: attr tables drifted from EventSpec declarations:",
+              file=sys.stderr)
+        for problem in attr_problems:
+            print(f"  - {problem}", file=sys.stderr)
+
     if ok:
-        print(f"doc-lint: OK ({len(declared)} names in lockstep)")
+        print(f"doc-lint: OK ({len(declared)} names, "
+              f"{len(declared_event_names)} attr rows in lockstep)")
         return 0
     return 1
 
