@@ -1,0 +1,53 @@
+"""`repro check` — the two-layer analysis subsystem.
+
+Layer 1 (:mod:`repro.check.linter` + :mod:`repro.check.rules`) lints the
+source tree for determinism and protocol hygiene; layer 2
+(:mod:`repro.check.invariants`) verifies protocol invariants over
+recorded JSONL traces. Both report through the shared findings model in
+:mod:`repro.check.findings`. See ``docs/static-analysis.md`` for the rule
+and invariant catalogs, the suppression syntax, and how to add a rule.
+"""
+
+from repro.check.config import CheckConfig, DEFAULT_EXEMPTIONS
+from repro.check.findings import (
+    Finding,
+    FindingSummary,
+    active,
+    gate,
+    human_report,
+    to_json,
+)
+from repro.check.invariants import (
+    INVARIANTS,
+    INVARIANTS_BY_ID,
+    InvariantResult,
+    InvariantSpec,
+    report_results,
+    results_to_findings,
+    verify_trace,
+)
+from repro.check.linter import lint_paths, lint_source
+from repro.check.rules import ALL_RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "CheckConfig",
+    "DEFAULT_EXEMPTIONS",
+    "Finding",
+    "FindingSummary",
+    "INVARIANTS",
+    "INVARIANTS_BY_ID",
+    "InvariantResult",
+    "InvariantSpec",
+    "Rule",
+    "RULES_BY_ID",
+    "active",
+    "gate",
+    "human_report",
+    "lint_paths",
+    "lint_source",
+    "report_results",
+    "results_to_findings",
+    "to_json",
+    "verify_trace",
+]

@@ -1,0 +1,135 @@
+"""The shared findings model for both `repro check` layers.
+
+The static AST linter (:mod:`repro.check.linter`) and the trace invariant
+verifier (:mod:`repro.check.invariants`) report through one
+:class:`Finding` shape, so CI, the CLI, and tests consume a single JSON
+schema and one human report regardless of which layer produced a result.
+
+Severities form a ladder (``advice`` < ``warning`` < ``error``); the
+caller picks a *gate* severity and :func:`gate` answers whether the run
+should fail. Suppressed findings (``# reprolint: disable=RULE`` comments)
+are carried through with ``suppressed=True`` so a ``--show-suppressed``
+style consumer can still display them, but they never trip the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+#: Severity ladder, weakest first. Index = rank.
+SEVERITIES = ("advice", "warning", "error")
+
+
+def severity_rank(severity: str) -> int:
+    """Position on the ladder; raises ``ValueError`` for unknown names."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; pick one of {SEVERITIES}"
+        ) from None
+
+
+@dataclass
+class Finding:
+    """One problem found by a rule or an invariant check.
+
+    ``rule`` is the stable id (``DET001``, ``INV-EXACTLY-ONCE``, ...);
+    ``path`` is the file (source file for lint, trace file for
+    invariants); ``line`` is 1-based (0 = the whole file); ``hint`` is the
+    rule's autofix hint — what a fix usually looks like, not a promise.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+
+@dataclass
+class FindingSummary:
+    """Counts backing the one-line verdict at the end of a report."""
+
+    total: int = 0
+    suppressed: int = 0
+    by_severity: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, findings: Iterable[Finding]) -> "FindingSummary":
+        summary = cls()
+        for finding in findings:
+            summary.total += 1
+            if finding.suppressed:
+                summary.suppressed += 1
+                continue
+            summary.by_severity[finding.severity] = (
+                summary.by_severity.get(finding.severity, 0) + 1
+            )
+        return summary
+
+
+def active(findings: Iterable[Finding]) -> List[Finding]:
+    """The findings that count (suppressions dropped)."""
+    return [f for f in findings if not f.suppressed]
+
+
+def gate(findings: Iterable[Finding], fail_on: str = "warning") -> bool:
+    """True when any unsuppressed finding is at or above ``fail_on``."""
+    threshold = severity_rank(fail_on)
+    return any(
+        severity_rank(f.severity) >= threshold for f in active(findings)
+    )
+
+
+def to_json(findings: Sequence[Finding]) -> str:
+    """The findings as a JSON document (stable key order)."""
+    return json.dumps(
+        {
+            "findings": [asdict(f) for f in findings],
+            "summary": asdict(FindingSummary.of(findings)),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def human_report(
+    findings: Sequence[Finding], *, show_suppressed: bool = False
+) -> str:
+    """A terminal-friendly report, one line per finding plus a verdict."""
+    lines: List[str] = []
+    shown = [f for f in findings if show_suppressed or not f.suppressed]
+    for finding in sorted(
+        shown, key=lambda f: (f.path, f.line, f.rule, f.message)
+    ):
+        mark = " [suppressed]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location()}: {finding.severity} "
+            f"{finding.rule}{mark}: {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    summary = FindingSummary.of(findings)
+    if summary.by_severity:
+        counts = ", ".join(
+            f"{summary.by_severity[s]} {s}"
+            for s in reversed(SEVERITIES)
+            if s in summary.by_severity
+        )
+        verdict = f"{counts}"
+        if summary.suppressed:
+            verdict += f" ({summary.suppressed} suppressed)"
+    else:
+        verdict = "clean" + (
+            f" ({summary.suppressed} suppressed)" if summary.suppressed else ""
+        )
+    lines.append(verdict)
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""The lint engine: run the rule catalog over files or source text.
+
+:func:`lint_source` is the unit — parse once, run every enabled rule's
+visitor, then mark findings covered by ``# reprolint:`` comments as
+suppressed. :func:`lint_paths` walks files and directories, computes
+package-relative paths for the exemption globs, and concatenates results
+in a deterministic (sorted) order.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.check.config import (
+    CheckConfig,
+    parse_suppressions,
+    relative_to_package,
+)
+from repro.check.findings import Finding
+from repro.check.rules import ALL_RULES
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rel_path: Optional[str] = None,
+    config: Optional[CheckConfig] = None,
+) -> List[Finding]:
+    """Lint one file's source text; returns findings (incl. suppressed)."""
+    config = config or CheckConfig()
+    rel = rel_path if rel_path is not None else path
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                severity="error",
+                path=path,
+                line=exc.lineno or 0,
+                message=f"syntax error: {exc.msg}",
+                hint="the file must parse before any rule can run",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule_cls in ALL_RULES:
+        if not config.rule_enabled(rule_cls.id):
+            continue
+        if config.exempt(rule_cls.id, rel):
+            continue
+        rule = rule_cls(path=path)
+        rule.visit(tree)
+        findings.extend(rule.findings)
+    suppressions = parse_suppressions(source)
+    for finding in findings:
+        if suppressions.covers(finding.rule, finding.line):
+            finding.suppressed = True
+    findings.sort(key=lambda f: (f.line, f.rule, f.message))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in {"__pycache__", ".git"}
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            out.append(path)
+    return sorted(dict.fromkeys(out))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[CheckConfig] = None,
+    package_roots: Sequence[str] = (),
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``package_roots`` are directories whose children are package-relative
+    for exemption matching (e.g. ``src/repro``); by default the segment
+    after the last ``/repro/`` in each path is used.
+    """
+    config = config or CheckConfig()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        rel = relative_to_package(file_path, package_roots)
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    rule="IO",
+                    severity="error",
+                    path=file_path,
+                    line=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(
+            lint_source(source, path=file_path, rel_path=rel, config=config)
+        )
+    return findings

@@ -10,6 +10,8 @@ Usage (installed, or ``python -m repro``):
     python -m repro replay word.trace --metrics --trace-out trace.jsonl
     python -m repro inspect trace.jsonl --attribution
     python -m repro experiment fig8 --fast --bench-json benchmarks/
+    python -m repro check
+    python -m repro check --traces trace.jsonl crash-trace.jsonl
 """
 
 from __future__ import annotations
@@ -487,6 +489,81 @@ def _cmd_inspect(args) -> int:
     return rc
 
 
+def _cmd_check(args) -> int:
+    """Static lint + trace invariant verification (see repro.check)."""
+    import json as _json
+    import os
+
+    from repro.check import (
+        CheckConfig,
+        gate,
+        human_report,
+        lint_paths,
+        report_results,
+        results_to_findings,
+        verify_trace,
+    )
+    from repro.check.findings import FindingSummary, severity_rank
+    from repro.obs.analyze import TraceFormatError, load_trace
+
+    try:
+        severity_rank(args.fail_on)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    lint_findings = []
+    if not args.no_lint:
+        paths = args.paths
+        if not paths:
+            import repro
+
+            paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+        config = CheckConfig(only=tuple(args.only or ()))
+        lint_findings = lint_paths(paths, config=config)
+    findings = list(lint_findings)
+
+    trace_results = {}
+    for trace_path in args.traces or ():
+        try:
+            doc = load_trace(trace_path)
+        except OSError as exc:
+            print(f"cannot read {trace_path!r}: {exc}", file=sys.stderr)
+            return 2
+        except TraceFormatError as exc:
+            print(f"{trace_path}: {exc}", file=sys.stderr)
+            return 2
+        results = verify_trace(doc)
+        trace_results[trace_path] = results
+        findings.extend(results_to_findings(results, trace_path))
+
+    failed = gate(findings, fail_on=args.fail_on)
+    if args.json:
+        from dataclasses import asdict
+
+        print(_json.dumps(
+            {
+                "findings": [asdict(f) for f in findings],
+                "invariants": {
+                    path: [asdict(r) for r in results]
+                    for path, results in trace_results.items()
+                },
+                "summary": asdict(FindingSummary.of(findings)),
+                "failed": failed,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        if not args.no_lint:
+            print(human_report(lint_findings,
+                               show_suppressed=args.show_suppressed))
+        for trace_path, results in trace_results.items():
+            print()
+            print(report_results(results, trace_path))
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -586,6 +663,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the embedded metrics snapshot as OpenMetrics text to PATH",
     )
     inspect.set_defaults(func=_cmd_inspect)
+
+    check = sub.add_parser(
+        "check",
+        help="lint the source tree and verify protocol invariants over "
+             "recorded traces (see docs/static-analysis.md)",
+    )
+    check.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed repro "
+             "package)",
+    )
+    check.add_argument(
+        "--traces", nargs="+", metavar="JSONL", default=None,
+        help="JSONL trace file(s) from replay --trace-out to verify "
+             "against the invariant catalog",
+    )
+    check.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the static lint layer (verify traces only)",
+    )
+    check.add_argument(
+        "--only", nargs="+", metavar="RULE", default=None,
+        help="run only the named lint rule ids (e.g. DET001 OBS001)",
+    )
+    check.add_argument(
+        "--fail-on", default="warning",
+        choices=["advice", "warning", "error"],
+        help="minimum severity that makes the run exit nonzero "
+             "(default: warning)",
+    )
+    check.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include findings silenced by reprolint comments in the report",
+    )
+    check.add_argument(
+        "--json", action="store_true",
+        help="emit the findings + invariant results as one JSON document",
+    )
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

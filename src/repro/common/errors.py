@@ -67,3 +67,19 @@ class InconsistencyDetected(DeltaCFSError):
 
 class ProtocolError(DeltaCFSError):
     """A malformed or out-of-order message was received by client or server."""
+
+
+class PackedNodeError(DeltaCFSError, ValueError):
+    """A packed (frozen) Sync Queue write node was mutated.
+
+    Packing ends a node's coalescing window; mutating it afterwards would
+    ship bytes its version stamp never covered. The invariant is also
+    verified over recorded traces as ``INV-PACKED-FROZEN`` (see
+    ``docs/static-analysis.md``). Subclasses ``ValueError`` for backward
+    compatibility with callers that caught the old error type.
+    """
+
+    def __init__(self, message: str, path: str = "", seq: int = -1):
+        super().__init__(message)
+        self.path = path
+        self.seq = seq

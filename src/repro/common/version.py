@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.common import wire
+
 
 @dataclass(frozen=True, order=True)
 class VersionStamp:
@@ -28,8 +30,8 @@ class VersionStamp:
     counter: int
 
     def wire_size(self) -> int:
-        """8 bytes on the wire (two u32s)."""
-        return 8
+        """8 bytes on the wire: u32 client id + u32 counter."""
+        return wire.u32(self.client_id) + wire.u32(self.counter)
 
     def __str__(self) -> str:
         return f"v<{self.client_id},{self.counter}>"

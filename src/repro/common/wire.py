@@ -1,0 +1,31 @@
+"""Fixed-width wire-field sizing helpers.
+
+Wire dataclasses size themselves field by field; sizing a fixed-width
+field through these helpers (rather than a bare integer literal) keeps
+the field name visible in the ``wire_size`` expression, which is how
+`repro check` proves every declared field is costed on the wire (rule
+WIRE001). The argument is the field being costed; only its width
+matters.
+"""
+
+from __future__ import annotations
+
+
+def u64(value: object) -> int:
+    """Width of a fixed 64-bit field."""
+    return 8
+
+
+def u32(value: object) -> int:
+    """Width of a fixed 32-bit field."""
+    return 4
+
+
+def u16(value: object) -> int:
+    """Width of a fixed 16-bit field."""
+    return 2
+
+
+def u8(value: object) -> int:
+    """Width of a fixed 8-bit field (tags, flags, booleans)."""
+    return 1

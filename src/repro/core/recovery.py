@@ -283,27 +283,36 @@ class SyncJournal:
 
     def record_vercnt(self, counter: int) -> None:
         """Persist the last minted version counter."""
-        self._put(_K_VERCNT, _U64.pack(counter), kind="vercnt")
+        self._put(_K_VERCNT, _U64.pack(counter), kind="vercnt", ref=str(counter))
 
     def record_node(self, node: QueueNode) -> None:
         """Persist (or re-persist, after coalescing) one queue node."""
         if node.seq < 0:
             raise ValueError("cannot journal a node that was never enqueued")
-        self._put(_node_key(node.seq), encode_node(node), kind="node")
+        self._put(
+            _node_key(node.seq), encode_node(node), kind="node", ref=str(node.seq)
+        )
 
     def forget_node(self, seq: int) -> None:
         """Drop a node record (it shipped, was cancelled, or was replaced)."""
         self.kv.delete(_node_key(seq))
-        self.obs.inc("journal.records.forgotten", kind="node")
+        if self.obs.enabled:
+            self.obs.inc("journal.records.forgotten", kind="node")
+            self.obs.event("journal.forget", kind="node", ref=str(seq))
 
     def record_relation(self, entry: RelationEntry) -> None:
         """Persist one Relation Table entry."""
-        self._put(_rel_key(entry.src), _encode_relation(entry), kind="relation")
+        self._put(
+            _rel_key(entry.src), _encode_relation(entry), kind="relation",
+            ref=entry.src,
+        )
 
     def forget_relation(self, src: str) -> None:
         """Drop a relation record (matched, expired, or invalidated)."""
         self.kv.delete(_rel_key(src))
-        self.obs.inc("journal.records.forgotten", kind="relation")
+        if self.obs.enabled:
+            self.obs.inc("journal.records.forgotten", kind="relation")
+            self.obs.event("journal.forget", kind="relation", ref=src)
 
     def record_undo(
         self, path: str, base_size: int, offset: int, length: int, old_data: bytes
@@ -315,13 +324,15 @@ class SyncJournal:
             _undo_key(path, index),
             _encode_undo(base_size, offset, length, old_data),
             kind="undo",
+            ref=path,
         )
 
     def forget_undo(self, path: str) -> None:
         """Drop a file's undo records (sync point reached)."""
         removed = self.kv.delete_prefix(_P_UNDO + path.encode() + b"\x00")
-        if removed:
+        if removed and self.obs.enabled:
             self.obs.inc("journal.records.forgotten", value=removed, kind="undo")
+            self.obs.event("journal.forget", kind="undo", ref=path)
         self._undo_index.pop(path, None)
 
     def clear(self) -> None:
@@ -357,11 +368,12 @@ class SyncJournal:
 
     # -- internals ---------------------------------------------------------
 
-    def _put(self, key: bytes, value: bytes, *, kind: str) -> None:
+    def _put(self, key: bytes, value: bytes, *, kind: str, ref: str) -> None:
         self.kv.put(key, value)
         if self.obs.enabled:
             self.obs.inc("journal.records.written", kind=kind)
             self.obs.inc("journal.bytes.written", len(key) + len(value))
+            self.obs.event("journal.write", kind=kind, ref=ref)
 
 
 # -- post-crash recovery -----------------------------------------------------

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.bytesutil import merge_ranges
+from repro.common.errors import PackedNodeError
 from repro.common.version import VersionStamp
 from repro.delta.format import Delta
 from repro.obs import NULL_OBS, Observability
@@ -59,7 +60,12 @@ class WriteNode(QueueNode):
     def add_write(self, offset: int, data: bytes) -> None:
         """Attach one write; only legal while unpacked."""
         if self.packed:
-            raise ValueError("cannot append writes to a packed node")
+            raise PackedNodeError(
+                f"cannot append writes to packed node seq={self.seq} "
+                f"({self.path!r})",
+                path=self.path,
+                seq=self.seq,
+            )
         self.writes.append((offset, data))
 
     def pack(self) -> None:
@@ -220,6 +226,13 @@ class SyncQueue:
 
     def note_coalesced(self, node: WriteNode, offset: int, nbytes: int) -> None:
         """Record that a write was absorbed into an active node (telemetry)."""
+        if node.packed:
+            raise PackedNodeError(
+                f"coalesced a write into packed node seq={node.seq} "
+                f"({node.path!r})",
+                path=node.path,
+                seq=node.seq,
+            )
         if self.obs.enabled:
             self.obs.inc("queue.nodes.coalesced")
             self.obs.event(

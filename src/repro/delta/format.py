@@ -17,6 +17,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Iterable, List, Union
 
+from repro.common import wire
+
 _COPY_TAG = 0xC0
 _LITERAL_TAG = 0x11
 
@@ -121,7 +123,8 @@ class Delta:
 
     def wire_size(self) -> int:
         """Serialized size in bytes — what crosses the network."""
-        return sum(op.wire_size() for op in self.ops) + 8  # + fixed header
+        # Fixed header: u32 op count + u32 target size.
+        return sum(op.wire_size() for op in self.ops) + 4 + wire.u32(self.target_size)
 
     def encode(self) -> bytes:
         """Serialize to the wire format."""

@@ -31,6 +31,7 @@ import numpy as np
 from repro.chunking._fast import all_offset_weak_checksums
 from repro.chunking.fixed import FixedChunk, fixed_chunks
 from repro.chunking.strong import strong_checksum
+from repro.common import wire
 from repro.cost.meter import CostMeter, NULL_METER
 from repro.delta.format import Copy, Delta, Literal
 
@@ -62,7 +63,9 @@ class Signature:
     def wire_size(self) -> int:
         """Bytes to transmit the signature (weak 4B + strong 16B per block)."""
         per_block = 4 + (16 if self.with_strong else 0)
-        return 16 + per_block * len(self.blocks)
+        # 16-byte header: u32 block size + u64 base size + u32 block count.
+        header = wire.u32(self.block_size) + wire.u64(self.base_size) + 4
+        return header + per_block * len(self.blocks)
 
 
 def compute_signature(

@@ -14,6 +14,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.common.version import VersionStamp
+from repro.common.wire import u8 as _u8
+from repro.common.wire import u16 as _u16
+from repro.common.wire import u32 as _u32
+from repro.common.wire import u64 as _u64
 from repro.delta.format import Delta
 
 _PATH_OVERHEAD = 2  # length prefix for path strings
@@ -69,7 +73,7 @@ class UploadWrite(Message):
         return (
             _MSG_HEADER
             + _path_size(self.path)
-            + 8  # offset
+            + _u64(self.offset)
             + 4  # length
             + len(self.data)
             + _version_size(self.base_version)
@@ -115,7 +119,7 @@ class UploadTruncate(Message):
         return (
             _MSG_HEADER
             + _path_size(self.path)
-            + 8
+            + _u64(self.length)
             + _version_size(self.base_version)
             + _version_size(self.new_version)
         )
@@ -160,7 +164,7 @@ class MetaOp(Message):
     def wire_size(self) -> int:
         return (
             _MSG_HEADER
-            + 1
+            + _u8(self.kind)  # op-kind tag
             + _path_size(self.path)
             + (_path_size(self.dest) if self.dest else 1)
             + _version_size(self.new_version)
@@ -337,7 +341,12 @@ class RangeRequest(Message):
     length: int
 
     def wire_size(self) -> int:
-        return _MSG_HEADER + _path_size(self.path) + 8 + 8
+        return (
+            _MSG_HEADER
+            + _path_size(self.path)
+            + _u64(self.offset)
+            + _u64(self.length)
+        )
 
 
 @dataclass(frozen=True)
@@ -354,8 +363,8 @@ class RangeReply(Message):
         return (
             _MSG_HEADER
             + _path_size(self.path)
-            + 8
-            + 4
+            + _u64(self.offset)
+            + 4  # length
             + len(self.data)
             + _version_size(self.version)
         )
@@ -376,8 +385,12 @@ class Envelope(Message):
     inner: Message = field(default=None)  # type: ignore[assignment]
 
     def wire_size(self) -> int:
-        # 8-byte message id + 2-byte attempt counter.
-        return _MSG_HEADER + 8 + 2 + self.inner.wire_size()
+        return (
+            _MSG_HEADER
+            + _u64(self.msg_id)
+            + _u16(self.attempt)
+            + self.inner.wire_size()
+        )
 
 
 @dataclass(frozen=True)
@@ -395,8 +408,12 @@ class EnvelopeAck(Message):
     duplicate: bool = False
 
     def wire_size(self) -> int:
-        # 8-byte acked id + 1-byte duplicate flag.
-        return _MSG_HEADER + 8 + 1 + sum(r.wire_size() for r in self.replies)
+        return (
+            _MSG_HEADER
+            + _u64(self.ack_of)
+            + _u8(self.duplicate)
+            + sum(r.wire_size() for r in self.replies)
+        )
 
 
 @dataclass(frozen=True)
@@ -411,4 +428,4 @@ class Forward(Message):
     inner: Message = field(default=None)  # type: ignore[assignment]
 
     def wire_size(self) -> int:
-        return _MSG_HEADER + 4 + self.inner.wire_size()
+        return _MSG_HEADER + _u32(self.origin_client) + self.inner.wire_size()

@@ -629,6 +629,39 @@ EVENTS: Tuple[EventSpec, ...] = (
         "first-write-wins rejected an update",
         attrs=("path", "conflict_path"),
     ),
+    EventSpec(
+        "server.envelope",
+        "event",
+        "a reliable-delivery envelope reached the apply endpoint; "
+        "duplicate marks retransmits absorbed by the dedup table "
+        "(the exactly-once and causal-FIFO invariants are checked "
+        "against these events by repro.check.invariants)",
+        attrs=("client", "msg_id", "attempt", "duplicate"),
+    ),
+    EventSpec(
+        "server.version.accepted",
+        "event",
+        "the store accepted a client-minted <CliID, VerCnt> stamp; the "
+        "per-client version-monotonicity invariant is checked against "
+        "these events",
+        attrs=("path", "client", "counter"),
+    ),
+    # -- crash-recovery journal --------------------------------------------
+    EventSpec(
+        "journal.write",
+        "event",
+        "a sync-intent record was persisted (kind is one of "
+        "node | relation | undo | vercnt; ref identifies the record: "
+        "node seq, relation src, undo path, or the counter value)",
+        attrs=("kind", "ref"),
+    ),
+    EventSpec(
+        "journal.forget",
+        "event",
+        "a sync-intent record was retired (shipped, cancelled, matched, "
+        "expired, or replaced)",
+        attrs=("kind", "ref"),
+    ),
     # -- post-crash recovery -----------------------------------------------
     EventSpec(
         "recovery.node.replayed",

@@ -126,6 +126,7 @@ class CloudServer:
             if self.obs.enabled:
                 if result.ok:
                     self.obs.inc("server.apply.applied", type=kind)
+                    self._note_accepted_versions(message)
                 else:
                     self.obs.inc("server.apply.conflicts")
                     self.obs.event(
@@ -154,8 +155,12 @@ class CloudServer:
         cached = cache.get(envelope.msg_id)
         if cached is not None:
             self.dedup_drops += 1
-            self.obs.inc("server.dedup.drops")
+            if self.obs.enabled:
+                self.obs.inc("server.dedup.drops")
+                self._note_envelope(envelope, origin_client, duplicate=True)
             return list(cached), True
+        if self.obs.enabled:
+            self._note_envelope(envelope, origin_client, duplicate=False)
         result = self.handle(envelope.inner, origin_client)
         cache[envelope.msg_id] = tuple(result.replies)
         while len(cache) > self.dedup_window:
@@ -397,6 +402,36 @@ class CloudServer:
         return copy
 
     # -- helpers ---------------------------------------------------------------
+
+    def _note_envelope(
+        self, envelope: Envelope, origin_client: int, *, duplicate: bool
+    ) -> None:
+        self.obs.event(
+            "server.envelope",
+            client=origin_client,
+            msg_id=envelope.msg_id,
+            attempt=envelope.attempt,
+            duplicate=duplicate,
+        )
+
+    def _note_accepted_versions(self, message: Message) -> None:
+        """Trace every minted stamp the store just accepted.
+
+        One event per member carrying a ``new_version`` — the witness
+        stream the per-client version-monotonicity invariant
+        (``repro.check.invariants``) is evaluated against.
+        """
+        members = message.members if isinstance(message, TxnGroup) else (message,)
+        for member in members:
+            version = getattr(member, "new_version", None)
+            if version is None:
+                continue
+            self.obs.event(
+                "server.version.accepted",
+                path=self._path_of(member),
+                client=version.client_id,
+                counter=version.counter,
+            )
 
     def _forward(self, message: Message, origin_client: int) -> None:
         paths = self._message_paths(message)

@@ -1,0 +1,213 @@
+"""Unit tests for the static rule catalog (layer 1 of `repro check`)."""
+
+import pytest
+
+from repro.check import CheckConfig, gate, lint_source
+from repro.check.findings import Finding, human_report, severity_rank, to_json
+
+
+def rules_hit(source, **kwargs):
+    return sorted({f.rule for f in lint_source(source, **kwargs) if not f.suppressed})
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules_hit("import time\nt = time.time()\n") == ["DET001"]
+
+    def test_module_alias_tracked(self):
+        assert rules_hit("import time as t\nx = t.monotonic()\n") == ["DET001"]
+
+    def test_from_import_tracked(self):
+        src = "from time import perf_counter\nx = perf_counter()\n"
+        assert rules_hit(src) == ["DET001"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nx = datetime.now()\n"
+        assert rules_hit(src) == ["DET001"]
+
+    def test_datetime_module_chain_flagged(self):
+        src = "import datetime\nx = datetime.datetime.utcnow()\n"
+        assert rules_hit(src) == ["DET001"]
+
+    def test_sleep_flagged(self):
+        assert rules_hit("import time\ntime.sleep(1)\n") == ["DET001"]
+
+    def test_virtual_clock_is_fine(self):
+        assert rules_hit("x = clock.now()\n") == []
+
+    def test_unrelated_time_attribute_is_fine(self):
+        # only the banned callables, not everything named like the module
+        assert rules_hit("import time\nx = time.struct_time\n") == []
+
+
+class TestUnseededRandom:
+    def test_module_level_random_flagged(self):
+        assert rules_hit("import random\nx = random.random()\n") == ["DET002"]
+
+    def test_randint_from_import_flagged(self):
+        src = "from random import randint\nx = randint(1, 6)\n"
+        assert rules_hit(src) == ["DET002"]
+
+    def test_seeded_random_instance_allowed(self):
+        assert rules_hit("import random\nr = random.Random(7)\n") == []
+
+    def test_system_random_flagged(self):
+        assert rules_hit("import random\nr = random.SystemRandom()\n") == ["DET002"]
+
+    def test_os_urandom_flagged(self):
+        assert rules_hit("import os\nx = os.urandom(16)\n") == ["DET002"]
+
+    def test_os_path_join_is_fine(self):
+        assert rules_hit("import os\nx = os.path.join('a', 'b')\n") == []
+
+    def test_uuid4_and_secrets_flagged(self):
+        assert rules_hit("import uuid\nx = uuid.uuid4()\n") == ["DET002"]
+        assert rules_hit("import secrets\nx = secrets.token_hex()\n") == ["DET002"]
+
+    def test_rng_module_exempt_by_path(self):
+        src = "import random\nx = random.random()\n"
+        assert rules_hit(src, rel_path="common/rng.py") == []
+
+
+class TestMutableDefaults:
+    def test_list_default_flagged(self):
+        assert rules_hit("def f(x=[]):\n    return x\n") == ["PY001"]
+
+    def test_dict_call_default_flagged(self):
+        assert rules_hit("def f(x=dict()):\n    return x\n") == ["PY001"]
+
+    def test_kwonly_default_flagged(self):
+        assert rules_hit("def f(*, x={}):\n    return x\n") == ["PY001"]
+
+    def test_none_default_fine(self):
+        assert rules_hit("def f(x=None, y=(), z=0):\n    return x\n") == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        src = "try:\n    pass\nexcept:\n    pass\n"
+        assert rules_hit(src) == ["PY002"]
+
+    def test_typed_except_fine(self):
+        src = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert rules_hit(src) == []
+
+
+class TestPrint:
+    def test_print_flagged_as_warning(self):
+        findings = lint_source("print('hi')\n")
+        assert [f.rule for f in findings] == ["PY003"]
+        assert findings[0].severity == "warning"
+
+    def test_cli_exempt_by_default(self):
+        assert rules_hit("print('hi')\n", rel_path="cli.py") == []
+        assert rules_hit("print('hi')\n", rel_path="obs/render.py") == []
+
+
+class TestObsNames:
+    def test_unknown_event_name_flagged(self):
+        src = "obs.event('no.such.event', path=p)\n"
+        assert rules_hit(src) == ["OBS001"]
+
+    def test_unknown_metric_name_flagged(self):
+        src = "self.obs.inc('no.such.counter')\n"
+        assert rules_hit(src) == ["OBS001"]
+
+    def test_unknown_span_name_flagged(self):
+        src = "with self.obs.span('no.such.span'):\n    pass\n"
+        assert rules_hit(src) == ["OBS001"]
+
+    def test_catalogued_names_fine(self):
+        src = (
+            "self.obs.event('queue.node.shipped', path=p, seq=s)\n"
+            "obs.inc('client.stalls')\n"
+        )
+        assert rules_hit(src) == []
+
+    def test_dynamic_name_not_checked(self):
+        # non-literal names are the Tracer's runtime validation problem
+        assert rules_hit("obs.event(name, path=p)\n") == []
+
+    def test_non_obs_receiver_ignored(self):
+        assert rules_hit("bus.event('anything.goes')\n") == []
+
+
+class TestWireFields:
+    PLANTED = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Msg:\n"
+        "    path: str\n"
+        "    offset: int\n"
+        "    def wire_size(self):\n"
+        "        return 8 + len(self.path)\n"
+    )
+
+    def test_unreferenced_field_flagged(self):
+        findings = lint_source(self.PLANTED)
+        assert [f.rule for f in findings] == ["WIRE001"]
+        assert "offset" in findings[0].message
+
+    def test_helper_reference_counts(self):
+        src = self.PLANTED.replace(
+            "return 8 + len(self.path)", "return _u64(self.offset) + len(self.path)"
+        )
+        assert rules_hit(src) == []
+
+    def test_dataclass_without_wire_size_ignored(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Plain:\n"
+            "    x: int\n"
+        )
+        assert rules_hit(src) == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        src = "import time\nt = time.time()  # reprolint: disable=DET001\n"
+        findings = lint_source(src)
+        assert len(findings) == 1 and findings[0].suppressed
+        assert not gate(findings)
+
+    def test_file_suppression(self):
+        src = (
+            "# reprolint: disable-file=DET001\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src)
+        assert len(findings) == 2 and all(f.suppressed for f in findings)
+
+    def test_suppression_is_per_rule(self):
+        src = "import time\nt = time.time()  # reprolint: disable=PY003\n"
+        assert rules_hit(src) == ["DET001"]
+
+
+class TestFindingsModel:
+    def test_gate_respects_threshold(self):
+        warn = [Finding("PY003", "warning", "f.py", 1, "m")]
+        assert gate(warn, fail_on="warning")
+        assert not gate(warn, fail_on="error")
+
+    def test_severity_rank_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            severity_rank("catastrophic")
+
+    def test_reports_render(self):
+        findings = lint_source("import time\nt = time.time()\n", path="x.py")
+        text = human_report(findings)
+        assert "x.py:2" in text and "DET001" in text
+        assert '"rule": "DET001"' in to_json(findings)
+
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule for f in findings] == ["PARSE"]
+        assert gate(findings)
+
+    def test_only_filter(self):
+        src = "import time\nt = time.time()\nprint('x')\n"
+        config = CheckConfig(only=("PY003",))
+        assert rules_hit(src, config=config) == ["PY003"]

@@ -361,3 +361,59 @@ class TestUnlinkIncarnations:
         assert leftover == []
         settle(clock, client)
         assert server.store.exists("/f")
+
+
+class TestRelationExpiryBoundary:
+    def test_recreate_at_exact_timeout_still_triggers_delta(self, rng):
+        # The entry's age equals the timeout exactly at the probe: it is
+        # still live (strict > comparison), so the unlink->recreate pair
+        # must go down the delta path, and the preserved tmp copy must be
+        # consumed as the base and then collected.
+        clock, client, server, channel = build()
+        base = rng.random_bytes(100_000)
+        client.create("/f")
+        client.write("/f", 0, base)
+        client.close("/f")
+        settle(clock, client)
+
+        client.unlink("/f")
+        clock.advance(client.config.relation_timeout)  # exactly at boundary
+        client.create("/f")
+        client.write("/f", 0, base[:50_000] + b"edited" + base[50_006:])
+        client.close("/f")
+        settle(clock, client)
+
+        assert client.stats.deltas_kept >= 1
+        assert server.file_content("/f") == base[:50_000] + b"edited" + base[50_006:]
+        leftover = [
+            p
+            for p in client.inner.walk_files()
+            if p.startswith(client.config.tmp_dir)
+        ]
+        assert leftover == []
+
+    def test_recreate_just_past_timeout_takes_full_upload(self, rng):
+        # One pump past the boundary the entry is stale: no delta trigger,
+        # and the preserved tmp file is GC'd by the stale probe.
+        clock, client, server, channel = build()
+        base = rng.random_bytes(100_000)
+        client.create("/f")
+        client.write("/f", 0, base)
+        client.close("/f")
+        settle(clock, client)
+
+        client.unlink("/f")
+        clock.advance(client.config.relation_timeout + 0.001)
+        client.create("/f")
+        client.write("/f", 0, base)
+        client.close("/f")
+        settle(clock, client)
+
+        assert client.stats.deltas_kept == 0
+        assert server.file_content("/f") == base
+        leftover = [
+            p
+            for p in client.inner.walk_files()
+            if p.startswith(client.config.tmp_dir)
+        ]
+        assert leftover == []

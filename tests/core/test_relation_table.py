@@ -146,3 +146,48 @@ class TestStaleProbeEviction:
         table.expire(now=6.0)
         assert obs.metrics.counter_value("relation.entries.stale") == 1.0
         assert len(stale) == 1
+
+
+class TestExpiryBoundaries:
+    # The timeout comparison is strict (`now - created_at > timeout`): an
+    # entry whose age equals the timeout exactly is still live. These pin
+    # the boundary so an off-by-one in either direction fails loudly.
+
+    def test_entry_exactly_at_timeout_survives_expire(self, table):
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        assert table.expire(now=2.0) == []
+        assert len(table) == 1
+
+    def test_entry_exactly_at_timeout_still_matches(self, table):
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        entry = table.match_created("/f", now=2.0)
+        assert entry is not None and entry.origin == "unlink"
+        assert len(table) == 0
+
+    def test_entry_just_past_timeout_expires(self, table):
+        table.record_rename("/f", "/t0", now=0.0)
+        expired = table.expire(now=2.0000001)
+        assert [e.src for e in expired] == ["/f"]
+        assert len(table) == 0
+
+    def test_probe_then_expire_race_evicts_once(self, table):
+        # The stale probe wins the race with the expiry sweep: it evicts
+        # the entry in place (handing it back once for tmp GC), so the
+        # sweep that follows must find nothing — the preserved file would
+        # otherwise be double-collected.
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        stale = []
+        assert table.match_created("/f", now=2.5, stale_out=stale) is None
+        assert [e.dst for e in stale] == ["/.tmp/f"]
+        assert table.expire(now=2.5) == []
+        assert table.expire(now=10.0) == []
+
+    def test_expire_then_probe_race_single_owner(self, table):
+        # The sweep wins instead: the later probe must not hand the entry
+        # back a second time through stale_out.
+        table.record_unlink("/f", "/.tmp/f", now=0.0)
+        expired = table.expire(now=3.0)
+        assert [e.dst for e in expired] == ["/.tmp/f"]
+        stale = []
+        assert table.match_created("/f", now=3.0, stale_out=stale) is None
+        assert stale == []

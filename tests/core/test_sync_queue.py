@@ -307,3 +307,43 @@ class TestCoalesceClamp:
                 shipped.extend(n.path for n in unit.nodes)
         assert "/hot" in shipped
         assert "/other" in shipped
+
+
+class TestPackedNodeGuard:
+    # Satellite of the `repro check` PR: the packed-node-never-rewritten
+    # invariant is enforced at runtime with a dedicated error type (and
+    # verified over traces as INV-PACKED-FROZEN).
+
+    def test_add_write_raises_packed_node_error(self):
+        from repro.common.errors import DeltaCFSError, PackedNodeError
+
+        q = SyncQueue()
+        node = q.enqueue(WriteNode(path="/f"), now=0.0)
+        node.add_write(0, b"ok")
+        q.pack("/f")
+        with pytest.raises(PackedNodeError) as excinfo:
+            node.add_write(2, b"no")
+        assert excinfo.value.path == "/f"
+        assert excinfo.value.seq == node.seq
+        # Both the library family and legacy ValueError handlers catch it.
+        assert isinstance(excinfo.value, DeltaCFSError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_note_coalesced_guards_packed_nodes(self):
+        from repro.common.errors import PackedNodeError
+
+        q = SyncQueue()
+        node = q.enqueue(WriteNode(path="/f"), now=0.0)
+        node.add_write(0, b"ok")
+        q.pack("/f")
+        with pytest.raises(PackedNodeError):
+            q.note_coalesced(node, 2, 2)
+
+    def test_restored_node_is_frozen(self):
+        from repro.common.errors import PackedNodeError
+
+        q = SyncQueue()
+        node = WriteNode(path="/f", writes=[(0, b"journaled")])
+        q.restore(node, now=1.0)
+        with pytest.raises(PackedNodeError):
+            node.add_write(9, b"post-crash write")
