@@ -3,8 +3,19 @@
 The algorithms are byte-at-a-time in the paper's C prototype; in Python we
 vectorize them so the benchmark harness can replay multi-megabyte traces.
 The results are bit-identical to the pure-Python reference implementations
-(property-tested in ``tests/chunking``), and cost metering is unaffected —
-callers charge for the logical bytes processed either way.
+(property-tested in ``tests/chunking``, golden-tested against committed
+fixtures in ``tests/delta``), and cost metering is unaffected — callers
+charge for the logical bytes processed either way.
+
+Two facts make these kernels fast (see docs/performance.md):
+
+- the weak checksum's modulus is ``2^16``, so every ``% _MOD`` is a bitwise
+  AND — numpy's integer modulo is division-based and an order of magnitude
+  slower than ``&``;
+- for the standard 4 KB block, every intermediate sum provably fits in
+  ``uint32`` (max weighted block sum: ``255 * 4096 * 4097 / 2 < 2^31``), so
+  the block kernels run in uint32 and touch half the memory of the uint64
+  formulation. Larger blocks fall back to uint64 with per-term reduction.
 """
 
 from __future__ import annotations
@@ -12,46 +23,74 @@ from __future__ import annotations
 import numpy as np
 
 _MOD = 1 << 16
+_MASK = np.uint32(_MOD - 1)
+_MASK64 = np.uint64(_MOD - 1)
+
+# Largest block size whose weighted sum fits uint32 without per-term
+# reduction: 255 * b * (b + 1) / 2 < 2^32  holds for b <= 5792.
+_U32_SAFE_BLOCK = 4096
 
 
 def _as_u64(data: bytes) -> np.ndarray:
     return np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
 
 
+def _as_u32(data) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+
+
 def weak_checksum_np(data: bytes) -> int:
     """Weak checksum of a whole buffer (same value as ``weak_checksum``)."""
     if not data:
         return 0
-    d = _as_u64(data)
+    d = _as_u32(data)
     n = len(d)
-    a = int(d.sum() % _MOD)
-    # b = sum (n - i) * d[i]
-    weights = np.arange(n, 0, -1, dtype=np.uint64)
-    b = int((weights * d % _MOD).sum() % _MOD)
+    a = int(d.sum(dtype=np.uint64)) & 0xFFFF
+    # b = sum (n - i) * d[i]; reduce each term mod 2^16 so the uint64
+    # running sum cannot overflow for any buffer numpy can hold.
+    weights = np.arange(n, 0, -1, dtype=np.uint32) & _MASK
+    b = int((weights * d & _MASK).sum(dtype=np.uint64)) & 0xFFFF
     return (b << 16) | a
+
+
+def block_weak_checksums_array(data: bytes, block_size: int) -> np.ndarray:
+    """Weak checksum of each fixed-size block of ``data`` as a uint64 array.
+
+    One vectorized pass over the whole buffer — callers sweeping many
+    blocks (signature side, checksum-store span updates and verifies)
+    should use this instead of checksumming block-by-block: the per-call
+    ``frombuffer``/``astype`` setup dominates for 4 KB blocks.
+    """
+    if not data:
+        return np.empty(0, dtype=np.uint64)
+    n = len(data)
+    full = n // block_size
+    parts = []
+    if full:
+        if block_size <= _U32_SAFE_BLOCK:
+            body = _as_u32(data[: full * block_size]).reshape(full, block_size)
+            weights = np.arange(block_size, 0, -1, dtype=np.uint32)
+            a = body.sum(axis=1, dtype=np.uint32) & _MASK
+            b = (body * weights).sum(axis=1, dtype=np.uint32) & _MASK
+        else:
+            body64 = _as_u64(data[: full * block_size]).reshape(full, block_size)
+            weights64 = np.arange(block_size, 0, -1, dtype=np.uint64)
+            a = body64.sum(axis=1) & _MASK64
+            b = (body64 * weights64 & _MASK64).sum(axis=1) & _MASK64
+        parts.append(
+            (b.astype(np.uint64) << np.uint64(16)) | a.astype(np.uint64)
+        )
+    tail = data[full * block_size :]
+    if tail:
+        parts.append(np.array([weak_checksum_np(tail)], dtype=np.uint64))
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
 
 
 def block_weak_checksums(data: bytes, block_size: int) -> list[int]:
     """Weak checksum of each fixed-size block of ``data``."""
-    out: list[int] = []
-    if not data:
-        return out
-    d = _as_u64(data)
-    n = len(d)
-    full = n // block_size
-    if full:
-        body = d[: full * block_size].reshape(full, block_size)
-        a = body.sum(axis=1) % _MOD
-        weights = np.arange(block_size, 0, -1, dtype=np.uint64)
-        b = (body * weights % _MOD).sum(axis=1) % _MOD
-        out.extend(int(x) for x in ((b << np.uint64(16)) | a))
-    tail = d[full * block_size :]
-    if tail.size:
-        a = int(tail.sum() % _MOD)
-        weights = np.arange(tail.size, 0, -1, dtype=np.uint64)
-        b = int((weights * tail % _MOD).sum() % _MOD)
-        out.append((b << 16) | a)
-    return out
+    return block_weak_checksums_array(data, block_size).tolist()
 
 
 def all_offset_weak_checksums(data: bytes, window: int) -> np.ndarray:
@@ -65,29 +104,39 @@ def all_offset_weak_checksums(data: bytes, window: int) -> np.ndarray:
     - ``b(o) = (window + o) * a(o) - (T[o+window] - T[o])`` with ``T`` the
       prefix sum of ``i * data[i]``.
 
-    All arithmetic runs in uint64 and is reduced mod 2^16 at the end;
-    intermediate sums stay far below 2^64 for any buffer numpy can hold
-    after per-term reduction.
+    Every sum runs in *wrapping* uint32: because 2^16 divides 2^32, values
+    congruent mod 2^32 stay congruent mod 2^16, so prefix-sum overflow on
+    large buffers is harmless — the final ``& 0xFFFF`` recovers the exact
+    per-byte result. Running the cumulative passes in uint32 instead of
+    uint64 halves their memory traffic, and they are the serial (non-SIMD)
+    part of this kernel that dominates its runtime.
     """
     n = len(data)
     if window <= 0:
         raise ValueError("window must be positive")
     if n < window:
-        return np.empty(0, dtype=np.uint64)
-    d = _as_u64(data)
-    offsets = np.arange(0, n - window + 1, dtype=np.uint64)
+        return np.empty(0, dtype=np.uint32)
+    d = np.frombuffer(data, dtype=np.uint8)
 
-    prefix = np.zeros(n + 1, dtype=np.uint64)
-    np.cumsum(d, out=prefix[1:])
-    a = (prefix[window:] - prefix[:-window]) % _MOD
+    # cumsum upcasts uint8 on the fly — no 4-bytes-per-byte copy of data.
+    prefix = np.empty(n + 1, dtype=np.uint32)
+    prefix[0] = 0
+    np.cumsum(d, dtype=np.uint32, out=prefix[1:])
+    a = prefix[window:] - prefix[:-window]  # wraps mod 2^32; masked below
+    a &= _MASK
 
-    idx = np.arange(n, dtype=np.uint64)
-    # Reduce each term mod 2^16 before the cumulative sum so the running
-    # total cannot overflow uint64 even for gigabyte buffers.
-    weighted = (idx % _MOD) * d
-    tprefix = np.zeros(n + 1, dtype=np.uint64)
-    np.cumsum(weighted, out=tprefix[1:])
-    tspan = (tprefix[window:] - tprefix[:-window]) % _MOD
+    idx = np.arange(n, dtype=np.uint32)
+    idx &= _MASK
+    # masked index (< 2^16) times a byte (< 2^8) stays far below 2^32.
+    weighted = idx * d
+    tprefix = np.empty(n + 1, dtype=np.uint32)
+    tprefix[0] = 0
+    np.cumsum(weighted, dtype=np.uint32, out=tprefix[1:])
+    tspan = tprefix[window:] - tprefix[:-window]  # wraps mod 2^32
 
-    b = ((np.uint64(window) + offsets) % _MOD * a + (_MOD - tspan)) % _MOD
-    return (b << np.uint64(16)) | a
+    offsets = idx[: n - window + 1]
+    # The product and subtraction wrap mod 2^32 too; same congruence.
+    b = (np.uint32(window) + offsets & _MASK) * a
+    b -= tspan
+    b &= _MASK
+    return (b << np.uint32(16)) | a

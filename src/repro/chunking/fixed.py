@@ -46,20 +46,30 @@ def fixed_chunks(
     if block_size <= 0:
         raise ValueError("block_size must be positive")
     from repro.chunking._fast import block_weak_checksums
+    from repro.chunking.strong import strong_checksums
 
     meter.charge_bytes("rolling_checksum", len(data))
     weaks = block_weak_checksums(data, block_size)
+    n = len(data)
+    # memoryview slices feed the strong hash without copying each block.
+    view = memoryview(data)
+    if with_strong:
+        strongs: List[bytes | None] = strong_checksums(
+            (view[off : off + block_size] for off in range(0, n, block_size)),
+            meter,
+        )
+    else:
+        strongs = [None] * len(weaks)
     chunks: List[FixedChunk] = []
     for i, weak in enumerate(weaks):
         offset = i * block_size
-        block = data[offset : offset + block_size]
         chunks.append(
             FixedChunk(
                 index=i,
                 offset=offset,
-                length=len(block),
+                length=min(block_size, n - offset),
                 weak=weak,
-                strong=strong_checksum(block, meter) if with_strong else None,
+                strong=strongs[i],
             )
         )
     return chunks

@@ -69,19 +69,24 @@ def _print_run_results(title: str, results) -> None:
     )
 
 
-def _write_bench_snapshot(directory: str, name: str, results) -> None:
-    """Emit ``BENCH_<name>.json`` into ``directory`` (see bench_snapshot)."""
+def _write_bench_doc(directory: str, name: str, doc) -> None:
+    """Emit a prebuilt ``BENCH_<name>.json`` document into ``directory``."""
     import json
     import os
-
-    from repro.harness.runner import bench_snapshot
 
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(bench_snapshot(name, results), fh, indent=2, sort_keys=True)
+        json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {path}")
+
+
+def _write_bench_snapshot(directory: str, name: str, results) -> None:
+    """Emit ``BENCH_<name>.json`` into ``directory`` (see bench_snapshot)."""
+    from repro.harness.runner import bench_snapshot
+
+    _write_bench_doc(directory, name, bench_snapshot(name, results))
 
 
 def _cmd_experiment(args) -> int:
@@ -144,7 +149,11 @@ def _cmd_experiment(args) -> int:
               f"TUE {result.tue:.1f}  CPU {result.cpu_ticks:.1f}")
         ran_any = True
     if wanted in ("table3", "all"):
-        from repro.harness.microbench import STACKS, run_microbench
+        from repro.harness.microbench import (
+            STACKS,
+            microbench_snapshot,
+            run_microbench,
+        )
         from repro.workloads.filebench import (
             fileserver_ops,
             varmail_ops,
@@ -153,16 +162,34 @@ def _cmd_experiment(args) -> int:
 
         print("\n=== Table III / microbenchmarks (MB/s) ===")
         rows = []
+        table3_results = []
         for name, ops in [
             ("fileserver", fileserver_ops()),
             ("varmail", varmail_ops()),
             ("webserver", webserver_ops()),
         ]:
+            per_stack = [run_microbench(name, ops, s) for s in STACKS]
+            table3_results.extend(per_stack)
+            # block size and input MiB are identical across stacks for one
+            # workload (0 = stack has no sync engine, so show the max).
             rows.append(
-                [name]
-                + [f"{run_microbench(name, ops, s).mb_per_s:.1f}" for s in STACKS]
+                [
+                    name,
+                    str(max(r.block_size for r in per_stack)),
+                    f"{per_stack[0].input_mb:.1f}",
+                ]
+                + [f"{r.mb_per_s:.1f}" for r in per_stack]
             )
-        print(format_table(["workload"] + list(STACKS), rows))
+        print(
+            format_table(
+                ["workload", "blk B", "in MiB"] + list(STACKS), rows
+            )
+        )
+        if bench_dir:
+            _write_bench_doc(
+                bench_dir, "table3", microbench_snapshot(table3_results)
+            )
+            benched_any = True
         ran_any = True
     if wanted in ("table4", "all"):
         results = experiments.table4_reliability()
@@ -175,13 +202,42 @@ def _cmd_experiment(args) -> int:
         )
         ran_any = True
 
+    if args.wall:
+        from repro.harness.wallclock import wallclock_snapshot
+
+        snap = wallclock_snapshot()
+        context = snap["context"]
+        print(
+            f"\n=== wall-clock lane (measured, median of "
+            f"{context['repeats']}; {context['input_mb']} MB inputs, "
+            f"{context['block_size']} B blocks) ==="
+        )
+        print(
+            format_table(
+                ["lane", "fast MB/s", "ref MB/s", "speedup"],
+                [
+                    [
+                        lane,
+                        f"{info['fast_mb_per_s']:.1f}",
+                        f"{info['ref_mb_per_s']:.2f}",
+                        f"{snap['metrics'][lane + '/speedup']:.1f}x",
+                    ]
+                    for lane, info in sorted(context["lanes"].items())
+                ],
+            )
+        )
+        if bench_dir:
+            _write_bench_doc(bench_dir, "wallclock", snap)
+            benched_any = True
+
     if not ran_any:
         print(f"unknown experiment {wanted!r}", file=sys.stderr)
         return 2
     if bench_dir and not benched_any:
         print(
-            f"--bench-json covers RunResult experiments "
-            f"(table2/fig8/fig9/fig1), not {wanted!r}",
+            f"--bench-json covers RunResult-snapshot experiments "
+            f"(table2/fig8/fig9/fig1), table3, and the --wall lane, "
+            f"not {wanted!r}",
             file=sys.stderr,
         )
         return 2
@@ -582,9 +638,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--fast", action="store_true", help="reduced op counts")
     experiment.add_argument(
+        "--wall", action="store_true",
+        help="also run the measured wall-clock lane (fast vs reference "
+             "engines, real MB/s; see docs/performance.md)",
+    )
+    experiment.add_argument(
         "--bench-json", metavar="DIR", default=None,
         help="also write BENCH_<name>.json snapshot(s) into DIR for "
-             "tools/bench_gate.py (table2/fig8/fig9/fig1)",
+             "tools/bench_gate.py (table2/table3/fig8/fig9/fig1, and "
+             "BENCH_wallclock.json with --wall)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

@@ -463,10 +463,9 @@ class DeltaCFSClient(PassthroughFileSystem):
             now = self.clock.now()
         self._expire_relations(now)
         shipped = 0
-        while True:
-            unit = self.queue.next_unit(now)
-            if unit is None:
-                break
+        # One batched sweep per wakeup: the queue rebuilds its node list
+        # once for the whole drain instead of once per shipped node.
+        for unit in self.queue.drain_due(now):
             self._upload_unit(unit, now)
             shipped += 1
         if self.transport is not None:

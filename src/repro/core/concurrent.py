@@ -79,6 +79,10 @@ class ConcurrentSyncQueue:
         with self._lock:
             return self._queue.next_unit(now)
 
+    def drain_due(self, now: float) -> List[UploadUnit]:
+        with self._lock:
+            return self._queue.drain_due(now)
+
     def drain_all(self, now: float) -> List[UploadUnit]:
         with self._lock:
             return self._queue.drain_all(now)

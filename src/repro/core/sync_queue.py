@@ -409,20 +409,65 @@ class SyncQueue:
             self._note_shipped(members, now, transactional=True)
         return UploadUnit(nodes=members, transactional=True)
 
+    def drain_due(self, now: float) -> List[UploadUnit]:
+        """All currently-due upload units, collected in one queue sweep.
+
+        Semantically identical to calling :meth:`next_unit` until it
+        returns ``None`` — same FIFO and transactional-span rules, same
+        obs events in the same order — but the backing list is rebuilt
+        once per wakeup instead of once per shipped node, so a deep
+        queue drains in O(n) rather than O(n²). This is what the client
+        pump calls.
+        """
+        units: List[UploadUnit] = []
+        nodes = self._nodes
+        total = len(nodes)
+        i = 0
+        while i < total:
+            head = nodes[i]
+            span = self._span_containing(head.seq)
+            if span is None:
+                if not self._due(head, now):
+                    break
+                i += 1
+                if isinstance(head, WriteNode):
+                    self._pack_for_upload(head)
+                unit = UploadUnit(nodes=[head], transactional=False)
+            else:
+                # Seqs are FIFO-increasing, so a span's live members are a
+                # contiguous run starting at the head — no full-list scan.
+                start, end = span
+                j = i
+                while j < total and nodes[j].seq <= end:
+                    j += 1
+                members = nodes[i:j]
+                if not all(self._due(m, now) for m in members):
+                    break
+                i = j
+                self._spans.remove(span)
+                for member in members:
+                    if isinstance(member, WriteNode):
+                        self._pack_for_upload(member)
+                if self.obs.enabled:
+                    self.obs.inc("queue.units.transactional")
+                unit = UploadUnit(nodes=members, transactional=True)
+            if self.obs.enabled:
+                self._note_shipped(unit.nodes, now, transactional=unit.transactional)
+            units.append(unit)
+        if i:
+            self._nodes = nodes[i:]
+            if self.obs.enabled:
+                self._update_gauges()
+        return units
+
     def drain_all(self, now: float) -> List[UploadUnit]:
         """Ship everything regardless of delay (shutdown / final flush)."""
-        units: List[UploadUnit] = []
         far_future = now + self.upload_delay + 1e9
         self._telemetry_now = now
         try:
-            while True:
-                unit = self.next_unit(far_future)
-                if unit is None:
-                    break
-                units.append(unit)
+            return self.drain_due(far_future)
         finally:
             self._telemetry_now = None
-        return units
 
     def queued_bytes(self) -> int:
         """Total payload bytes waiting (back-pressure metric)."""

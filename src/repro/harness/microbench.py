@@ -67,7 +67,14 @@ class LatencyModel:
 
 @dataclass
 class MicrobenchResult:
-    """Throughput of one (workload, stack) combination."""
+    """Throughput of one (workload, stack) combination.
+
+    ``input_mb`` (MiB moved) and ``block_size`` (the sync engine's rsync
+    block, 0 for stacks without one) ride along so a serialized result is
+    self-describing: MB/s stays recoverable as ``input_mb / seconds``
+    without re-deriving the workload, and the same row shape serves both
+    the modelled lane and the wall-clock lane's context section.
+    """
 
     workload: str
     stack: str
@@ -75,6 +82,8 @@ class MicrobenchResult:
     bytes_moved: int
     seconds: float
     stalls: int = 0
+    block_size: int = 0
+    input_mb: float = 0.0
 
 
 def run_microbench(
@@ -92,11 +101,13 @@ def run_microbench(
     fs = MemoryFileSystem()
     for directory in ("/fset", "/mail", "/htdocs"):
         fs.mkdir(directory)
+    block_size = 0
     if stack in ("deltacfs", "deltacfsc"):
         config = DeltaCFSConfig(
             enable_checksums=(stack == "deltacfsc"),
             enable_undo_log=False,  # microbench writes are appends
         )
+        block_size = config.block_size
         surface: object = DeltaCFSClient(fs, server=None, config=config)
     else:
         surface = fs
@@ -171,7 +182,8 @@ def run_microbench(
                 stalls += 1
         total_time += dt
 
-    mbps = (bytes_moved / (1024 * 1024)) / total_time if total_time > 0 else 0.0
+    input_mb = bytes_moved / (1024 * 1024)
+    mbps = input_mb / total_time if total_time > 0 else 0.0
     return MicrobenchResult(
         workload=workload,
         stack=stack,
@@ -179,4 +191,25 @@ def run_microbench(
         bytes_moved=bytes_moved,
         seconds=total_time,
         stalls=stalls,
+        block_size=block_size,
+        input_mb=input_mb,
     )
+
+
+def microbench_snapshot(results: List[MicrobenchResult]) -> Dict[str, object]:
+    """The ``BENCH_table3.json`` document for ``tools/bench_gate.py``.
+
+    The latency model is deterministic, so the baseline can be exact:
+    every metric (modelled MB/s, modelled seconds, input MiB, block size)
+    gates at the default tolerance. Keys are ``workload/stack/metric``.
+    """
+    metrics: Dict[str, float] = {}
+    for r in results:
+        prefix = f"{r.workload}/{r.stack}"
+        if f"{prefix}/mb_per_s" in metrics:
+            raise ValueError(f"duplicate microbench row {prefix!r}")
+        metrics[f"{prefix}/mb_per_s"] = round(r.mb_per_s, 4)
+        metrics[f"{prefix}/seconds"] = round(r.seconds, 6)
+        metrics[f"{prefix}/input_mb"] = round(r.input_mb, 4)
+        metrics[f"{prefix}/block_size"] = float(r.block_size)
+    return {"bench": "table3", "schema": 1, "metrics": metrics}

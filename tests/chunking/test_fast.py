@@ -90,6 +90,6 @@ class TestAllOffsets:
         assert int(out[-1]) == weak_checksum(data[-window:])
         assert int(out[0]) == weak_checksum(data[:window])
 
-    def test_dtype_is_uint64(self):
+    def test_dtype_is_uint32(self):
         out = all_offset_weak_checksums(b"abcdef", 3)
-        assert out.dtype == np.uint64
+        assert out.dtype == np.uint32

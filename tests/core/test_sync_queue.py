@@ -347,3 +347,123 @@ class TestPackedNodeGuard:
         q.restore(node, now=1.0)
         with pytest.raises(PackedNodeError):
             node.add_write(9, b"post-crash write")
+
+
+class TestDrainDue:
+    """The batched per-wakeup sweep must match the per-node slow path."""
+
+    @staticmethod
+    def _unit_shape(unit):
+        return ([n.seq for n in unit.nodes], unit.transactional)
+
+    @staticmethod
+    def _drain_with_next_unit(q, now):
+        units = []
+        while (unit := q.next_unit(now)) is not None:
+            units.append(unit)
+        return units
+
+    @staticmethod
+    def _populated(delay=3.0):
+        """Writes + a delta replacement (span) + more writes behind it."""
+        q = SyncQueue(upload_delay=delay, capacity=100)
+        for i in range(3):
+            node = WriteNode(path=f"/plain{i}")
+            q.enqueue(node, now=0.0)
+            node.add_write(0, b"x" * 10)
+        victim = WriteNode(path="/span-victim")
+        q.enqueue(victim, now=0.0)
+        victim.add_write(0, b"doomed")
+        behind = WriteNode(path="/behind")
+        q.enqueue(behind, now=0.0)
+        behind.add_write(0, b"y" * 5)
+        q.replace_with_delta(
+            [victim], DeltaNode(path="/span-victim", delta=Delta()), now=0.0
+        )
+        tail = WriteNode(path="/tail")
+        q.enqueue(tail, now=0.0)
+        tail.add_write(0, b"z")
+        return q
+
+    def test_matches_next_unit_loop_exactly(self):
+        a, b = self._populated(), self._populated()
+        fast = a.drain_due(now=10.0)
+        slow = self._drain_with_next_unit(b, now=10.0)
+        assert [self._unit_shape(u) for u in fast] == [
+            self._unit_shape(u) for u in slow
+        ]
+        assert len(a) == len(b) == 0
+        assert a.spans() == b.spans() == []
+
+    def test_stops_at_first_undue_head(self):
+        q = SyncQueue(upload_delay=3.0, capacity=100)
+        early = WriteNode(path="/early")
+        q.enqueue(early, now=0.0)
+        early.add_write(0, b"a")
+        late = WriteNode(path="/late")
+        q.enqueue(late, now=5.0)
+        late.add_write(0, b"b")
+        units = q.drain_due(now=4.0)  # only /early is due
+        assert [u.single.path for u in units] == ["/early"]
+        assert [n.path for n in q.nodes()] == ["/late"]
+
+    def test_undue_span_member_blocks_whole_span(self):
+        q = self._populated()
+        # Refresh a node inside the span so the span is only partly due.
+        behind = q.active_write_node("/behind")
+        q.note_mutation(behind)
+        behind.enqueue_time = 9.0
+        behind.add_write(10, b"more")
+        units = q.drain_due(now=10.0)
+        # The three plain heads ship; the span (and everything after,
+        # FIFO) stays.
+        assert [u.single.path for u in units] == ["/plain0", "/plain1", "/plain2"]
+        assert {n.path for n in q.nodes()} >= {"/behind", "/tail"}
+        assert q.drain_due(now=10.0) == []  # still blocked, no progress
+        assert len(q.drain_due(now=20.0)) > 0  # due later -> ships
+
+    def test_ships_span_transactionally(self):
+        q = self._populated()
+        units = q.drain_due(now=10.0)
+        transactional = [u for u in units if u.transactional]
+        assert len(transactional) == 1
+        assert {n.path for n in transactional[0].nodes} == {
+            "/behind",
+            "/span-victim",
+        }
+
+    def test_write_nodes_packed_on_ship(self):
+        q = self._populated()
+        units = q.drain_due(now=10.0)
+        for unit in units:
+            for node in unit.nodes:
+                if isinstance(node, WriteNode):
+                    assert node.packed
+
+    def test_drain_all_equals_far_future_drain_due(self):
+        a, b = self._populated(), self._populated()
+        assert [self._unit_shape(u) for u in a.drain_all(now=0.0)] == [
+            self._unit_shape(u) for u in b.drain_due(now=1e12)
+        ]
+
+    def test_empty_queue_returns_no_units(self):
+        assert SyncQueue(upload_delay=3.0).drain_due(now=100.0) == []
+
+    def test_obs_parity_with_next_unit_loop(self):
+        from repro.obs import Observability
+
+        def run(drain):
+            obs = Observability()
+            q = self._populated()
+            q.obs = obs
+            drain(q)
+            metrics = obs.metrics.scalar_snapshot()
+            return {
+                k: v
+                for k, v in metrics.items()
+                if k.startswith("queue.")
+            }
+
+        batched = run(lambda q: q.drain_due(10.0))
+        per_node = run(lambda q: self._drain_with_next_unit(q, 10.0))
+        assert batched == per_node

@@ -140,3 +140,89 @@ def test_committed_baselines_are_loadable():
         doc = bench_gate.load_snapshot(path)
         assert doc["bench"] == path.stem
         assert doc["metrics"]
+
+
+class TestDirectionsAndTolerance:
+    """direction: higher baselines and the --tolerance flag."""
+
+    def test_higher_is_better_regression_fails(self, gate_dirs, capsys):
+        fresh_dir, base_dir = gate_dirs
+        write(base_dir / "wallclock.json",
+              snapshot({"rolling_scan/speedup": 10.0},
+                       bench="wallclock", direction="higher"))
+        fresh = write(fresh_dir / "BENCH_wallclock.json",
+                      snapshot({"rolling_scan/speedup": 6.0},
+                               bench="wallclock"))
+        assert run_gate([fresh], base_dir) == 1
+        err = capsys.readouterr().err
+        assert "regressed" in err and "higher-is-better" in err
+
+    def test_higher_is_better_improvement_is_a_note(self, gate_dirs, capsys):
+        fresh_dir, base_dir = gate_dirs
+        write(base_dir / "wallclock.json",
+              snapshot({"rolling_scan/speedup": 10.0},
+                       bench="wallclock", direction="higher"))
+        fresh = write(fresh_dir / "BENCH_wallclock.json",
+                      snapshot({"rolling_scan/speedup": 30.0},
+                               bench="wallclock"))
+        assert run_gate([fresh], base_dir) == 0
+        assert "improved" in capsys.readouterr().out
+
+    def test_higher_within_band_passes_silently(self, gate_dirs, capsys):
+        fresh_dir, base_dir = gate_dirs
+        write(base_dir / "wallclock.json",
+              snapshot({"rolling_scan/speedup": 10.0},
+                       bench="wallclock", direction="higher",
+                       tolerances={"speedup": 0.2}))
+        fresh = write(fresh_dir / "BENCH_wallclock.json",
+                      snapshot({"rolling_scan/speedup": 8.5},
+                               bench="wallclock"))
+        assert run_gate([fresh], base_dir) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "improved" not in out
+
+    def test_per_metric_directions_map(self, gate_dirs, capsys):
+        fresh_dir, base_dir = gate_dirs
+        write(base_dir / "mixed.json",
+              snapshot({"a/speedup": 10.0, "a/bytes": 100.0},
+                       bench="mixed", directions={"speedup": "higher"}))
+        # speedup doubles (good), bytes halve (good): both mere notes.
+        fresh = write(fresh_dir / "BENCH_mixed.json",
+                      snapshot({"a/speedup": 20.0, "a/bytes": 50.0},
+                               bench="mixed"))
+        assert run_gate([fresh], base_dir) == 0
+        assert capsys.readouterr().out.count("improved") == 2
+
+    def test_invalid_direction_fails_loudly(self, gate_dirs, capsys):
+        fresh_dir, base_dir = gate_dirs
+        write(base_dir / "bad.json",
+              snapshot({"a/x": 1.0}, bench="bad", direction="sideways"))
+        fresh = write(fresh_dir / "BENCH_bad.json",
+                      snapshot({"a/x": 1.0}, bench="bad"))
+        assert run_gate([fresh], base_dir) == 1
+        assert "'lower' or 'higher'" in capsys.readouterr().err
+
+    def test_tolerance_flag_widens_the_band(self, gate_dirs, capsys):
+        fresh_dir, base_dir = gate_dirs
+        write(base_dir / "fig8.json",
+              snapshot({"gedit/deltacfs/up_bytes": 1000.0}))
+        fresh = write(fresh_dir / "BENCH_fig8.json",
+                      snapshot({"gedit/deltacfs/up_bytes": 1150.0}))
+        # 15% over: fails at the default 5%, passes at --tolerance 0.2
+        assert run_gate([fresh], base_dir) == 1
+        capsys.readouterr()
+        assert bench_gate.main(
+            [str(fresh), "--baselines", str(base_dir), "--tolerance", "0.2"]
+        ) == 0
+
+    def test_baseline_tolerances_beat_the_flag(self, gate_dirs, capsys):
+        fresh_dir, base_dir = gate_dirs
+        write(base_dir / "fig8.json",
+              snapshot({"gedit/deltacfs/up_bytes": 1000.0},
+                       tolerances={"up_bytes": 0.01}))
+        fresh = write(fresh_dir / "BENCH_fig8.json",
+                      snapshot({"gedit/deltacfs/up_bytes": 1150.0}))
+        assert bench_gate.main(
+            [str(fresh), "--baselines", str(base_dir), "--tolerance", "0.5"]
+        ) == 1
+        assert "tolerance 1%" in capsys.readouterr().err

@@ -7,23 +7,31 @@ Usage (CI runs this after regenerating fresh snapshots)::
     python tools/bench_gate.py bench_out/BENCH_*.json --baselines benchmarks/baselines
 
 For every fresh snapshot the gate loads ``<baselines>/<bench>.json`` and
-compares each metric. All gated metrics are **lower-is-better** (bytes,
-CPU ticks, TUE): a fresh value above ``baseline * (1 + tolerance)`` is a
-regression and fails the gate (exit 1); a fresh value *below* the
+compares each metric. Gated metrics are **lower-is-better** by default
+(bytes, CPU ticks, TUE): a fresh value above ``baseline * (1 + tolerance)``
+is a regression and fails the gate (exit 1); a fresh value *below* the
 tolerance band is reported as an improvement (worth re-baselining) but
-passes. Metrics present in the baseline but missing fresh — or vice
-versa — also fail: the benchmark surface itself must not drift silently.
+passes. A baseline may declare ``"direction": "higher"`` (throughput,
+speedup ratios — the wall-clock lane) to flip the test: then values
+*below* ``baseline * (1 - tolerance)`` regress and values above the band
+are improvements. Per-metric overrides live in a ``directions`` map with
+the same suffix matching as tolerances. Metrics present in the baseline
+but missing fresh — or vice versa — always fail: the benchmark surface
+itself must not drift silently.
 
-Tolerances: the default relative tolerance is ``0.05`` (5%). A baseline
-may override per metric-key *suffix* via a ``tolerances`` map, e.g.::
+Tolerances: the default relative tolerance is ``0.05`` (5%), overridable
+for a whole invocation with ``--tolerance`` (CI runs the noisy wall-clock
+lane with ``--tolerance 0.2``). A baseline may override per metric-key
+*suffix* via a ``tolerances`` map, e.g.::
 
     {"bench": "fig8", "schema": 1,
      "tolerances": {"client_ticks": 0.10, "tue": 0.02},
      "metrics": {...}}
 
 The longest matching suffix wins (match on the final ``/``-segment or any
-full-key suffix). This script is stdlib-only on purpose — the gate must
-run before (and regardless of) the package under test importing cleanly.
+full-key suffix); explicit baseline overrides beat ``--tolerance``. This
+script is stdlib-only on purpose — the gate must run before (and
+regardless of) the package under test importing cleanly.
 """
 
 from __future__ import annotations
@@ -56,14 +64,36 @@ def load_snapshot(path: Path) -> Dict[str, object]:
     return doc
 
 
-def tolerance_for(key: str, overrides: Dict[str, float]) -> float:
-    """The tolerance for one metric key: longest matching suffix wins."""
-    best: Tuple[int, float] = (-1, DEFAULT_TOLERANCE)
-    for suffix, tol in overrides.items():
+def _suffix_lookup(key: str, overrides: Dict[str, object], default):
+    """Longest-matching-suffix override for one metric key."""
+    best: Tuple[int, object] = (-1, default)
+    for suffix, value in overrides.items():
         if key == suffix or key.endswith("/" + suffix) or key.endswith(suffix):
             if len(suffix) > best[0]:
-                best = (len(suffix), float(tol))
+                best = (len(suffix), value)
     return best[1]
+
+
+def tolerance_for(
+    key: str,
+    overrides: Dict[str, float],
+    default: float = DEFAULT_TOLERANCE,
+) -> float:
+    """The tolerance for one metric key: longest matching suffix wins."""
+    return float(_suffix_lookup(key, overrides, default))
+
+
+def direction_for(
+    key: str, overrides: Dict[str, str], default: str = "lower"
+) -> str:
+    """``"lower"`` or ``"higher"`` — which way this metric is better."""
+    direction = str(_suffix_lookup(key, overrides, default))
+    if direction not in ("lower", "higher"):
+        raise GateError(
+            f"direction for {key!r} must be 'lower' or 'higher', "
+            f"got {direction!r}"
+        )
+    return direction
 
 
 def compare(
@@ -71,6 +101,10 @@ def compare(
     fresh: Dict[str, float],
     baseline: Dict[str, float],
     overrides: Dict[str, float],
+    *,
+    directions: Dict[str, str] | None = None,
+    default_direction: str = "lower",
+    default_tolerance: float = DEFAULT_TOLERANCE,
 ) -> Tuple[List[str], List[str]]:
     """Returns (failures, notes) for one benchmark."""
     failures: List[str] = []
@@ -81,20 +115,26 @@ def compare(
             failures.append(f"{bench}: metric {key} missing from fresh snapshot")
             continue
         new = float(fresh[key])
-        tol = tolerance_for(key, overrides)
+        tol = tolerance_for(key, overrides, default_tolerance)
+        direction = direction_for(key, directions or {}, default_direction)
         ceiling = base * (1.0 + tol)
         floor = base * (1.0 - tol)
-        if new > ceiling:
-            pct = (new / base - 1.0) * 100.0 if base else float("inf")
+        worse = new > ceiling if direction == "lower" else new < floor
+        better = new < floor if direction == "lower" else new > ceiling
+        if worse:
+            pct = abs(new / base - 1.0) * 100.0 if base else float("inf")
+            sign = "+" if new >= base else "-"
             failures.append(
                 f"{bench}: {key} regressed: {base:g} -> {new:g} "
-                f"(+{pct:.1f}%, tolerance {tol:.0%})"
+                f"({sign}{pct:.1f}%, tolerance {tol:.0%}, "
+                f"{direction}-is-better)"
             )
-        elif new < floor:
-            pct = (1.0 - new / base) * 100.0 if base else 0.0
+        elif better:
+            pct = abs(1.0 - new / base) * 100.0 if base else 0.0
+            sign = "-" if new <= base else "+"
             notes.append(
                 f"{bench}: {key} improved: {base:g} -> {new:g} "
-                f"(-{pct:.1f}%; consider re-baselining)"
+                f"({sign}{pct:.1f}%; consider re-baselining)"
             )
     for key in sorted(set(fresh) - set(baseline)):
         failures.append(
@@ -113,6 +153,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--baselines", type=Path, default=Path("benchmarks/baselines"),
         metavar="DIR", help="directory of checked-in <bench>.json baselines",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="T",
+        help=f"default relative tolerance (default {DEFAULT_TOLERANCE}); "
+             f"per-metric 'tolerances' in a baseline still win",
     )
     args = parser.parse_args(argv)
 
@@ -142,12 +187,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             str(k): float(v)
             for k, v in dict(base_doc.get("tolerances", {})).items()
         }
-        fails, improvement_notes = compare(
-            bench,
-            {str(k): float(v) for k, v in dict(fresh_doc["metrics"]).items()},
-            {str(k): float(v) for k, v in dict(base_doc["metrics"]).items()},
-            overrides,
-        )
+        directions = {
+            str(k): str(v)
+            for k, v in dict(base_doc.get("directions", {})).items()
+        }
+        try:
+            fails, improvement_notes = compare(
+                bench,
+                {str(k): float(v) for k, v in dict(fresh_doc["metrics"]).items()},
+                {str(k): float(v) for k, v in dict(base_doc["metrics"]).items()},
+                overrides,
+                directions=directions,
+                default_direction=str(base_doc.get("direction", "lower")),
+                default_tolerance=args.tolerance,
+            )
+        except GateError as exc:
+            failures.append(f"{base_path}: {exc}")
+            continue
         failures.extend(fails)
         notes.extend(improvement_notes)
         checked += len(base_doc["metrics"])

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Doc-lint: keep docs/observability.md and repro.obs.names in lockstep.
 
-Three checks:
+Four checks:
 
 1. every metric/event/span name declared in ``repro.obs.names`` must appear
    (backtick-quoted) in ``docs/observability.md``;
@@ -11,7 +11,10 @@ Three checks:
    ``recovery.`` / ``run.``) must be declared in code;
 3. the span/event **attr** tables in the doc (``| name | attrs | ... |``
    rows) must list exactly the attrs each ``EventSpec`` declares, in the
-   declared order — and every declared event/span must have a row.
+   declared order — and every declared event/span must have a row;
+4. every ``BENCH_<lane>.json`` named anywhere in ``docs/*.md`` must have a
+   committed baseline at ``benchmarks/baselines/<lane>.json`` — so the
+   performance guide cannot describe a lane the gate doesn't protect.
 
 Run from the repo root (CI does)::
 
@@ -28,6 +31,27 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC = REPO_ROOT / "docs" / "observability.md"
+DOCS_DIR = REPO_ROOT / "docs"
+BASELINES_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+# A bench lane reference anywhere in the docs: BENCH_<lane>.json.
+BENCH_LANE_RE = re.compile(r"BENCH_([a-z0-9_]+)\.json")
+
+
+def bench_lane_problems() -> list:
+    """Doc-referenced bench lanes without a committed baseline."""
+    problems = []
+    for doc_path in sorted(DOCS_DIR.glob("*.md")):
+        text = doc_path.read_text(encoding="utf-8")
+        for lane in sorted(set(BENCH_LANE_RE.findall(text))):
+            baseline = BASELINES_DIR / f"{lane}.json"
+            if not baseline.exists():
+                problems.append(
+                    f"{doc_path.relative_to(REPO_ROOT)}: names "
+                    f"BENCH_{lane}.json but no baseline exists at "
+                    f"{baseline.relative_to(REPO_ROOT)}"
+                )
+    return problems
 
 # A dotted instrumentation name: lowercase snake_case segments, >= 2 deep.
 NAME_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
@@ -147,6 +171,15 @@ def main() -> int:
         print("doc-lint: attr tables drifted from EventSpec declarations:",
               file=sys.stderr)
         for problem in attr_problems:
+            print(f"  - {problem}", file=sys.stderr)
+
+    # -- doc-named bench lanes vs committed baselines ----------------------
+    lane_problems = bench_lane_problems()
+    if lane_problems:
+        ok = False
+        print("doc-lint: docs name bench lanes with no committed baseline:",
+              file=sys.stderr)
+        for problem in lane_problems:
             print(f"  - {problem}", file=sys.stderr)
 
     if ok:
