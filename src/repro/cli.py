@@ -119,6 +119,13 @@ def _cmd_experiment(args) -> int:
             _write_bench_snapshot(bench_dir, "fig9", results)
             benched_any = True
         ran_any = True
+    if wanted in ("policy", "all"):
+        results = experiments.policy_sweep(fast)
+        _print_run_results("Policy sweep / mechanism selection", results)
+        if bench_dir:
+            _write_bench_snapshot(bench_dir, "policy", results)
+            benched_any = True
+        ran_any = True
     if wanted in ("fig1", "all"):
         results = experiments.fig1_motivation(fast)
         if bench_dir:
@@ -284,7 +291,7 @@ def _finish_trace_out(path: str, sink, obs) -> None:
           f"+ metrics snapshot")
 
 
-def _replay_with_crash(args, trace, journal_kv, obs, faults) -> int:
+def _replay_with_crash(args, trace, journal_kv, obs, faults, config=None) -> int:
     """Replay with a simulated crash after op ``--crash-at N``.
 
     Runs the first N ops, kills the client (volatile state gone, journal
@@ -302,8 +309,8 @@ def _replay_with_crash(args, trace, journal_kv, obs, faults) -> int:
               file=sys.stderr)
         return 2
     system = build_system(
-        "deltacfs", obs=obs, faults=faults, fault_seed=args.fault_seed,
-        journal_kv=journal_kv,
+        "deltacfs", config=config, obs=obs, faults=faults,
+        fault_seed=args.fault_seed, journal_kv=journal_kv,
     )
     _preload(system, trace)
     system.reset_counters()  # match run_trace: measure past the preload
@@ -361,6 +368,26 @@ def _cmd_replay(args) -> int:
         print("--crash-at requires --journal (recovery replays the journal)",
               file=sys.stderr)
         return 2
+    config = None
+    if args.delta_backend is not None or args.sync_policy is not None:
+        if args.solution != "deltacfs":
+            print("--delta-backend/--sync-policy require --solution deltacfs "
+                  "(the policy-driven client)", file=sys.stderr)
+            return 2
+        from repro.common.config import DeltaCFSConfig
+        from repro.delta.backends import get_backend
+
+        config = DeltaCFSConfig()
+        if args.delta_backend is not None:
+            config.delta_backend = args.delta_backend
+        if args.sync_policy is not None:
+            config.sync_policy = args.sync_policy
+        try:
+            config.validate()
+            get_backend(config.delta_backend)
+        except ValueError as exc:
+            print(f"bad sync config: {exc}", file=sys.stderr)
+            return 2
     faults = NO_FAULTS
     if args.loss_rate or args.dup_rate or args.reorder_rate:
         if args.solution != "deltacfs":
@@ -408,12 +435,12 @@ def _cmd_replay(args) -> int:
         journal_kv = LogStructuredKV(args.journal, sync=True)
     try:
         if args.crash_at is not None:
-            rc = _replay_with_crash(args, trace, journal_kv, obs, faults)
+            rc = _replay_with_crash(args, trace, journal_kv, obs, faults, config)
             if rc == 0 and trace_sink is not None:
                 _finish_trace_out(args.trace_out, trace_sink, obs)
             return rc
         result = run_trace(
-            args.solution, trace, obs=obs, faults=faults,
+            args.solution, trace, config=config, obs=obs, faults=faults,
             fault_seed=args.fault_seed, journal_kv=journal_kv,
         )
         if trace_sink is not None:
@@ -634,7 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument(
         "name",
-        choices=["table2", "table3", "table4", "fig1", "fig2", "fig8", "fig9", "all"],
+        choices=[
+            "table2", "table3", "table4",
+            "fig1", "fig2", "fig8", "fig9", "policy", "all",
+        ],
     )
     experiment.add_argument("--fast", action="store_true", help="reduced op counts")
     experiment.add_argument(
@@ -645,8 +675,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--bench-json", metavar="DIR", default=None,
         help="also write BENCH_<name>.json snapshot(s) into DIR for "
-             "tools/bench_gate.py (table2/table3/fig8/fig9/fig1, and "
-             "BENCH_wallclock.json with --wall)",
+             "tools/bench_gate.py (table2/table3/fig8/fig9/fig1/policy, "
+             "and BENCH_wallclock.json with --wall)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 
@@ -671,6 +701,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the structured event trace as JSONL to PATH",
+    )
+    replay.add_argument(
+        "--delta-backend", default=None, metavar="NAME",
+        help="delta encoder the client uses when a delta triggers "
+             "(bitwise/rsync/cdc-shingle; deltacfs only, see "
+             "docs/delta-backends.md)",
+    )
+    replay.add_argument(
+        "--sync-policy", default=None,
+        choices=["static", "cost-model", "always-rpc", "always-delta"],
+        help="mechanism-selection policy: static (paper behaviour), "
+             "cost-model (online RPC-vs-delta scoring), or the bounding "
+             "policies (deltacfs only)",
     )
     replay.add_argument(
         "--loss-rate", type=float, default=0.0, metavar="P",

@@ -43,6 +43,17 @@ class DeltaCFSConfig:
             back-pressure (reproduces the Table III fileserver slowdown).
         preserve_unlinked_max_bytes: files larger than this are not preserved
             on unlink (the paper's ENOSPC escape hatch, expressed as a cap).
+        delta_backend: registered :mod:`repro.delta.backends` encoder used
+            when a triggered delta is encoded (``bitwise`` | ``rsync`` |
+            ``cdc-shingle``; default is the paper's bitwise local engine).
+        sync_policy: mechanism-selection policy (see
+            :mod:`repro.core.policy`): ``static`` reproduces the paper's
+            hard-coded trigger bit-for-bit; ``cost-model`` learns per path
+            whether encoding is worth it; ``always-rpc`` / ``always-delta``
+            are the sweep's bounding policies.
+        policy_cpu_byte_rate: byte-equivalents the cost-model policy
+            charges per estimated CPU tick when scoring an encode (0
+            scores bytes only).
     """
 
     block_size: int = 4096
@@ -56,6 +67,9 @@ class DeltaCFSConfig:
     enable_undo_log: bool = True
     sync_queue_capacity: int = 4096
     preserve_unlinked_max_bytes: int = 1 << 30
+    delta_backend: str = "bitwise"
+    sync_policy: str = "static"
+    policy_cpu_byte_rate: float = 1024.0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on nonsensical settings."""
@@ -75,6 +89,18 @@ class DeltaCFSConfig:
             raise ValueError("max_coalesce_delay must be >= upload_delay")
         if self.sync_queue_capacity <= 0:
             raise ValueError("sync_queue_capacity must be positive")
+        if not self.delta_backend:
+            raise ValueError("delta_backend must name a registered backend")
+        # Policy names are validated here (cheap, no imports); the backend
+        # name resolves against the registry when the client builds it.
+        valid_policies = ("static", "cost-model", "always-rpc", "always-delta")
+        if self.sync_policy not in valid_policies:
+            raise ValueError(
+                f"sync_policy must be one of {valid_policies}, "
+                f"not {self.sync_policy!r}"
+            )
+        if self.policy_cpu_byte_rate < 0:
+            raise ValueError("policy_cpu_byte_rate must be non-negative")
 
 
 @dataclass

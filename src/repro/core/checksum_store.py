@@ -100,8 +100,12 @@ class ChecksumStore:
 
     def rename(self, src: str, dst: str) -> None:
         """Move all checksums from ``src`` to ``dst`` (no recomputation)."""
-        self.kv.delete_prefix(dst.encode() + b"\x00")
+        if src == dst:
+            return
+        # Snapshot the source items *before* clearing the destination —
+        # otherwise an overlapping rename would read back its own deletes.
         moved = list(self.kv.items(src.encode() + b"\x00"))
+        self.kv.delete_prefix(dst.encode() + b"\x00")
         for key, value in moved:
             suffix = key[len(src.encode()) + 1 :]
             self.kv.put(dst.encode() + b"\x00" + suffix, value)

@@ -42,8 +42,10 @@ from repro.core.sync_queue import (
 )
 from repro.core.undo_log import UndoLog
 from repro.common.version import VersionCounter, VersionStamp
+from repro.core.policy import MechanismPlan, UpdateStats, make_policy
 from repro.cost.meter import CostMeter, NULL_METER
-from repro.delta.bitwise import bitwise_delta
+from repro.cost.profile import PC_PROFILE
+from repro.delta.format import Delta
 from repro.net.messages import (
     ConflictNotice,
     FileDownload,
@@ -140,6 +142,18 @@ class DeltaCFSClient(PassthroughFileSystem):
         self.clock = clock if clock is not None else VirtualClock()
         self.meter = meter
         self.obs = obs
+        # Mechanism selection: which encoder a triggered delta uses and
+        # whether encoding is attempted at all (see repro.core.policy).
+        # The default ("static" over "bitwise") reproduces the paper's
+        # hard-coded trigger bit-for-bit.
+        self.policy = make_policy(
+            self.config.sync_policy,
+            self.config.delta_backend,
+            block_size=self.config.block_size,
+            profile=getattr(meter, "profile", PC_PROFILE),
+            obs=obs,
+            cpu_byte_rate=self.config.policy_cpu_byte_rate,
+        )
 
         self.relations = RelationTable(
             timeout=self.config.relation_timeout, obs=obs
@@ -696,23 +710,24 @@ class DeltaCFSClient(PassthroughFileSystem):
                 self._drop_preserved(preserved_tmp)
             return
         new_content = self.inner.read_file(path)
-        with self.obs.span(
-            "client.delta.encode",
-            path=path,
-            old_bytes=len(old_content),
-            new_bytes=len(new_content),
-        ):
-            delta = bitwise_delta(
-                old_content, new_content, self.config.block_size, meter=self.meter
-            )
         replaced_payload = sum(n.payload_bytes() for n in doomed)
-        if delta.wire_size() >= replaced_payload:
+        stats = UpdateStats(
+            rpc_bytes=replaced_payload,
+            changed_bytes=sum(
+                n.payload_bytes() for n in doomed if isinstance(n, WriteNode)
+            ),
+            node_count=len(doomed),
+        )
+        delta, plan, keep = self._policy_encode(path, old_content, new_content, stats)
+        if not keep:
             if self.obs.enabled:
                 self.obs.inc("client.delta.rpc_wins")
                 self.obs.event(
                     "client.delta.rpc_wins",
                     path=path,
-                    delta_bytes=delta.wire_size(),
+                    delta_bytes=delta.wire_size()
+                    if delta is not None
+                    else plan.est_delta_bytes,
                     replaced_bytes=replaced_payload,
                 )
             if preserved_tmp is not None:
@@ -722,7 +737,8 @@ class DeltaCFSClient(PassthroughFileSystem):
         if self.obs.enabled:
             self.obs.inc("client.delta.kept")
             self.obs.inc(
-                "client.delta.saved_bytes", replaced_payload - delta.wire_size()
+                "client.delta.saved_bytes",
+                max(0, replaced_payload - delta.wire_size()),
             )
             self.obs.event(
                 "client.delta.kept",
@@ -745,17 +761,58 @@ class DeltaCFSClient(PassthroughFileSystem):
         if preserved_tmp is not None:
             self._drop_preserved(preserved_tmp)
 
+    def _policy_encode(
+        self,
+        path: str,
+        old_content: bytes,
+        new_content: bytes,
+        stats: UpdateStats,
+    ) -> Tuple[Optional[Delta], MechanismPlan, bool]:
+        """Consult the mechanism policy and (maybe) encode a delta.
+
+        Returns ``(delta, plan, keep)``: ``delta`` is ``None`` when the
+        policy pre-chose RPC and skipped the encode entirely (the CPU the
+        cost-model policy saves); ``keep`` says whether the caller should
+        replace the queued nodes with the delta.
+        """
+        plan = self.policy.plan(path, len(old_content), len(new_content), stats)
+        if plan.backend is None:
+            return None, plan, False
+        with self.obs.span(
+            "client.delta.encode",
+            path=path,
+            old_bytes=len(old_content),
+            new_bytes=len(new_content),
+        ):
+            delta = plan.backend.encode(
+                old_content, new_content, self.config.block_size, meter=self.meter
+            )
+        self.policy.observe_outcome(path, plan, delta.wire_size(), stats.rpc_bytes)
+        keep = plan.force_keep or delta.wire_size() < stats.rpc_bytes
+        return delta, plan, keep
+
     def _pending_data_nodes_for_content(self, path: str) -> List[QueueNode]:
         """Queued data nodes that (re-)uploaded this file's new content.
 
         After ``rename tmp -> f`` the write nodes still carry the temporary
         name; we trace back through rename meta nodes queued for ``path``.
+        A multi-hop chain is queued in FIFO order (``rename tmp2 -> tmp1``
+        *before* ``rename tmp1 -> path``), so a single forward pass over
+        the queue would discover ``tmp1`` only after having skipped past
+        ``tmp2``'s rename — iterate to a fixpoint instead.
         """
         names = {path}
         live = self.queue.nodes()
-        for node in live:
-            if isinstance(node, MetaNode) and node.kind == "rename" and node.dest in names:
-                names.add(node.path)
+        renames = [
+            n for n in live if isinstance(n, MetaNode) and n.kind == "rename"
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for node in renames:
+                if node.dest in names and node.path not in names:
+                    names.add(node.path)
+                    changed = True
         return [
             n
             for n in live
@@ -830,16 +887,13 @@ class DeltaCFSClient(PassthroughFileSystem):
                 self._drop_preserved(preserved_tmp)
             return
         new_content = self.inner.read_file(path)
-        with self.obs.span(
-            "client.delta.encode",
-            path=path,
-            old_bytes=len(old_content),
-            new_bytes=len(new_content),
-        ):
-            delta = bitwise_delta(
-                old_content, new_content, self.config.block_size, meter=self.meter
-            )
-        if delta.wire_size() < node.payload_bytes():
+        stats = UpdateStats(
+            rpc_bytes=node.payload_bytes(),
+            changed_bytes=node.payload_bytes(),
+            node_count=1,
+        )
+        delta, plan, keep = self._policy_encode(path, old_content, new_content, stats)
+        if keep:
             if count_inplace:
                 self.stats.inplace_deltas += 1
                 self.obs.inc("client.delta.inplace")
@@ -849,7 +903,7 @@ class DeltaCFSClient(PassthroughFileSystem):
             if self.obs.enabled:
                 self.obs.inc(
                     "client.delta.saved_bytes",
-                    node.payload_bytes() - delta.wire_size(),
+                    max(0, node.payload_bytes() - delta.wire_size()),
                 )
                 self.obs.event(
                     "client.delta.kept",
@@ -875,7 +929,9 @@ class DeltaCFSClient(PassthroughFileSystem):
             self.obs.event(
                 "client.delta.rpc_wins",
                 path=path,
-                delta_bytes=delta.wire_size(),
+                delta_bytes=delta.wire_size()
+                if delta is not None
+                else plan.est_delta_bytes,
                 replaced_bytes=node.payload_bytes(),
             )
         if preserved_tmp is not None:

@@ -38,6 +38,12 @@ def _encode_varint(value: int) -> bytes:
             return bytes(out)
 
 
+# A canonical unsigned 64-bit varint never needs more than 10 groups of 7
+# bits; anything longer is an over-long encoding (a corruption/ambiguity
+# vector — 0 can be spelled with arbitrarily many continuation bytes).
+_MAX_VARINT_SHIFT = 63
+
+
 def _decode_varint(buf: bytes, pos: int) -> tuple[int, int]:
     """Decode a varint at ``pos``; returns ``(value, next_pos)``."""
     value = 0
@@ -45,6 +51,8 @@ def _decode_varint(buf: bytes, pos: int) -> tuple[int, int]:
     while True:
         if pos >= len(buf):
             raise ValueError("truncated varint")
+        if shift > _MAX_VARINT_SHIFT:
+            raise ValueError("over-long varint encoding")
         byte = buf[pos]
         pos += 1
         value |= (byte & 0x7F) << shift
@@ -156,6 +164,19 @@ class Delta:
                 pos += length
             else:
                 raise ValueError(f"unknown delta op tag 0x{tag:02x}")
+        if pos != len(buf):
+            raise ValueError(
+                f"{len(buf) - pos} trailing byte(s) after the declared "
+                f"{op_count} op(s)"
+            )
+        reconstructed = sum(
+            op.length if isinstance(op, Copy) else len(op.data) for op in ops
+        )
+        if reconstructed != target_size:
+            raise ValueError(
+                f"ops reconstruct {reconstructed} bytes but the header "
+                f"promises {target_size}"
+            )
         delta = cls()
         for op in ops:
             delta.ops.append(op)

@@ -191,6 +191,42 @@ def fig9_network_mobile(fast: bool = False) -> List[RunResult]:
 
 
 # ---------------------------------------------------------------------------
+# Policy sweep — Figure 8 traces x mechanism-selection policies
+# ---------------------------------------------------------------------------
+
+SWEEP_POLICIES = ("static", "cost-model", "always-rpc", "always-delta")
+
+
+def policy_sweep(fast: bool = False) -> List[RunResult]:
+    """DeltaCFS over the Figure-8 traces under every mechanism policy.
+
+    The ``static`` rows must be byte-identical to Figure 8's ``deltacfs``
+    rows (same traces, same config, default policy); ``always-rpc`` and
+    ``always-delta`` bracket the selection space; ``cost-model`` must land
+    within 5% of the better bracket on total uplink (the acceptance bar
+    the policy bench lane gates). Runs are stamped with a
+    ``policy-<name>`` setting so bench keys never collide with fig8's.
+    """
+    from repro.common.config import DeltaCFSConfig
+
+    results: List[RunResult] = []
+    for trace_name, (trace, scale) in bench_traces(fast).items():
+        for policy in SWEEP_POLICIES:
+            config = DeltaCFSConfig(enable_checksums=False, sync_policy=policy)
+            result = run_trace(
+                "deltacfs",
+                trace,
+                profile=PC_PROFILE,
+                network=PC_NETWORK,
+                config=config,
+                **_scaled_kwargs(scale),
+            )
+            result.extra["setting"] = f"policy-{policy}"
+            results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------------
 # Figure 1 — motivation: client resource consumption (Dropbox vs Seafile)
 # ---------------------------------------------------------------------------
 

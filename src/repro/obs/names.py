@@ -9,11 +9,12 @@ drift apart in either direction.
 
 Naming scheme: ``<subsystem>.<object>.<aspect>`` with dot separators and
 ``snake_case`` segments. Subsystem prefixes in use: ``client`` (the
-DeltaCFS client engine), ``queue`` (the Sync Queue), ``relation`` (the
-Relation Table), ``channel`` (the accounted link), ``server`` (the cloud
-apply path), ``transport`` (the reliable delivery layer), ``journal``
-(the crash-recovery sync-intent journal), ``recovery`` (post-crash
-recovery), ``run`` (the experiment harness).
+DeltaCFS client engine), ``policy`` (mechanism selection — RPC vs delta
+backend), ``queue`` (the Sync Queue), ``relation`` (the Relation Table),
+``channel`` (the accounted link), ``server`` (the cloud apply path),
+``transport`` (the reliable delivery layer), ``journal`` (the
+crash-recovery sync-intent journal), ``recovery`` (post-crash recovery),
+``run`` (the experiment harness).
 """
 
 from __future__ import annotations
@@ -169,6 +170,35 @@ METRICS: Tuple[MetricSpec, ...] = (
         COUNTER,
         "sync-queue-full back-pressure events (forced pumps)",
         unit="ops",
+    ),
+    # -- mechanism-selection policy ----------------------------------------
+    MetricSpec(
+        "policy.decisions",
+        COUNTER,
+        "mechanism-selection decisions, labelled by chosen mechanism "
+        "(rpc or the delta backend name)",
+        unit="ops",
+    ),
+    MetricSpec(
+        "policy.estimate.rpc_bytes",
+        COUNTER,
+        "uplink bytes the policy predicted for the RPC mechanism at "
+        "decision time, labelled by policy",
+        unit="bytes",
+    ),
+    MetricSpec(
+        "policy.estimate.delta_bytes",
+        COUNTER,
+        "uplink bytes the policy predicted for the chosen delta backend "
+        "at decision time, labelled by policy",
+        unit="bytes",
+    ),
+    MetricSpec(
+        "policy.estimate.abs_error_bytes",
+        COUNTER,
+        "absolute error between predicted and measured delta wire bytes, "
+        "accumulated over actual encodes, labelled by policy",
+        unit="bytes",
     ),
     # -- sync queue --------------------------------------------------------
     MetricSpec(
@@ -574,6 +604,14 @@ EVENTS: Tuple[EventSpec, ...] = (
         "event",
         "trigger abandoned: base version unresolvable on the cloud",
         attrs=("path",),
+    ),
+    # -- mechanism-selection policy ----------------------------------------
+    EventSpec(
+        "policy.decision",
+        "event",
+        "the mechanism policy chose RPC or a delta backend for one "
+        "triggered update; mechanism is rpc or the backend name",
+        attrs=("path", "policy", "mechanism", "rpc_bytes", "est_delta_bytes"),
     ),
     # -- channel -----------------------------------------------------------
     EventSpec(

@@ -46,6 +46,26 @@ class TestMaintenance:
         assert store.blocks_of("/a") == []
         store.verify_read("/b", content, 0, len(content))
 
+    def test_self_rename_is_noop(self, store):
+        # Regression: rename(src, src) cleared the destination prefix
+        # first, which for a self-rename wiped every checksum of the file.
+        content = _content(BLOCK * 3)
+        store.reindex("/a", content)
+        store.rename("/a", "/a")
+        assert store.blocks_of("/a") == [0, 1, 2]
+        store.verify_read("/a", content, 0, len(content))
+
+    def test_rename_onto_tracked_destination_replaces(self, store):
+        # The destination's old checksums must vanish, the source's must
+        # survive the overlap-safe snapshot.
+        src_content = _content(BLOCK * 2)
+        store.reindex("/src", src_content)
+        store.reindex("/dst", _content(BLOCK * 5, seed=7))
+        store.rename("/src", "/dst")
+        assert store.blocks_of("/src") == []
+        assert store.blocks_of("/dst") == [0, 1]
+        store.verify_read("/dst", src_content, 0, len(src_content))
+
     def test_drop(self, store):
         store.reindex("/f", _content(BLOCK))
         store.drop("/f")

@@ -1,0 +1,108 @@
+"""Backend-conformance suite: every registered encoder honours the protocol.
+
+Each backend in ``repro.delta.backends`` must (a) roundtrip — applying its
+delta to the base reconstructs the target exactly, (b) account honestly —
+``wire_size()`` equals the encoded length, (c) survive a decode on the
+"server side", and (d) handle the block-size edge cases the golden
+fixtures pin (empty file, exactly one block, trailing partial block,
+match-dense, ...). A new backend inherits the entire suite the moment it
+calls ``register_backend``.
+"""
+
+import pytest
+
+from repro.cost.meter import CostMeter
+from repro.cost.profile import MOBILE_PROFILE, PC_PROFILE
+from repro.delta.backends import (
+    DeltaBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.delta.format import Delta
+
+from tests.delta.test_golden import BLOCK_SIZE, _inputs
+
+CASES = sorted(_inputs())
+
+
+@pytest.fixture(params=backend_names())
+def backend(request):
+    return get_backend(request.param)
+
+
+class TestRegistry:
+    def test_the_three_shipped_backends_are_registered(self):
+        assert {"bitwise", "rsync", "cdc-shingle"} <= set(backend_names())
+
+    def test_unknown_name_raises_naming_the_options(self):
+        with pytest.raises(ValueError, match="bitwise"):
+            get_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("bitwise"))
+
+    def test_unnamed_backend_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            register_backend(DeltaBackend())
+
+
+class TestConformance:
+    @pytest.mark.parametrize("case", CASES)
+    def test_encode_apply_roundtrip(self, backend, case):
+        base, target = _inputs()[case]
+        delta = backend.encode(base, target, BLOCK_SIZE)
+        assert backend.apply(base, delta) == target
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_wire_size_matches_encoded_length(self, backend, case):
+        base, target = _inputs()[case]
+        delta = backend.encode(base, target, BLOCK_SIZE)
+        assert delta.wire_size() == len(delta.encode())
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_survives_a_wire_roundtrip(self, backend, case):
+        base, target = _inputs()[case]
+        delta = backend.encode(base, target, BLOCK_SIZE)
+        assert backend.apply(base, Delta.decode(delta.encode())) == target
+
+    def test_sparse_edit_beats_shipping_the_file(self, backend):
+        # match_dense: a 4-byte edit in an 8-block file — every backend
+        # must do clearly better than re-uploading the whole target.
+        base, target = _inputs()["match_dense"]
+        delta = backend.encode(base, target, BLOCK_SIZE)
+        assert delta.wire_size() < len(target)
+
+    def test_signature_is_computable(self, backend):
+        base, _ = _inputs()["match_dense"]
+        assert backend.signature(base, BLOCK_SIZE) is not None
+
+    def test_encode_charges_the_meter(self, backend):
+        base, target = _inputs()["match_dense"]
+        meter = CostMeter()
+        backend.encode(base, target, BLOCK_SIZE, meter=meter)
+        assert meter.total > 0
+
+
+class TestCostEstimates:
+    def test_ticks_positive_and_monotone_in_size(self, backend):
+        small = backend.estimate_ticks(1 << 10, 1 << 10, 4096, PC_PROFILE)
+        big = backend.estimate_ticks(1 << 22, 1 << 22, 4096, PC_PROFILE)
+        assert 0 < small < big
+
+    def test_ticks_scale_with_the_profile(self, backend):
+        # The mobile profile charges ~12x per byte; the estimate must see it.
+        pc = backend.estimate_ticks(1 << 20, 1 << 20, 4096, PC_PROFILE)
+        mobile = backend.estimate_ticks(1 << 20, 1 << 20, 4096, MOBILE_PROFILE)
+        assert mobile > pc
+
+    def test_wire_bytes_estimate_brackets_the_change(self, backend):
+        est = backend.estimate_wire_bytes(100_000, 100_000, 1_000, 4096)
+        # at least the changed bytes, far less than re-uploading the file
+        assert 1_000 <= est < 100_000
+
+    def test_wire_bytes_estimate_clamps_bad_inputs(self, backend):
+        # changed_bytes beyond the file (or negative) must not explode
+        assert backend.estimate_wire_bytes(100, 100, 10_000, 4096) <= 100 + 12
+        assert backend.estimate_wire_bytes(100, 100, -5, 4096) >= 0

@@ -1,9 +1,18 @@
 """Tests for the delta instruction stream and wire encoding."""
 
+import struct
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.delta.format import Copy, Delta, Literal, _decode_varint, _encode_varint
+from repro.delta.format import (
+    _LITERAL_TAG,
+    Copy,
+    Delta,
+    Literal,
+    _decode_varint,
+    _encode_varint,
+)
 
 
 class TestVarint:
@@ -122,3 +131,49 @@ class TestWireRoundTrip:
         decoded = Delta.decode(delta.encode())
         assert decoded.ops == delta.ops
         assert decoded.target_size == delta.target_size
+
+
+class TestDecodeHardening:
+    # Regressions: decode used to accept trailing garbage, never checked
+    # the header's target_size against the ops, and let a varint carry an
+    # unbounded run of continuation bytes.
+
+    def test_trailing_garbage_rejected(self):
+        buf = Delta.from_ops([Copy(0, 4), Literal(b"ab")]).encode()
+        with pytest.raises(ValueError, match="trailing"):
+            Delta.decode(buf + b"\x00")
+
+    def test_trailing_extra_op_rejected(self):
+        # A well-formed extra op past the declared count is still garbage.
+        buf = Delta.from_ops([Copy(0, 4)]).encode() + Copy(4, 4).encode()
+        with pytest.raises(ValueError, match="trailing"):
+            Delta.decode(buf)
+
+    def test_target_size_mismatch_rejected(self):
+        buf = bytearray(Delta.from_ops([Literal(b"abcd")]).encode())
+        struct.pack_into("<I", buf, 4, 99)  # inflate the promised size
+        with pytest.raises(ValueError, match="promises 99"):
+            Delta.decode(bytes(buf))
+
+    def test_target_size_zero_spoof_rejected(self):
+        buf = bytearray(Delta.from_ops([Copy(0, 64)]).encode())
+        struct.pack_into("<I", buf, 4, 0)
+        with pytest.raises(ValueError, match="promises 0"):
+            Delta.decode(bytes(buf))
+
+    def test_overlong_varint_rejected_in_stream(self):
+        # 0 spelled with ten continuation bytes decodes to 0 but is a
+        # non-canonical, unbounded encoding: reject it.
+        overlong = b"\x80" * 10 + b"\x00"
+        buf = struct.pack("<II", 1, 0) + bytes([_LITERAL_TAG]) + overlong
+        with pytest.raises(ValueError, match="over-long"):
+            Delta.decode(buf)
+
+    def test_overlong_varint_rejected_directly(self):
+        with pytest.raises(ValueError, match="over-long"):
+            _decode_varint(b"\x80" * 10 + b"\x01", 0)
+
+    def test_maximal_canonical_varint_still_accepted(self):
+        value = (1 << 63) - 1  # widest value the canonical range allows
+        decoded, _ = _decode_varint(_encode_varint(value), 0)
+        assert decoded == value

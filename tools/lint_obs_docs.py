@@ -6,9 +6,9 @@ Four checks:
 1. every metric/event/span name declared in ``repro.obs.names`` must appear
    (backtick-quoted) in ``docs/observability.md``;
 2. every backtick-quoted dotted name in the doc that uses an instrumented
-   subsystem prefix (``client.`` / ``queue.`` / ``relation.`` /
-   ``channel.`` / ``server.`` / ``transport.`` / ``journal.`` /
-   ``recovery.`` / ``run.``) must be declared in code;
+   subsystem prefix (``client.`` / ``policy.`` / ``queue.`` /
+   ``relation.`` / ``channel.`` / ``server.`` / ``transport.`` /
+   ``journal.`` / ``recovery.`` / ``run.``) must be declared in code;
 3. the span/event **attr** tables in the doc (``| name | attrs | ... |``
    rows) must list exactly the attrs each ``EventSpec`` declares, in the
    declared order — and every declared event/span must have a row;
@@ -57,6 +57,7 @@ def bench_lane_problems() -> list:
 NAME_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
 PREFIXES = (
     "client.",
+    "policy.",
     "queue.",
     "relation.",
     "channel.",
