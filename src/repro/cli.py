@@ -12,6 +12,8 @@ Usage (installed, or ``python -m repro``):
     python -m repro experiment fig8 --fast --bench-json benchmarks/
     python -m repro check
     python -m repro check --traces trace.jsonl crash-trace.jsonl
+    python -m repro fleet --clients 10000 --shards 8 --arrival bursty
+    python -m repro fleet --curve --bench-json bench_out/
 """
 
 from __future__ import annotations
@@ -248,6 +250,96 @@ def _cmd_experiment(args) -> int:
             file=sys.stderr,
         )
         return 2
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """Fleet-scale virtual-time simulation against the sharded cloud."""
+    from repro.harness.fleet import (
+        FLEET_CURVE,
+        FleetSpec,
+        bench_doc,
+        fleet_curve,
+        run_fleet,
+    )
+    from repro.obs import NULL_OBS, Observability
+
+    trace_sink = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        if args.clients > 2000 and not args.curve:
+            print(
+                "--trace-out records every pipeline event; cap --clients "
+                "at 2000 for a recordable run",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            trace_sink = open(args.trace_out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot write trace to {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        obs = Observability(tracer=Tracer(sink=trace_sink))
+    elif args.metrics:
+        obs = Observability()
+    else:
+        obs = NULL_OBS
+
+    def show(results) -> None:
+        print(format_table(
+            [
+                "clients", "shards", "arrival", "writes",
+                "p50 s", "p99 s", "max s",
+                "shard ticks max", "peak q", "up",
+            ],
+            [[
+                r.spec.n_clients,
+                r.spec.n_shards,
+                r.spec.arrival,
+                r.writes,
+                f"{r.p50_latency:.3f}",
+                f"{r.p99_latency:.3f}",
+                f"{r.max_latency:.3f}",
+                f"{max(r.shard_ticks):.3f}",
+                max(r.shard_queue_peak),
+                format_bytes(r.total_up_bytes),
+            ] for r in results],
+        ))
+
+    try:
+        if args.curve or args.bench_json:
+            results = fleet_curve(FLEET_CURVE, obs=obs)
+            show(results)
+            if args.bench_json:
+                _write_bench_doc(args.bench_json, "fleet", bench_doc(results))
+        else:
+            spec = FleetSpec(
+                n_clients=args.clients,
+                n_shards=args.shards,
+                writes_per_client=args.writes_per_client,
+                arrival=args.arrival,
+                mean_gap=args.mean_gap,
+                burst_every=args.burst_every,
+                tick_seconds=args.tick_seconds,
+                seed=args.seed,
+            )
+            try:
+                spec.validate()
+            except ValueError as exc:
+                print(f"bad fleet spec: {exc}", file=sys.stderr)
+                return 2
+            results = [run_fleet(spec, obs=obs)]
+            show(results)
+        if trace_sink is not None:
+            _finish_trace_out(args.trace_out, trace_sink, obs)
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+    if args.metrics:
+        print()
+        print(obs.report())
     return 0
 
 
@@ -679,6 +771,48 @@ def build_parser() -> argparse.ArgumentParser:
              "and BENCH_wallclock.json with --wall)",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="virtual-time fleet simulation against the sharded cloud "
+             "(see docs/fleet.md)",
+    )
+    fleet.add_argument("--clients", type=int, default=10_000,
+                       help="simulated clients (default 10000)")
+    fleet.add_argument("--shards", type=int, default=8,
+                       help="CloudServer shards behind the router")
+    fleet.add_argument("--writes-per-client", type=int, default=3)
+    fleet.add_argument("--arrival", choices=["poisson", "bursty"],
+                       default="poisson",
+                       help="independent exponential gaps, or synchronized "
+                            "waves that stress shard queues")
+    fleet.add_argument("--mean-gap", type=float, default=20.0,
+                       help="poisson: mean seconds between one client's writes")
+    fleet.add_argument("--burst-every", type=float, default=20.0,
+                       help="bursty: seconds between waves")
+    fleet.add_argument("--tick-seconds", type=float, default=8.0,
+                       help="virtual seconds of shard-core time per modelled "
+                            "CPU tick (wimpy-core scale factor)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--curve", action="store_true",
+        help="run the committed scaling curve instead of a single spec",
+    )
+    fleet.add_argument(
+        "--bench-json", metavar="DIR", default=None,
+        help="run the committed curve and write BENCH_fleet.json into DIR "
+             "for tools/bench_gate.py",
+    )
+    fleet.add_argument(
+        "--metrics", action="store_true",
+        help="print the observability metrics report after the run",
+    )
+    fleet.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the structured event trace as JSONL to PATH "
+             "(small fleets only; feeds `repro check --traces`)",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     trace = sub.add_parser("trace", help="generate and save a workload trace")
     trace.add_argument("workload", choices=["append", "random", "word", "wechat", "gedit"])

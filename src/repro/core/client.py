@@ -113,6 +113,11 @@ class DeltaCFSClient(PassthroughFileSystem):
             are intercepted, and :meth:`recover` can rebuild the volatile
             state after a crash. Pair with a ``LogStructuredKV`` opened in
             ``sync=True`` mode for real power-cut durability.
+        shares: share prefixes to register with the server (Section
+            III-D selective sharing). ``None`` keeps the server-side
+            default (subscribe to everything); fleet-scale harnesses pass
+            the client's own namespace so a sharded server can scope the
+            registration to one shard instead of all of them.
     """
 
     def __init__(
@@ -129,6 +134,7 @@ class DeltaCFSClient(PassthroughFileSystem):
         checksum_kv=None,
         transport: Optional[ReliableTransport] = None,
         journal_kv=None,
+        shares: Optional[Tuple[str, ...]] = None,
     ):
         super().__init__(inner)
         self.config = config if config is not None else DeltaCFSConfig()
@@ -197,7 +203,12 @@ class DeltaCFSClient(PassthroughFileSystem):
         self.conflict_notices: List[ConflictNotice] = []
 
         if server is not None:
-            server.register_client(client_id, self._receive_forward)
+            if shares is not None:
+                server.register_client(
+                    client_id, self._receive_forward, shares=shares
+                )
+            else:
+                server.register_client(client_id, self._receive_forward)
 
     # ------------------------------------------------------------------
     # file operations (the FUSE surface)

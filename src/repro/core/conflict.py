@@ -19,9 +19,12 @@ def conflict_path(path: str, losing_version: VersionStamp) -> str:
 
     ``/docs/report.txt`` lost by client 7's 42nd version becomes
     ``/docs/report (conflicted copy c7-42).txt`` — the familiar
-    Dropbox-style convention.
+    Dropbox-style convention. The tag goes before the *final* extension
+    only (``archive.tar.gz`` -> ``archive.tar (conflicted copy ...).gz``),
+    and a dotfile like ``.gitignore`` keeps its leading dot as part of the
+    stem rather than producing a name that starts with a space.
     """
     directory, name = posixpath.split(path)
-    stem, dot, ext = name.partition(".")
+    stem, ext = posixpath.splitext(name)
     tag = f" (conflicted copy c{losing_version.client_id}-{losing_version.counter})"
-    return posixpath.join(directory, f"{stem}{tag}{dot}{ext}")
+    return posixpath.join(directory, f"{stem}{tag}{ext}")

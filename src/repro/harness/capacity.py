@@ -11,16 +11,13 @@ replays a per-client workload, and reports how server work scales.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.common.clock import VirtualClock
-from repro.common.config import DeltaCFSConfig
 from repro.common.rng import DeterministicRandom
-from repro.core.client import DeltaCFSClient
 from repro.cost.meter import CostMeter
-from repro.net.transport import Channel
+from repro.harness.fleet import provision_clients
+from repro.net.transport import NetworkStats
 from repro.server.cloud import CloudServer
-from repro.vfs.filesystem import MemoryFileSystem
 
 
 @dataclass
@@ -42,35 +39,27 @@ def run_capacity(
     file_size: int = 256 * 1024,
     seed: int = 0,
 ) -> CapacityResult:
-    """Each client maintains a private file with periodic in-place writes."""
+    """Each client maintains a private file with periodic in-place writes.
+
+    Clients come from the fleet driver's construction path
+    (:func:`repro.harness.fleet.provision_clients`) so capacity and
+    fleet numbers stay comparable — same selective-share registration
+    (one subscription scoped to ``/u{i}``, not a transient whole-account
+    one), same per-client seed stream, same config.
+    """
     clock = VirtualClock()
     server_meter = CostMeter()
     server = CloudServer(meter=server_meter)
-    clients: List[DeltaCFSClient] = []
-    channels: List[Channel] = []
     rng = DeterministicRandom(seed)
 
-    for client_id in range(1, n_clients + 1):
-        channel = Channel(server_meter=server_meter)
-        client = DeltaCFSClient(
-            MemoryFileSystem(),
-            server=server,
-            channel=channel,
-            clock=clock,
-            client_id=client_id,
-            config=DeltaCFSConfig(enable_checksums=False),
-        )
-        # selective sharing: this device only subscribes to its own folder
-        server.register_client(
-            client_id, client._receive_forward, shares=(f"/u{client_id}",)
-        )
-        path = f"/u{client_id}/data.bin"
-        client.mkdir(f"/u{client_id}")
-        client.create(path)
-        client.write(path, 0, rng.fork(str(client_id)).random_bytes(file_size))
-        client.close(path)
-        clients.append(client)
-        channels.append(channel)
+    clients, channels = provision_clients(
+        n_clients,
+        server=server,
+        clock=clock,
+        rng=rng,
+        file_size=file_size,
+        server_meter_for=lambda client_id: server_meter,
+    )
 
     # seed uploads settle outside the measurement
     for _ in range(8):
@@ -81,7 +70,9 @@ def run_capacity(
         client.flush()
     server_meter.reset()
     for channel in channels:
-        channel.stats.up_bytes = 0
+        # Full reset (not just up_bytes): seed-phase message counts and
+        # down bytes must not leak into the measured window either.
+        channel.stats = NetworkStats()
 
     for round_index in range(writes_per_client):
         for client_id, client in enumerate(clients, start=1):

@@ -14,7 +14,8 @@ backend), ``queue`` (the Sync Queue), ``relation`` (the Relation Table),
 ``channel`` (the accounted link), ``server`` (the cloud apply path),
 ``transport`` (the reliable delivery layer), ``journal`` (the
 crash-recovery sync-intent journal), ``recovery`` (post-crash recovery),
-``run`` (the experiment harness).
+``run`` (the experiment harness), ``fleet`` (the fleet-scale virtual-time
+simulation driver; ``server.shard.*`` covers the shard router).
 """
 
 from __future__ import annotations
@@ -435,6 +436,48 @@ METRICS: Tuple[MetricSpec, ...] = (
         "retransmitted envelopes absorbed by the message-id dedup table",
         unit="msgs",
     ),
+    MetricSpec(
+        "server.shard.migrations",
+        COUNTER,
+        "file bundles moved between shards to co-locate a cross-shard "
+        "rename, link, or transactional group before applying, labelled "
+        "by reason (rename | link | group | meta)",
+        unit="files",
+    ),
+    # -- fleet simulation driver -------------------------------------------
+    MetricSpec(
+        "fleet.clients",
+        GAUGE,
+        "simulated clients provisioned for the current fleet run",
+        unit="clients",
+    ),
+    MetricSpec(
+        "fleet.writes.issued",
+        COUNTER,
+        "measured-window writes issued by fleet clients (seeding excluded)",
+        unit="ops",
+    ),
+    MetricSpec(
+        "fleet.sync.latency",
+        HISTOGRAM,
+        "virtual seconds from a client write to its durable apply on the "
+        "owning shard (debounce wait + shard queueing + service)",
+        unit="seconds",
+        buckets=DURATION_BUCKETS,
+    ),
+    MetricSpec(
+        "fleet.shard.queue_depth",
+        GAUGE,
+        "upload units in flight on one shard's FIFO core, labelled by shard",
+        unit="ops",
+    ),
+    MetricSpec(
+        "fleet.shard.busy_time",
+        COUNTER,
+        "virtual seconds of modelled core time one shard spent applying, "
+        "labelled by shard",
+        unit="seconds",
+    ),
     # -- crash-recovery journal --------------------------------------------
     MetricSpec(
         "journal.records.written",
@@ -675,6 +718,15 @@ EVENTS: Tuple[EventSpec, ...] = (
         "(the exactly-once and causal-FIFO invariants are checked "
         "against these events by repro.check.invariants)",
         attrs=("client", "msg_id", "attempt", "duplicate"),
+    ),
+    EventSpec(
+        "server.shard.rename_forward",
+        "event",
+        "a rename spanned two shards: the source file bundle (content, "
+        "lineage, window snapshots) migrated through the router's "
+        "relocation table to the destination's shard, which then applied "
+        "the rename locally (the two-step cross-shard rename)",
+        attrs=("path", "dest", "src_shard", "dst_shard"),
     ),
     EventSpec(
         "server.version.accepted",

@@ -76,6 +76,16 @@ class CloudServer:
         self.dirs: Set[str] = {"/"}
         self._sinks: Dict[int, ForwardSink] = {}
         self._shares: Dict[int, Tuple[str, ...]] = {}
+        # Fan-out index: normalized share prefix -> insertion-ordered set of
+        # subscriber ids (dict used as an ordered set). Forwarding walks the
+        # touched path's ancestor chain instead of every registered sink,
+        # which is what keeps a 10^4-client fleet out of O(clients^2).
+        self._share_index: Dict[str, Dict[int, None]] = {}
+        # Registration sequence per client: candidate sinks gathered from
+        # several index buckets are replayed in registration order so the
+        # fan-out order is identical to the pre-index full scan.
+        self._reg_seq: Dict[int, int] = {}
+        self._reg_counter = 0
         self.apply_log: List[ApplyResult] = []
         # Order in which paths reached their current content — used by the
         # causal-ordering reliability test (Table IV "Causal" column).
@@ -103,13 +113,51 @@ class CloudServer:
         shares these files with another client B"). The default subscribes
         to everything, matching a whole-account sync folder.
         """
+        if client_id in self._sinks:
+            # Re-registration replaces the previous subscription in place.
+            self._drop_registration(client_id)
         self._sinks[client_id] = sink
         self._shares[client_id] = shares
+        self._reg_seq[client_id] = self._reg_counter
+        self._reg_counter += 1
+        for prefix in shares:
+            bucket = self._share_index.setdefault(self._norm_prefix(prefix), {})
+            bucket[client_id] = None
 
     def unregister_client(self, client_id: int) -> None:
-        """Detach a client from fan-out."""
+        """Detach a client and drop all its per-session server state.
+
+        Besides the fan-out sink and shares this releases the client's
+        reliable-delivery dedup window — under churn (the fleet driver
+        registers and retires thousands of clients) keeping those
+        OrderedDicts alive leaks memory proportional to every client that
+        ever connected. A client that re-registers after unregistering
+        starts a fresh dedup window, which is correct: its transport also
+        restarts msg_ids from 1.
+        """
+        self._drop_registration(client_id)
+        self._dedup.pop(client_id, None)
+
+    def _drop_registration(self, client_id: int) -> None:
+        """Remove the fan-out subscription only (keeps dedup state).
+
+        Used by re-registration and by the shard router when narrowing a
+        client's shard set — neither of which should forget which msg_ids
+        were already applied.
+        """
         self._sinks.pop(client_id, None)
-        self._shares.pop(client_id, None)
+        self._reg_seq.pop(client_id, None)
+        for prefix in self._shares.pop(client_id, ()):
+            norm = self._norm_prefix(prefix)
+            bucket = self._share_index.get(norm)
+            if bucket is not None:
+                bucket.pop(client_id, None)
+                if not bucket:
+                    del self._share_index[norm]
+
+    @staticmethod
+    def _norm_prefix(prefix: str) -> str:
+        return prefix.rstrip("/") or "/"
 
     # -- entry point ---------------------------------------------------------
 
@@ -435,19 +483,45 @@ class CloudServer:
 
     def _forward(self, message: Message, origin_client: int) -> None:
         paths = self._message_paths(message)
-        for client_id, sink in self._sinks.items():
-            if client_id == origin_client:
-                continue
-            shares = self._shares.get(client_id, ("/",))
-            if paths and not any(
-                path.startswith(prefix.rstrip("/") + "/") or path == prefix
-                or prefix == "/"
-                for path in paths
-                for prefix in shares
-            ):
-                continue
+        if paths:
+            candidates: Set[int] = set()
+            for path in paths:
+                for prefix in self._ancestor_prefixes(path):
+                    bucket = self._share_index.get(prefix)
+                    if bucket:
+                        candidates.update(bucket)
+            candidates.discard(origin_client)
+            if not candidates:
+                return
+            recipients = sorted(candidates, key=self._reg_seq.__getitem__)
+        else:
+            # A path-less message is broadcast (matches the pre-index scan,
+            # where no path meant no filter could exclude anyone).
+            recipients = [cid for cid in self._sinks if cid != origin_client]
+        for client_id in recipients:
             self.obs.inc("server.forwards.sent")
-            sink(origin_client, Forward(origin_client=origin_client, inner=message))
+            self._sinks[client_id](
+                origin_client, Forward(origin_client=origin_client, inner=message)
+            )
+
+    @staticmethod
+    def _ancestor_prefixes(path: str) -> List[str]:
+        """``/a/b/c`` -> ``['/a/b/c', '/a/b', '/a', '/']``.
+
+        A share prefix matches exactly when it is one of these, so index
+        lookup is O(path depth) instead of O(registered clients).
+        """
+        out = [path]
+        cursor = path
+        while True:
+            cut = cursor.rfind("/")
+            if cut <= 0:
+                break
+            cursor = cursor[:cut]
+            out.append(cursor)
+        if path != "/":
+            out.append("/")
+        return out
 
     def _message_paths(self, message: Message) -> List[str]:
         if isinstance(message, TxnGroup):

@@ -1,0 +1,445 @@
+"""Sharded multi-tenant cloud topology.
+
+The paper scopes the server deliberately thin (Section VI: "we have
+minimized the overhead on the DeltaCFS server, it only needs to apply
+incremental data") and leaves "the full server system design including
+load balancing" out of scope. This module supplies the minimum of that
+missing half: a :class:`ShardRouter` that consistent-hashes **namespace
+prefixes** (a path's top-level directory, e.g. ``/u123``) onto N
+unmodified :class:`~repro.server.cloud.CloudServer` shards.
+
+Design rules, in order of importance:
+
+1. **Single-shard mode is the identity.** ``ShardRouter(n_shards=1)``
+   must reproduce a bare ``CloudServer`` bit-for-bit (same ticks, same
+   bytes, same apply log) — the capacity-scaling baseline depends on it.
+2. **Per-client session state lives on the home shard.** The reliable
+   -delivery dedup window for a client is kept in exactly one shard's
+   ``_dedup`` table (the *home shard*, chosen by hashing the client id),
+   so exactly-once semantics never depend on which shard a particular
+   envelope's payload routes to, and unregistering a client releases the
+   window in one place.
+3. **Cross-shard rename is migrate-then-apply.** A rename whose source
+   and destination namespaces hash to different shards first *migrates*
+   the source file bundle (live content, version lineage, window
+   snapshots) to the destination shard via
+   ``VersionedStore.detach_entry``/``attach_entry``, records the hop in
+   the router's bounded relocation table, then lets the destination
+   shard apply the rename as a purely local op — so version stamps,
+   forwards, and trace events come out of the ordinary apply path and
+   INV-EXACTLY-ONCE / INV-VERSION-MONO hold unchanged in recorded
+   traces. Transactional groups and links spanning shards co-locate the
+   same way before applying.
+
+Hashing is ``md5`` over ``(shard index, virtual node)`` labels — stable
+across processes and Python versions (``hash()`` is salted and must not
+be used; see DET lint rules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.version import VersionStamp
+from repro.cost.meter import CostMeter
+from repro.net.messages import Envelope, Message, MetaOp, TxnGroup
+from repro.obs import NULL_OBS, Observability
+from repro.server.cloud import ApplyResult, CloudServer, ForwardSink
+
+
+def namespace_of(path: str) -> str:
+    """A path's routing namespace: its top-level directory.
+
+    ``/u123/docs/a.txt`` -> ``/u123``; ``/file`` and ``/`` -> ``/``.
+    """
+    if not path.startswith("/"):
+        return "/"
+    cut = path.find("/", 1)
+    top = path if cut < 0 else path[:cut]
+    return top if len(top) > 1 else "/"
+
+
+class HashRing:
+    """Consistent-hash ring over shard indices with virtual nodes.
+
+    Stable by construction: ring points are md5 digests of string labels,
+    so every process — and every future version of this code base — maps
+    a namespace to the same shard.
+    """
+
+    def __init__(self, n_shards: int, *, vnodes: int = 32):
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for vnode in range(vnodes):
+                points.append((self._point(f"shard-{shard}-vn-{vnode}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    @staticmethod
+    def _point(label: str) -> int:
+        digest = hashlib.md5(label.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def lookup(self, key: str) -> int:
+        """Shard index owning ``key`` (first ring point clockwise)."""
+        h = self._point(key)
+        i = bisect_right(self._hashes, h)
+        if i == len(self._hashes):
+            i = 0
+        return self._shards[i]
+
+
+class _StoreView:
+    """Read-only namespace facade over all shard stores.
+
+    Exposes the subset of :class:`VersionedStore` that clients and tests
+    read through ``server.store`` — routing point lookups by path and
+    searching all shards for stamp-addressed snapshots (a stamp does not
+    say which shard's window holds it; N is small).
+    """
+
+    def __init__(self, router: "ShardRouter"):
+        self._router = router
+
+    def exists(self, path: str) -> bool:
+        return self._router.shard_for_path(path).store.exists(path)
+
+    def get(self, path: str):
+        return self._router.shard_for_path(path).store.get(path)
+
+    def lookup(self, path: str):
+        return self._router.shard_for_path(path).store.lookup(path)
+
+    def snapshot(self, version: VersionStamp) -> Optional[bytes]:
+        for shard in self._router.shards:
+            content = shard.store.snapshot(version)
+            if content is not None:
+                return content
+        return None
+
+    def history(self, path: str) -> List[VersionStamp]:
+        return self._router.shard_for_path(path).store.history(path)
+
+    def restorable_history(self, path: str) -> List[VersionStamp]:
+        return self._router.shard_for_path(path).store.restorable_history(path)
+
+    def paths(self) -> List[str]:
+        out: List[str] = []
+        for shard in self._router.shards:
+            out.extend(shard.store.paths())
+        return sorted(out)
+
+
+class ShardRouter:
+    """N CloudServer shards behind one CloudServer-shaped endpoint.
+
+    Args:
+        n_shards: number of shards.
+        meter: when given, **all** shards charge this one meter — the
+            single-tenant accounting mode the capacity harness uses so a
+            1-shard router is indistinguishable from a bare server. When
+            ``None``, each shard gets its own :class:`CostMeter` (read
+            them via :attr:`shard_meters`) for per-shard load curves.
+        vnodes: virtual nodes per shard on the hash ring.
+        obs: observability hub, shared by the router and every shard.
+        relocation_window: bound on remembered cross-shard moves. An
+            entry aging out means later traffic for that path routes to
+            its natural shard again — acceptable for the same reason the
+            snapshot window is: only recent history must stay resolvable.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        meter: Optional[CostMeter] = None,
+        vnodes: int = 32,
+        obs: Observability = NULL_OBS,
+        relocation_window: int = 4096,
+    ):
+        self.obs = obs
+        self.ring = HashRing(n_shards, vnodes=vnodes)
+        if meter is not None:
+            self.shard_meters: List[CostMeter] = [meter] * n_shards
+        else:
+            self.shard_meters = [CostMeter() for _ in range(n_shards)]
+        self.shards: List[CloudServer] = [
+            CloudServer(meter=self.shard_meters[i], obs=obs)
+            for i in range(n_shards)
+        ]
+        self.store = _StoreView(self)
+        # path -> shard index, for files moved off their natural shard by
+        # a cross-shard link/group co-location. Bounded LRU.
+        self._relocated: "OrderedDict[str, int]" = OrderedDict()
+        self._relocation_window = relocation_window
+        # client id -> (home shard index, registered shard indices).
+        self._sessions: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        self.migrations = 0
+        self.cross_shard_renames = 0
+
+    # -- placement -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_index_for_path(self, path: str) -> int:
+        """Owning shard index for ``path`` (honouring relocations)."""
+        relocated = self._relocated.get(path)
+        if relocated is not None:
+            self._relocated.move_to_end(path)
+            return relocated
+        if len(self.shards) == 1:
+            return 0
+        return self.ring.lookup(namespace_of(path))
+
+    def shard_for_path(self, path: str) -> CloudServer:
+        return self.shards[self.shard_index_for_path(path)]
+
+    def home_shard_index(self, client_id: int) -> int:
+        if len(self.shards) == 1:
+            return 0
+        return self.ring.lookup(f"client-{client_id}")
+
+    # -- client registry ------------------------------------------------------
+
+    def register_client(
+        self,
+        client_id: int,
+        sink: ForwardSink,
+        *,
+        shares: Tuple[str, ...] = ("/",),
+    ) -> None:
+        """Attach a client on every shard its share prefixes can touch.
+
+        A share scoped inside one namespace (``/u123`` or deeper) lands
+        on that namespace's shard only; a root or top-level-spanning
+        share (``/``) must register everywhere, since any shard may apply
+        a message the client is entitled to see.
+        """
+        targets = self._target_shards(shares)
+        for index in range(len(self.shards)):
+            if index in targets:
+                self.shards[index].register_client(client_id, sink, shares=shares)
+            else:
+                # Re-registration may narrow the shard set; drop the stale
+                # subscription but keep any dedup state (it lives on the
+                # home shard and must survive re-registration).
+                self.shards[index]._drop_registration(client_id)
+        self._sessions[client_id] = (
+            self.home_shard_index(client_id),
+            tuple(sorted(targets)),
+        )
+
+    def unregister_client(self, client_id: int) -> None:
+        """Detach a client everywhere and release its session state."""
+        session = self._sessions.pop(client_id, None)
+        if session is None:
+            return
+        home, targets = session
+        for index in targets:
+            self.shards[index]._drop_registration(client_id)
+        self.shards[home]._dedup.pop(client_id, None)
+
+    def _target_shards(self, shares: Sequence[str]) -> Set[int]:
+        targets: Set[int] = set()
+        for prefix in shares:
+            if namespace_of(prefix) == "/":
+                return set(range(len(self.shards)))
+            targets.add(self.shard_index_for_path(prefix))
+        return targets if targets else set(range(len(self.shards)))
+
+    # -- apply path -----------------------------------------------------------
+
+    def handle(self, message: Message, origin_client: int = 0) -> ApplyResult:
+        """Route one message to its owning shard, co-locating first when a
+        rename / link / transactional group spans shards."""
+        indices = self._touched_shards(message)
+        if len(indices) == 1:
+            target = indices[0]
+        else:
+            target = self._colocate(message, indices)
+        return self.shards[target].handle(message, origin_client)
+
+    def handle_envelope(
+        self, envelope: Envelope, origin_client: int = 0
+    ) -> Tuple[List[Message], bool]:
+        """Exactly-once apply with the dedup window on the home shard.
+
+        The envelope witness events (``server.envelope``) and the dedup
+        cache both live on the client's home shard regardless of where
+        the payload routes, so INV-EXACTLY-ONCE is evaluated against one
+        coherent stream per client.
+        """
+        home = self.shards[self.home_shard_index(origin_client)]
+        cache = home._dedup.setdefault(origin_client, OrderedDict())
+        cached = cache.get(envelope.msg_id)
+        if cached is not None:
+            home.dedup_drops += 1
+            if self.obs.enabled:
+                self.obs.inc("server.dedup.drops")
+                home._note_envelope(envelope, origin_client, duplicate=True)
+            return list(cached), True
+        if self.obs.enabled:
+            home._note_envelope(envelope, origin_client, duplicate=False)
+        result = self.handle(envelope.inner, origin_client)
+        cache[envelope.msg_id] = tuple(result.replies)
+        while len(cache) > home.dedup_window:
+            cache.popitem(last=False)
+        return list(result.replies), False
+
+    def _touched_shards(self, message: Message) -> List[int]:
+        """Distinct shard indices the message touches, first-touch order."""
+        paths = self._touched_paths(message)
+        indices: List[int] = []
+        for path in paths:
+            index = self.shard_index_for_path(path)
+            if index not in indices:
+                indices.append(index)
+        return indices if indices else [0]
+
+    def _touched_paths(self, message: Message) -> List[str]:
+        if isinstance(message, TxnGroup):
+            out: List[str] = []
+            for member in message.members:
+                out.extend(self._touched_paths(member))
+            return out
+        out = []
+        path = getattr(message, "path", "")
+        if path:
+            out.append(path)
+        dest = getattr(message, "dest", None)
+        if dest:
+            out.append(dest)
+        return out
+
+    def _colocate(self, message: Message, indices: List[int]) -> int:
+        """Move every touched file onto one shard; return its index.
+
+        The rename two-step (and its generalization to links and
+        transactional groups): step one migrates stray source bundles
+        through the relocation table onto the *destination* shard — for a
+        rename, the shard owning ``dest``, so the file ends up placed
+        where its new name naturally routes; step two (the caller) hands
+        the whole message to that shard's ordinary apply path.
+        """
+        kind = "group" if isinstance(message, TxnGroup) else "meta"
+        if isinstance(message, MetaOp) and message.kind in ("rename", "link"):
+            # Land on the destination's shard so the new name is natural.
+            target = self.shard_index_for_path(message.dest)
+            kind = message.kind
+        else:
+            target = indices[0]
+        if kind == "rename":
+            self.cross_shard_renames += 1
+            if self.obs.enabled:
+                self.obs.event(
+                    "server.shard.rename_forward",
+                    path=message.path,
+                    dest=message.dest,
+                    src_shard=self.shard_index_for_path(message.path),
+                    dst_shard=target,
+                )
+        for path in self._touched_paths(message):
+            self._migrate(path, target, reason=kind)
+        return target
+
+    def _migrate(self, path: str, target: int, *, reason: str) -> None:
+        source = self.shard_index_for_path(path)
+        if source == target:
+            return
+        bundle = self.shards[source].store.detach_entry(path)
+        if bundle is None:
+            return
+        stored, lineage, snapshots = bundle
+        self.shards[target].store.attach_entry(path, stored, lineage, snapshots)
+        self._note_relocation(path, target)
+        self.migrations += 1
+        if self.obs.enabled:
+            self.obs.inc("server.shard.migrations", reason=reason)
+
+    def _note_relocation(self, path: str, target: int) -> None:
+        natural = (
+            0 if len(self.shards) == 1 else self.ring.lookup(namespace_of(path))
+        )
+        if natural == target:
+            # Moved back home — no override needed.
+            self._relocated.pop(path, None)
+            return
+        self._relocated[path] = target
+        self._relocated.move_to_end(path)
+        while len(self._relocated) > self._relocation_window:
+            self._relocated.popitem(last=False)
+
+    # -- aggregate accounting -------------------------------------------------
+
+    @property
+    def apply_log(self) -> List[ApplyResult]:
+        """Interleaved apply log across shards is meaningless; expose the
+        concatenation in shard order for coarse assertions only."""
+        out: List[ApplyResult] = []
+        for shard in self.shards:
+            out.extend(shard.apply_log)
+        return out
+
+    @property
+    def upload_order(self) -> List[str]:
+        out: List[str] = []
+        for shard in self.shards:
+            out.extend(shard.upload_order)
+        return out
+
+    @property
+    def dedup_drops(self) -> int:
+        return sum(shard.dedup_drops for shard in self.shards)
+
+    @property
+    def dirs(self) -> Set[str]:
+        out: Set[str] = set()
+        for shard in self.shards:
+            out.update(shard.dirs)
+        return out
+
+    # -- read API (routed verbatim) ------------------------------------------
+
+    def file_content(self, path: str) -> bytes:
+        return self.shard_for_path(path).file_content(path)
+
+    def file_version(self, path: str) -> Optional[VersionStamp]:
+        return self.shard_for_path(path).file_version(path)
+
+    def file_range(
+        self, path: str, offset: int, length: int
+    ) -> Tuple[bytes, Optional[VersionStamp]]:
+        return self.shard_for_path(path).file_range(path, offset, length)
+
+    def resync_versions(
+        self, paths: List[str]
+    ) -> List[Tuple[str, Optional[VersionStamp]]]:
+        out: List[Tuple[str, Optional[VersionStamp]]] = []
+        for path in paths:
+            out.extend(self.shard_for_path(path).resync_versions([path]))
+        return out
+
+    def version_history(self, path: str) -> List[VersionStamp]:
+        return self.shard_for_path(path).version_history(path)
+
+    def restore_version(
+        self,
+        path: str,
+        version: VersionStamp,
+        *,
+        as_version: Optional[VersionStamp] = None,
+        origin_client: int = 0,
+    ) -> bytes:
+        return self.shard_for_path(path).restore_version(
+            path, version, as_version=as_version, origin_client=origin_client
+        )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import NotFoundError
 from repro.common.version import VersionStamp
@@ -115,6 +115,54 @@ class VersionedStore:
     def paths(self) -> List[str]:
         """All live paths, sorted."""
         return sorted(self._files)
+
+    # -- shard migration (cross-shard rename/link/group co-location) -------
+
+    def detach_entry(
+        self, path: str
+    ) -> Optional[Tuple[StoredFile, List[VersionStamp], List[Tuple[VersionStamp, bytes]]]]:
+        """Remove ``path`` and return everything another store needs to host it.
+
+        Returns ``(stored, lineage, snapshots)`` — the live file object, its
+        version lineage, and the lineage snapshots still inside this store's
+        window — or ``None`` when the path is absent. Used by the shard
+        router to move a file between shards before applying a cross-shard
+        rename; the caller re-homes the bundle with :meth:`attach_entry`.
+        Snapshots are copied out, not dropped: an aged-out base on the old
+        shard behaves exactly like one that aged out of a single server.
+        """
+        stored = self._files.pop(path, None)
+        if stored is None:
+            return None
+        lineage = self._history.pop(path, [])
+        snapshots = [
+            (version, self._snapshots[version])
+            for version in lineage
+            if version in self._snapshots
+        ]
+        return stored, lineage, snapshots
+
+    def attach_entry(
+        self,
+        path: str,
+        stored: StoredFile,
+        lineage: List[VersionStamp],
+        snapshots: List[Tuple[VersionStamp, bytes]],
+    ) -> None:
+        """Adopt a file bundle produced by :meth:`detach_entry`.
+
+        Lineage extends (without duplicating the junction stamp) any
+        lineage this store already has for ``path``, mirroring
+        :meth:`rename`'s merge rule; migrated snapshots enter this store's
+        window and age out under its normal eviction policy.
+        """
+        self._files[path] = stored
+        dst_lineage = self._history.setdefault(path, [])
+        for version in lineage:
+            if not dst_lineage or dst_lineage[-1] != version:
+                dst_lineage.append(version)
+        for version, content in snapshots:
+            self._remember(version, content)
 
     # -- version history (fine-grained version control, Section III-C) -----
 

@@ -25,3 +25,29 @@ def test_distinct_versions_distinct_names():
 def test_directory_preserved():
     path = conflict_path("/deep/nested/dir/file.bin", VersionStamp(3, 9))
     assert path.startswith("/deep/nested/dir/")
+
+
+def test_dotfile_keeps_leading_dot():
+    """A dotfile's leading dot is part of the stem, not an extension —
+    the old partition-based split produced a hidden-file name starting
+    with a space (``" (conflicted copy c7-42).gitignore"``)."""
+    path = conflict_path("/repo/.gitignore", VersionStamp(7, 42))
+    assert path == "/repo/.gitignore (conflicted copy c7-42)"
+
+
+def test_multi_dot_splits_before_final_extension():
+    path = conflict_path("/bak/archive.tar.gz", VersionStamp(7, 42))
+    assert path == "/bak/archive.tar (conflicted copy c7-42).gz"
+
+
+def test_dotfile_with_extension():
+    path = conflict_path("/home/.bashrc.bak", VersionStamp(2, 3))
+    assert path == "/home/.bashrc (conflicted copy c2-3).bak"
+
+
+def test_already_conflicted_name_nests_cleanly():
+    first = conflict_path("/docs/report.txt", VersionStamp(7, 42))
+    second = conflict_path(first, VersionStamp(8, 1))
+    assert second == (
+        "/docs/report (conflicted copy c7-42) (conflicted copy c8-1).txt"
+    )

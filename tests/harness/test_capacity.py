@@ -30,6 +30,21 @@ def test_selective_sharing_no_cross_forwarding(scaling):
     assert result.server_ticks < 5.0
 
 
+def test_capacity_numbers_pinned_bit_for_bit(scaling):
+    """run_capacity now provisions clients through the fleet driver's
+    shared path (``provision_clients``); these exact pins prove the
+    unification changed nothing observable."""
+    pins = {
+        1: (0.05476112365722657, 24888),
+        4: (0.21904449462890624, 99552),
+        8: (0.43808898925781237, 199104),
+    }
+    for n, (ticks, up_bytes) in pins.items():
+        assert scaling[n].server_ticks == ticks
+        assert scaling[n].total_up_bytes == up_bytes
+    assert scaling[1].duration == 38.0
+
+
 def test_forward_scoping_unit():
     from repro.common.version import VersionStamp
     from repro.net.messages import MetaOp

@@ -73,7 +73,8 @@ def test_doc_lint_contract_holds():
     assert doc.exists()
     name_re = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
     prefixes = ("client.", "queue.", "relation.", "channel.", "server.",
-                "transport.", "journal.", "recovery.", "run.", "policy.")
+                "transport.", "journal.", "recovery.", "run.", "policy.",
+                "fleet.")
     documented = {
         m.group(1)
         for m in name_re.finditer(doc.read_text(encoding="utf-8"))

@@ -153,6 +153,6 @@ def test_catalog_names_follow_the_scheme():
         assert len(parts) >= 2, name
         assert parts[0] in {"client", "queue", "relation", "channel",
                             "server", "transport", "journal", "recovery",
-                            "run", "policy"}, name
+                            "run", "policy", "fleet"}, name
         for part in parts:
             assert part == part.lower(), name

@@ -1,0 +1,68 @@
+"""Server session lifecycle under client churn.
+
+Regression coverage for the dedup-window leak: ``unregister_client`` used
+to pop only the sink and shares, leaving the per-client ``_dedup``
+OrderedDict alive forever — memory proportional to every client that ever
+connected, which fleet-scale churn hits immediately.
+"""
+
+from repro.net.messages import Envelope, MetaOp
+from repro.server.cloud import CloudServer
+from repro.server.shard import ShardRouter
+
+
+def _touch(server, client_id, msg_id=1):
+    env = Envelope(
+        msg_id=msg_id, attempt=1, inner=MetaOp(kind="mkdir", path=f"/c{client_id}")
+    )
+    server.handle_envelope(env, origin_client=client_id)
+
+
+class TestDedupChurn:
+    def test_unregister_drops_dedup_state(self):
+        server = CloudServer()
+        server.register_client(1, lambda o, m: None, shares=("/c1",))
+        _touch(server, 1)
+        assert 1 in server._dedup
+        server.unregister_client(1)
+        assert 1 not in server._dedup
+
+    def test_churn_does_not_accumulate_sessions(self):
+        server = CloudServer()
+        for client_id in range(1, 501):
+            server.register_client(client_id, lambda o, m: None,
+                                   shares=(f"/c{client_id}",))
+            _touch(server, client_id)
+            server.unregister_client(client_id)
+        assert len(server._dedup) == 0
+        assert len(server._sinks) == 0
+        assert len(server._shares) == 0
+        assert len(server._share_index) == 0
+        assert len(server._reg_seq) == 0
+
+    def test_reregistration_keeps_dedup_window(self):
+        """Replacing a live registration must NOT forget applied msg_ids —
+        only a real unregister starts a fresh window."""
+        server = CloudServer()
+        server.register_client(1, lambda o, m: None, shares=("/c1",))
+        _touch(server, 1, msg_id=1)
+        server.register_client(1, lambda o, m: None, shares=("/c1", "/shared"))
+        env = Envelope(msg_id=1, attempt=2, inner=MetaOp(kind="mkdir", path="/c1"))
+        _, duplicate = server.handle_envelope(env, origin_client=1)
+        assert duplicate
+
+    def test_unconnected_client_unregister_is_noop(self):
+        server = CloudServer()
+        server.unregister_client(99)
+        assert 99 not in server._dedup
+
+    def test_router_churn_releases_every_shard(self):
+        router = ShardRouter(4)
+        for client_id in range(1, 101):
+            router.register_client(client_id, lambda o, m: None, shares=("/",))
+            _touch(router, client_id)
+            router.unregister_client(client_id)
+        for shard in router.shards:
+            assert len(shard._dedup) == 0
+            assert len(shard._sinks) == 0
+        assert len(router._sessions) == 0

@@ -66,6 +66,7 @@ PREFIXES = (
     "journal.",
     "recovery.",
     "run.",
+    "fleet.",
 )
 
 
