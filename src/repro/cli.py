@@ -324,6 +324,9 @@ def _cmd_fleet(args) -> int:
                 burst_every=args.burst_every,
                 tick_seconds=args.tick_seconds,
                 seed=args.seed,
+                window_seconds=args.window_seconds,
+                slo_seconds=args.slo,
+                stall_horizon=args.stall_horizon,
             )
             try:
                 spec.validate()
@@ -332,6 +335,14 @@ def _cmd_fleet(args) -> int:
                 return 2
             results = [run_fleet(spec, obs=obs)]
             show(results)
+        if args.health or args.health_out:
+            reports = [r.health() for r in results]
+            for report in reports:
+                _print_health(report)
+            if args.health_out:
+                rc = _write_health_doc(args.health_out, reports[-1])
+                if rc:
+                    return rc
         if trace_sink is not None:
             _finish_trace_out(args.trace_out, trace_sink, obs)
     finally:
@@ -340,6 +351,49 @@ def _cmd_fleet(args) -> int:
     if args.metrics:
         print()
         print(obs.report())
+    return 0
+
+
+def _print_health(report) -> None:
+    """Render one health report (fleet or trace) as a table."""
+    verdict = "HEALTHY" if report.healthy else "UNHEALTHY"
+    print(f"\nhealth ({report.kind}): {verdict} — "
+          f"attainment {report.attainment:.4f} of slo {report.slo_seconds:g}s "
+          f"(target {report.attainment_target:.2f}), "
+          f"{report.total_stalls} stalls, "
+          f"{report.total_regressions} regressed windows")
+    print(format_table(
+        ["shard", "writes", "p50 s", "p90 s", "p99 s", "max s",
+         "slo", "stalls", "windows", "regressed"],
+        [[s.shard, s.writes, f"{s.p50:.3f}", f"{s.p90:.3f}",
+          f"{s.p99:.3f}", f"{s.max_latency:.3f}", f"{s.slo_attainment:.4f}",
+          s.stalls, s.windows,
+          ",".join(str(w) for w in s.regressed_windows) or "-"]
+         for s in report.shards],
+    ))
+
+
+def _write_health_doc(path: str, report) -> int:
+    """Self-check and write a health report as JSON; nonzero on problems."""
+    import json as _json
+
+    from repro.obs.health import validate_health_doc
+
+    doc = report.to_dict()
+    problems = validate_health_doc(doc)
+    if problems:
+        print("health doc failed self-check: " + "; ".join(problems),
+              file=sys.stderr)
+        return 1
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        print(f"cannot write health report to {path!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {path}: health report (self-check passed)")
     return 0
 
 
@@ -569,6 +623,7 @@ def _cmd_inspect(args) -> int:
         critical_path,
         event_counts,
         load_trace,
+        load_traces,
         span_rollup,
     )
     from repro.obs.export import (
@@ -577,21 +632,30 @@ def _cmd_inspect(args) -> int:
         write_chrome_trace,
     )
 
+    paths = args.trace
+    label = paths[0] if len(paths) == 1 else "+".join(paths)
     try:
-        doc = load_trace(args.trace)
+        if len(paths) == 1:
+            doc = load_trace(paths[0])
+        else:
+            doc = load_traces(paths)
     except OSError as exc:
-        print(f"cannot read {args.trace!r}: {exc}", file=sys.stderr)
+        print(f"cannot read {label!r}: {exc}", file=sys.stderr)
         return 2
     except TraceFormatError as exc:
-        print(f"{args.trace}: {exc}", file=sys.stderr)
+        print(f"{label}: {exc}", file=sys.stderr)
         return 2
 
     rc = 0
-    targeted = args.attribution or args.chrome_out or args.openmetrics_out
+    targeted = (args.attribution or args.chrome_out or args.openmetrics_out
+                or args.health or args.health_out)
     if args.summary or not targeted:
         rollup = span_rollup(doc)
-        print(f"{args.trace}: {len(doc.spans)} spans, "
+        stitched = sum(1 for s in doc.spans.values() if s.stitched)
+        print(f"{label}: {len(doc.spans)} spans, "
               f"{len(doc.point_events())} events"
+              + (f", {len(doc.sources)} sources, {stitched} stitched"
+                 if len(paths) > 1 else "")
               + (", metrics snapshot embedded" if doc.snapshot else ""))
         if rollup:
             print()
@@ -660,6 +724,20 @@ def _cmd_inspect(args) -> int:
             fh.write(text)
         print(f"\nwrote {args.openmetrics_out}: OpenMetrics exposition "
               f"(self-check passed)")
+
+    if args.health or args.health_out:
+        from repro.obs.health import health_from_trace
+
+        report = health_from_trace(
+            doc,
+            slo_seconds=args.slo,
+            stall_horizon=args.stall_horizon,
+        )
+        _print_health(report)
+        if args.health_out:
+            health_rc = _write_health_doc(args.health_out, report)
+            if health_rc:
+                return health_rc
 
     return rc
 
@@ -812,6 +890,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured event trace as JSONL to PATH "
              "(small fleets only; feeds `repro check --traces`)",
     )
+    fleet.add_argument(
+        "--health", action="store_true",
+        help="print the per-shard SLO health report (attainment, stalls, "
+             "window-over-window p99 regressions)",
+    )
+    fleet.add_argument(
+        "--slo", type=float, default=15.0, metavar="SECONDS",
+        help="sync-latency objective: a write meets the SLO when its "
+             "latency is at or under this (default 15.0)",
+    )
+    fleet.add_argument(
+        "--window-seconds", type=float, default=20.0, metavar="SECONDS",
+        help="telemetry rollup window width in virtual seconds (default 20)",
+    )
+    fleet.add_argument(
+        "--stall-horizon", type=float, default=60.0, metavar="SECONDS",
+        help="a write whose sync takes longer than this counts as a stall "
+             "(default 60)",
+    )
+    fleet.add_argument(
+        "--health-out", metavar="PATH", default=None,
+        help="write the health report as schema-checked JSON to PATH "
+             "(nonzero exit when the self-check fails)",
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     trace = sub.add_parser("trace", help="generate and save a workload trace")
@@ -882,7 +984,12 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser(
         "inspect", help="analyze a recorded JSONL trace offline"
     )
-    inspect.add_argument("trace", help="trace.jsonl from replay --trace-out")
+    inspect.add_argument(
+        "trace", nargs="+",
+        help="trace.jsonl from replay/fleet --trace-out; several files "
+             "(e.g. one per client plus the cloud's) are stitched into "
+             "one causal trace via their trace.link records",
+    )
     inspect.add_argument(
         "--summary", action="store_true",
         help="span rollup + critical path + event counts (default when no "
@@ -900,6 +1007,24 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument(
         "--openmetrics-out", metavar="PATH", default=None,
         help="export the embedded metrics snapshot as OpenMetrics text to PATH",
+    )
+    inspect.add_argument(
+        "--health", action="store_true",
+        help="recover ship-to-accept sync latencies from the trace and "
+             "print an SLO health report (stalls = ships never accepted "
+             "within the horizon)",
+    )
+    inspect.add_argument(
+        "--slo", type=float, default=15.0, metavar="SECONDS",
+        help="sync-latency objective for --health (default 15.0)",
+    )
+    inspect.add_argument(
+        "--stall-horizon", type=float, default=60.0, metavar="SECONDS",
+        help="stall threshold for --health (default 60)",
+    )
+    inspect.add_argument(
+        "--health-out", metavar="PATH", default=None,
+        help="write the --health report as schema-checked JSON to PATH",
     )
     inspect.set_defaults(func=_cmd_inspect)
 

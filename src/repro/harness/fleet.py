@@ -26,6 +26,14 @@ busy horizon:
 Sync latency for each write is ``done - write_time`` — debounce wait,
 queueing behind other tenants on the shard, and service, all included.
 
+Telemetry is streaming and fixed-memory: instead of buffering every
+latency sample, the driver feeds a :class:`~repro.obs.sketch.ShardWindows`
+rollup (per-shard, per-virtual-time-window quantile sketches, queue-depth
+peaks and busy time — O(shards × windows) memory regardless of client
+count). Reported quantiles come from the merged sketches, within the
+sketch's ``alpha`` relative-error bound; ``FleetResult.health()`` turns
+the same rollup into an SLO health report (``repro fleet --health``).
+
 Determinism: all randomness flows from one ``DeterministicRandom`` seed
 via per-client forks, so a (seed, spec) pair reproduces the same curve
 bit-for-bit on any machine — which is what lets ``BENCH_fleet.json``
@@ -46,6 +54,8 @@ from repro.core.client import DeltaCFSClient
 from repro.cost.meter import CostMeter
 from repro.net.transport import Channel, NetworkStats
 from repro.obs import NULL_OBS, Observability
+from repro.obs.health import HealthReport, health_from_windows
+from repro.obs.sketch import ShardWindows
 from repro.server.shard import ShardRouter
 
 __all__ = [
@@ -67,6 +77,7 @@ def provision_clients(
     file_size: int,
     server_meter_for: Callable[[int], CostMeter],
     config_factory: Optional[Callable[[int], DeltaCFSConfig]] = None,
+    obs: Observability = NULL_OBS,
 ) -> Tuple[List[DeltaCFSClient], List[Channel]]:
     """The one client-construction path shared by capacity and fleet runs.
 
@@ -101,6 +112,7 @@ def provision_clients(
             client_id=client_id,
             config=config,
             shares=(f"/u{client_id}",),
+            obs=obs,
         )
         path = f"/u{client_id}/data.bin"
         client.mkdir(f"/u{client_id}")
@@ -129,6 +141,15 @@ class FleetSpec:
         mean_gap: poisson — mean seconds between one client's writes.
         burst_every: bursty — seconds between waves.
         burst_jitter: bursty — uniform jitter width inside a wave.
+        window_seconds: width of the telemetry rollup windows (virtual
+            seconds); per-shard latency sketches, queue peaks and busy
+            time aggregate per window.
+        sketch_alpha: relative-error bound of the latency quantile
+            sketches (0.005 → reported quantiles within 0.5% of exact).
+        slo_seconds: the sync-latency objective — a write meets the SLO
+            when its sync latency is at or under this.
+        stall_horizon: a write whose sync takes longer than this counts
+            as a stall in the health report.
         tick_seconds: virtual seconds of shard-core time per modelled
             CPU tick; the wimpy-core scale factor relating the cost
             model's ticks to the simulation's clock. The default (8.0)
@@ -152,6 +173,10 @@ class FleetSpec:
     tick_seconds: float = 8.0
     seed: int = 0
     vnodes: int = 32
+    window_seconds: float = 20.0
+    sketch_alpha: float = 0.005
+    slo_seconds: float = 15.0
+    stall_horizon: float = 60.0
 
     def validate(self) -> None:
         if self.n_clients <= 0:
@@ -162,6 +187,12 @@ class FleetSpec:
             raise ValueError("write_size must be smaller than file_size")
         if self.tick_seconds <= 0:
             raise ValueError("tick_seconds must be positive")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if not 0.0 < self.sketch_alpha < 1.0:
+            raise ValueError("sketch_alpha must be in (0, 1)")
+        if self.slo_seconds <= 0 or self.stall_horizon <= 0:
+            raise ValueError("slo_seconds and stall_horizon must be positive")
 
 
 @dataclass
@@ -181,11 +212,39 @@ class FleetResult:
     duration: float
     migrations: int
     conflicts: int
+    rollup: ShardWindows
+    shard_stalls: List[int]
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ticks_per_client(self) -> float:
         return sum(self.shard_ticks) / self.spec.n_clients
+
+    @property
+    def stalls(self) -> int:
+        return sum(self.shard_stalls)
+
+    def health(
+        self,
+        *,
+        slo_seconds: Optional[float] = None,
+        attainment_target: Optional[float] = None,
+    ) -> HealthReport:
+        """SLO health report over this run's streaming rollups."""
+        kwargs = {}
+        if attainment_target is not None:
+            kwargs["attainment_target"] = attainment_target
+        return health_from_windows(
+            self.rollup,
+            slo_seconds=(
+                self.spec.slo_seconds if slo_seconds is None else slo_seconds
+            ),
+            stall_horizon=self.spec.stall_horizon,
+            stalls_by_shard={
+                s: n for s, n in enumerate(self.shard_stalls) if n
+            },
+            **kwargs,
+        )
 
 
 _WRITE, _PUMP = 0, 1
@@ -195,6 +254,7 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
     """Run one fleet simulation in virtual time; fully deterministic."""
     spec.validate()
     clock = VirtualClock()
+    obs.bind_clock(clock)
     rng = DeterministicRandom(spec.seed)
     router = ShardRouter(spec.n_shards, vnodes=spec.vnodes, obs=obs)
 
@@ -210,6 +270,7 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
         rng=rng,
         file_size=spec.file_size,
         server_meter_for=meter_for,
+        obs=obs,
     )
     home_shard = [
         router.shard_index_for_path(f"/u{cid}/data.bin")
@@ -243,7 +304,16 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
     writes_left = [spec.writes_per_client] * spec.n_clients
     waves = [0] * spec.n_clients
     pending: List[List[float]] = [[] for _ in range(spec.n_clients)]
-    latencies: List[float] = []
+    # Streaming telemetry: fixed-memory windowed rollups instead of an
+    # O(writes) latency buffer. Tracked unconditionally so reported
+    # quantiles are identical with observability on or off.
+    rollup = ShardWindows(
+        spec.n_shards,
+        spec.window_seconds,
+        t0=t0,
+        alpha=spec.sketch_alpha,
+    )
+    shard_stalls = [0] * spec.n_shards
     shard_busy = [0.0] * spec.n_shards
     shard_busy_total = [0.0] * spec.n_shards
     shard_depth = [0] * spec.n_shards
@@ -301,6 +371,8 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
             shard_depth[shard] += 1
             if shard_depth[shard] > shard_queue_peak[shard]:
                 shard_queue_peak[shard] = shard_depth[shard]
+            rollup.record_depth(shard, t, shard_depth[shard])
+            rollup.record_busy(shard, start, service)
             if obs.enabled:
                 obs.set_gauge(
                     "fleet.shard.queue_depth", shard_depth[shard], shard=shard
@@ -308,8 +380,18 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
                 obs.inc("fleet.shard.busy_time", service, shard=shard)
             for write_t in pending[i]:
                 latency = done - write_t
-                latencies.append(latency)
+                rollup.record_latency(shard, done, latency)
                 obs.observe("fleet.sync.latency", latency)
+                if latency > spec.stall_horizon:
+                    shard_stalls[shard] += 1
+                    if obs.enabled:
+                        obs.event(
+                            "health.stall",
+                            shard=shard,
+                            client=cid,
+                            path=path,
+                            waited=latency,
+                        )
             pending[i].clear()
 
     # Anything still queued (a write whose pump raced the heap drain)
@@ -326,13 +408,27 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
         done = start + service
         shard_busy[shard] = done
         shard_busy_total[shard] += service
+        rollup.record_busy(shard, start, service)
         for write_t in pending[i]:
             latency = done - write_t
-            latencies.append(latency)
+            rollup.record_latency(shard, done, latency)
             obs.observe("fleet.sync.latency", latency)
+            if latency > spec.stall_horizon:
+                shard_stalls[shard] += 1
+                if obs.enabled:
+                    obs.event(
+                        "health.stall",
+                        shard=shard,
+                        client=i + 1,
+                        path=f"/u{i + 1}/data.bin",
+                        waited=latency,
+                    )
         pending[i].clear()
 
-    latencies.sort()
+    if obs.enabled:
+        _emit_telemetry(obs, spec, rollup, shard_stalls)
+
+    overall = rollup.overall_sketch()
     total_up = sum(c.stats.up_bytes for c in channels)
     conflicts = sum(
         1 for shard in router.shards for r in shard.apply_log if not r.ok
@@ -340,10 +436,10 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
     return FleetResult(
         spec=spec,
         writes=writes_issued,
-        p50_latency=_quantile(latencies, 0.50),
-        p90_latency=_quantile(latencies, 0.90),
-        p99_latency=_quantile(latencies, 0.99),
-        max_latency=latencies[-1] if latencies else 0.0,
+        p50_latency=overall.quantile(0.50),
+        p90_latency=overall.quantile(0.90),
+        p99_latency=overall.quantile(0.99),
+        max_latency=overall.max if overall.count else 0.0,
         shard_ticks=[m.total for m in router.shard_meters],
         shard_busy=shard_busy_total,
         shard_queue_peak=shard_queue_peak,
@@ -351,7 +447,53 @@ def run_fleet(spec: FleetSpec, *, obs: Observability = NULL_OBS) -> FleetResult:
         duration=clock.now(),
         migrations=router.migrations,
         conflicts=conflicts,
+        rollup=rollup,
+        shard_stalls=shard_stalls,
     )
+
+
+def _emit_telemetry(
+    obs: Observability,
+    spec: FleetSpec,
+    rollup: ShardWindows,
+    shard_stalls: List[int],
+) -> None:
+    """Flush the streaming rollups into the obs sink (obs-enabled only)."""
+    obs.set_gauge("fleet.window.seconds", spec.window_seconds)
+    for cell in rollup.windows():
+        obs.inc("fleet.window.rollovers", shard=cell.shard)
+        obs.event(
+            "fleet.window.closed",
+            shard=cell.shard,
+            window=cell.window,
+            start=cell.start,
+            end=cell.end,
+            writes=cell.writes,
+            p50=cell.sketch.quantile(0.50),
+            p99=cell.sketch.quantile(0.99),
+            queue_peak=cell.queue_peak,
+            busy=cell.busy,
+        )
+    report = health_from_windows(
+        rollup,
+        slo_seconds=spec.slo_seconds,
+        stall_horizon=spec.stall_horizon,
+        stalls_by_shard={s: n for s, n in enumerate(shard_stalls) if n},
+    )
+    for shard_health in report.shards:
+        obs.set_gauge(
+            "health.slo.attainment",
+            shard_health.slo_attainment,
+            shard=shard_health.shard,
+        )
+        if shard_health.stalls:
+            obs.inc("health.stalls", shard_health.stalls, shard=shard_health.shard)
+        if shard_health.regressed_windows:
+            obs.inc(
+                "health.regressions",
+                len(shard_health.regressed_windows),
+                shard=shard_health.shard,
+            )
 
 
 def _next_gap(spec: FleetSpec, rng: DeterministicRandom, *, wave: int) -> float:

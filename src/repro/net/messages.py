@@ -11,7 +11,10 @@ version overhead modelled here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # obs-only annotation; never imported at runtime
+    from repro.obs.tracer import TraceContext
 
 from repro.common.version import VersionStamp
 from repro.common.wire import u8 as _u8
@@ -378,19 +381,31 @@ class Envelope(Message):
     transmissions of the same id (1 = first send). The server deduplicates
     by ``(origin_client, msg_id)``, which is what turns the at-least-once
     retransmit loop into exactly-once application.
+
+    ``ctx`` is the sender's :class:`~repro.obs.tracer.TraceContext` (or
+    ``None`` when tracing is off) — an observability sidecar that lets the
+    receiving server link its apply span back to the client span that
+    caused the send. It is deliberately *excluded* from :meth:`wire_size`:
+    tracing must not move a single costed wire byte, so every BENCH
+    number is identical with tracing on or off.
     """
 
     msg_id: int
     attempt: int
     inner: Message = field(default=None)  # type: ignore[assignment]
+    ctx: Optional["TraceContext"] = None  # obs-only sidecar, zero wire cost
 
     def wire_size(self) -> int:
-        return (
+        size = (
             _MSG_HEADER
             + _u64(self.msg_id)
             + _u16(self.attempt)
             + self.inner.wire_size()
         )
+        # self.ctx costs zero wire bytes by contract (see class docstring).
+        if self.ctx is not None:
+            size += 0
+        return size
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ from repro.common.rng import DeterministicRandom
 from repro.net.messages import Envelope, EnvelopeAck, Message
 from repro.net.transport import Channel
 from repro.obs import NULL_OBS, Observability
+from repro.obs.tracer import TraceContext
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,7 @@ class _InFlight:
     first_sent: float
     next_retry_at: float
     timeout: float
+    ctx: Optional[TraceContext] = None  # sender-side span identity, uncosted
 
 
 class ReliableTransport:
@@ -142,7 +144,7 @@ class ReliableTransport:
         self.stats = TransportStats()
         self._jitter_rng = DeterministicRandom(seed).fork("reliable-transport")
         self._next_msg_id = 1
-        self._outbox: Deque[Tuple[int, Message]] = deque()
+        self._outbox: Deque[Tuple[int, Message, Optional[TraceContext]]] = deque()
         self._inflight: "OrderedDict[int, _InFlight]" = OrderedDict()
         # In-order apply: envelopes that arrived ahead of a gap (a lost
         # lower msg_id still being retransmitted) park here unacked until
@@ -169,6 +171,11 @@ class ReliableTransport:
         """
         msg_id = self._next_msg_id
         self._next_msg_id += 1
+        # Capture the caller's span identity once, at enqueue time: every
+        # later (re)transmission of this msg_id carries the same causal
+        # origin, so the server's apply span links back to the client span
+        # that produced the message even when only a retransmit survives.
+        ctx = self.obs.current_context() if self.obs.enabled else None
         if self.obs.enabled:
             # Emitted here — inside the caller's shipping span — so offline
             # analysis can join the msg_id of every later (re)transmission
@@ -179,9 +186,9 @@ class ReliableTransport:
         # Launch only when the window has room AND nothing is already
         # queued — anything else would overtake the outbox order.
         if not self._outbox and len(self._inflight) < self.policy.window:
-            self._launch(msg_id, message, now)
+            self._launch(msg_id, message, now, ctx)
         else:
-            self._outbox.append((msg_id, message))
+            self._outbox.append((msg_id, message, ctx))
         self._note_depth()
         return msg_id
 
@@ -234,7 +241,13 @@ class ReliableTransport:
 
     # -- internals -----------------------------------------------------------
 
-    def _launch(self, msg_id: int, message: Message, now: float) -> None:
+    def _launch(
+        self,
+        msg_id: int,
+        message: Message,
+        now: float,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         entry = _InFlight(
             msg_id=msg_id,
             message=message,
@@ -242,6 +255,7 @@ class ReliableTransport:
             first_sent=now,
             next_retry_at=now,
             timeout=self.policy.base_timeout,
+            ctx=ctx,
         )
         self._inflight[msg_id] = entry
         self._transmit(entry, now)
@@ -249,7 +263,10 @@ class ReliableTransport:
     def _transmit(self, entry: _InFlight, now: float) -> None:
         entry.attempts += 1
         envelope = Envelope(
-            msg_id=entry.msg_id, attempt=entry.attempts, inner=entry.message
+            msg_id=entry.msg_id,
+            attempt=entry.attempts,
+            inner=entry.message,
+            ctx=entry.ctx,
         )
         for deliver_at in self.channel.transmit_up(envelope, now):
             self._transit_seq += 1
@@ -315,8 +332,8 @@ class ReliableTransport:
 
     def _refill_window(self, now: float) -> None:
         while self._outbox and len(self._inflight) < self.policy.window:
-            msg_id, message = self._outbox.popleft()
-            self._launch(msg_id, message, now)
+            msg_id, message, ctx = self._outbox.popleft()
+            self._launch(msg_id, message, now, ctx)
 
     def _retransmit_due(self, now: float) -> None:
         due = [e for e in self._inflight.values() if e.next_retry_at <= now]

@@ -41,6 +41,7 @@ from repro.obs.analyze import (
     critical_path,
     load_trace,
     load_trace_lines,
+    load_traces,
     span_rollup,
 )
 from repro.obs.export import (
@@ -51,10 +52,18 @@ from repro.obs.export import (
     write_chrome_trace,
     write_snapshot_record,
 )
+from repro.obs.health import (
+    HealthReport,
+    ShardHealth,
+    health_from_trace,
+    health_from_windows,
+    validate_health_doc,
+)
 from repro.obs.names import EVENT_NAMES, EVENTS, METRIC_NAMES, METRICS, EventSpec, MetricSpec
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.render import histogram_quantile, text_report, to_json
-from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
+from repro.obs.sketch import QuantileSketch, ShardWindows, WindowStats
+from repro.obs.tracer import NULL_TRACER, TraceContext, TraceEvent, Tracer
 
 
 class Observability:
@@ -91,11 +100,15 @@ class Observability:
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         self.metrics.set_gauge(name, value, **labels)
 
-    def observe(self, name: str, value: float) -> None:
-        self.metrics.observe(name, value)
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.observe(name, value, **labels)
 
-    def span(self, name: str, **attrs: object):
-        return self.tracer.span(name, **attrs)
+    def span(self, name: str, link: Optional[TraceContext] = None, **attrs: object):
+        return self.tracer.span(name, link=link, **attrs)
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The tracer's propagatable span identity (``None`` when idle)."""
+        return self.tracer.current_context()
 
     def event(self, name: str, **attrs: object) -> None:
         self.tracer.event(name, **attrs)
@@ -126,11 +139,14 @@ class _NullObservability(Observability):
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         pass
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, **labels: object) -> None:
         pass
 
-    def span(self, name: str, **attrs: object):
+    def span(self, name: str, link: Optional[TraceContext] = None, **attrs: object):
         return self.tracer.span(name)
+
+    def current_context(self) -> Optional[TraceContext]:
+        return None
 
     def event(self, name: str, **attrs: object) -> None:
         pass
@@ -146,6 +162,15 @@ __all__ = [
     "Tracer",
     "NULL_TRACER",
     "TraceEvent",
+    "TraceContext",
+    "QuantileSketch",
+    "ShardWindows",
+    "WindowStats",
+    "HealthReport",
+    "ShardHealth",
+    "health_from_windows",
+    "health_from_trace",
+    "validate_health_doc",
     "MetricSpec",
     "EventSpec",
     "METRICS",
@@ -161,6 +186,7 @@ __all__ = [
     "AttributionError",
     "load_trace",
     "load_trace_lines",
+    "load_traces",
     "span_rollup",
     "critical_path",
     "attribute_uplink",

@@ -40,36 +40,71 @@ def chrome_trace_events(records: Iterable[dict]) -> List[dict]:
     """Convert raw trace records to Chrome trace-event objects.
 
     Spans map to ``B``/``E`` pairs, point events to thread-scoped ``i``
-    instants, all on pid/tid 1 (the replay is single-threaded virtual
-    time). Records are converted in emission order; spans a crash left
-    unclosed get a synthesized ``E`` at the last observed timestamp so
-    viewers do not render them as infinite.
+    instants. Single-source traces stay on pid/tid 1 (the replay is
+    single-threaded virtual time); in a multi-source trace each tracer
+    source gets its own pid with a ``process_name`` metadata event, and
+    every ``trace.link`` point event additionally renders as a flow-event
+    pair (``ph: "s"`` at the linked span's start in its source, ``ph:
+    "f"`` with ``bp: "e"`` at the link site) so the cross-process causal
+    edges draw as arrows in Perfetto. Records are converted in emission
+    order; spans a crash left unclosed get a synthesized ``E`` at the
+    last observed timestamp so viewers do not render them as infinite.
     """
+    records = [r for r in records if r.get("type") != "snapshot"]
+    pids: Dict[str, int] = {}
+    for record in records:
+        src = str(record.get("src", ""))
+        if src not in pids:
+            pids[src] = len(pids) + 1
+    multi_source = len(pids) > 1 or any(pids)
     out: List[dict] = []
-    open_spans: Dict[int, str] = {}
+    if multi_source:
+        for src, pid in pids.items():
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": pid,
+                    "args": {"name": src or "main"},
+                }
+            )
+    # Index span starts by (source, id) — the flow anchors for links.
+    span_starts: Dict[Tuple[str, int], Tuple[float, int]] = {}
+    for record in records:
+        if record.get("type") == "span_start":
+            src = str(record.get("src", ""))
+            span_starts[(src, int(record["id"]))] = (
+                float(record.get("ts", 0.0)) * _US_PER_VIRTUAL_SECOND,
+                pids[src],
+            )
+    open_spans: Dict[Tuple[str, int], Tuple[str, int]] = {}  # key -> (name, pid)
+    flow_count = 0
     last_ts = 0.0
     for record in records:
         kind = record.get("type")
-        if kind == "snapshot":
-            continue
+        src = str(record.get("src", ""))
+        pid = pids[src]
         ts_us = float(record.get("ts", 0.0)) * _US_PER_VIRTUAL_SECOND
         last_ts = max(last_ts, ts_us)
         name = str(record.get("name", ""))
         if kind == "span_start":
-            open_spans[int(record["id"])] = name
+            open_spans[(src, int(record["id"]))] = (name, pid)
             out.append(
                 {
                     "name": name,
                     "ph": "B",
                     "ts": ts_us,
-                    "pid": 1,
-                    "tid": 1,
+                    "pid": pid,
+                    "tid": pid,
                     "args": dict(record.get("attrs", {})),
                 }
             )
         elif kind == "span_end":
-            open_spans.pop(int(record.get("id", -1)), None)
-            out.append({"name": name, "ph": "E", "ts": ts_us, "pid": 1, "tid": 1})
+            open_spans.pop((src, int(record.get("id", -1))), None)
+            out.append(
+                {"name": name, "ph": "E", "ts": ts_us, "pid": pid, "tid": pid}
+            )
         elif kind == "event":
             out.append(
                 {
@@ -77,20 +112,52 @@ def chrome_trace_events(records: Iterable[dict]) -> List[dict]:
                     "ph": "i",
                     "s": "t",
                     "ts": ts_us,
-                    "pid": 1,
-                    "tid": 1,
+                    "pid": pid,
+                    "tid": pid,
                     "args": dict(record.get("attrs", {})),
                 }
             )
+            if name == "trace.link":
+                attrs = record.get("attrs", {})
+                anchor = span_starts.get(
+                    (str(attrs.get("src", "")), int(attrs.get("span", -1)))
+                )
+                if anchor is not None:
+                    flow_count += 1
+                    start_us, start_pid = anchor
+                    out.append(
+                        {
+                            "name": "trace.link",
+                            "cat": "trace",
+                            "ph": "s",
+                            "id": flow_count,
+                            "ts": start_us,
+                            "pid": start_pid,
+                            "tid": start_pid,
+                        }
+                    )
+                    out.append(
+                        {
+                            "name": "trace.link",
+                            "cat": "trace",
+                            "ph": "f",
+                            "bp": "e",
+                            "id": flow_count,
+                            "ts": ts_us,
+                            "pid": pid,
+                            "tid": pid,
+                        }
+                    )
     # LIFO close order keeps synthesized ends properly nested.
-    for span_id in sorted(open_spans, reverse=True):
+    for key in sorted(open_spans, reverse=True):
+        span_name, pid = open_spans[key]
         out.append(
             {
-                "name": open_spans[span_id],
+                "name": span_name,
                 "ph": "E",
                 "ts": last_ts,
-                "pid": 1,
-                "tid": 1,
+                "pid": pid,
+                "tid": pid,
             }
         )
     return out
@@ -190,12 +257,14 @@ def to_openmetrics(
     specs = specs or {}
     # Group the flat snapshot back into families, preserving sorted order.
     scalars: Dict[str, List[Tuple[List[Tuple[str, str]], float]]] = {}
-    histograms: Dict[str, Dict[str, object]] = {}
+    histograms: Dict[
+        str, List[Tuple[List[Tuple[str, str]], Dict[str, object]]]
+    ] = {}
     for rendered, value in snapshot.items():
-        if isinstance(value, dict):
-            histograms[rendered] = value
-            continue
         family, labels = _parse_series(rendered)
+        if isinstance(value, dict):
+            histograms.setdefault(family, []).append((labels, value))
+            continue
         scalars.setdefault(family, []).append((labels, float(value)))
 
     lines: List[str] = []
@@ -212,19 +281,28 @@ def to_openmetrics(
     for family in sorted(set(scalars) | set(histograms)):
         om = _om_name(family)
         if family in histograms:
-            hist = histograms[family]
             emit_metadata(family, om, HISTOGRAM)
-            cumulative = 0
-            buckets = hist.get("buckets", {})
+
             # Sort bucket keys numerically, le_inf last.
             def bound_of(key: str) -> float:
                 return float("inf") if key == "le_inf" else float(key[len("le_"):])
-            for key in sorted(buckets, key=bound_of):
-                cumulative += int(buckets[key])
-                le = "+Inf" if key == "le_inf" else f"{bound_of(key):g}"
-                lines.append(f'{om}_bucket{{le="{le}"}} {cumulative}')
-            lines.append(f"{om}_count {int(hist.get('count', 0))}")
-            lines.append(f"{om}_sum {_format_value(float(hist.get('sum', 0.0)))}")
+
+            for labels, hist in histograms[family]:
+                cumulative = 0
+                buckets = hist.get("buckets", {})
+                for key in sorted(buckets, key=bound_of):
+                    cumulative += int(buckets[key])
+                    le = "+Inf" if key == "le_inf" else f"{bound_of(key):g}"
+                    bucket_labels = _labels_text(labels + [("le", le)])
+                    lines.append(f"{om}_bucket{bucket_labels} {cumulative}")
+                suffix_labels = _labels_text(labels)
+                lines.append(
+                    f"{om}_count{suffix_labels} {int(hist.get('count', 0))}"
+                )
+                lines.append(
+                    f"{om}_sum{suffix_labels} "
+                    f"{_format_value(float(hist.get('sum', 0.0)))}"
+                )
         else:
             spec = _spec_for(family, specs)
             kind = spec.kind if spec is not None else "unknown"

@@ -1,0 +1,384 @@
+"""SLO health reports over fleet telemetry and recorded traces.
+
+Two producers, one schema:
+
+- :func:`health_from_windows` reads the fleet driver's streaming
+  :class:`~repro.obs.sketch.ShardWindows` rollups (``repro fleet
+  --health``) — per-shard quantiles and SLO attainment come from the
+  merged per-shard sketches, window-over-window p99 regressions from the
+  windowed cells, and stall counts from the driver's exact accounting.
+- :func:`health_from_trace` replays a recorded JSONL trace(s) loaded by
+  :mod:`repro.obs.analyze` (``repro inspect --health``) — each
+  ``queue.node.shipped`` is matched FIFO-by-path against
+  ``server.version.accepted``; shipped nodes with no acceptance inside
+  the stall horizon (stuck retransmits, dead shards) are stalls.
+
+Both return a :class:`HealthReport` whose :meth:`~HealthReport.to_dict`
+document is the CI-validated schema (:func:`validate_health_doc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.sketch import QuantileSketch, ShardWindows
+
+SCHEMA_VERSION = 1
+
+# Regression flagging: a window regresses when its p99 exceeds the
+# previous touched window's p99 by this factor, and both windows hold
+# enough samples to make the comparison meaningful.
+DEFAULT_REGRESSION_FACTOR = 1.5
+DEFAULT_MIN_WINDOW_WRITES = 8
+DEFAULT_ATTAINMENT_TARGET = 0.99
+
+
+@dataclass
+class ShardHealth:
+    """Health verdict for one shard (or one trace source group)."""
+
+    shard: str
+    writes: int
+    p50: float
+    p90: float
+    p99: float
+    max_latency: float
+    slo_attainment: float
+    stalls: int
+    windows: int
+    regressed_windows: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "writes": self.writes,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max_latency": self.max_latency,
+            "slo_attainment": self.slo_attainment,
+            "stalls": self.stalls,
+            "windows": self.windows,
+            "regressed_windows": list(self.regressed_windows),
+        }
+
+
+@dataclass
+class HealthReport:
+    """The full fleet/trace health document."""
+
+    kind: str  # "fleet" | "trace"
+    slo_seconds: float
+    stall_horizon: float
+    window_seconds: float
+    sketch_alpha: float
+    attainment_target: float
+    shards: List[ShardHealth]
+
+    @property
+    def total_writes(self) -> int:
+        return sum(s.writes for s in self.shards)
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(s.stalls for s in self.shards)
+
+    @property
+    def total_regressions(self) -> int:
+        return sum(len(s.regressed_windows) for s in self.shards)
+
+    @property
+    def attainment(self) -> float:
+        """Write-weighted overall SLO attainment."""
+        writes = self.total_writes
+        if writes == 0:
+            return 1.0
+        return sum(s.slo_attainment * s.writes for s in self.shards) / writes
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.total_stalls == 0
+            and self.attainment >= self.attainment_target
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "slo_seconds": self.slo_seconds,
+            "stall_horizon": self.stall_horizon,
+            "window_seconds": self.window_seconds,
+            "sketch_alpha": self.sketch_alpha,
+            "attainment_target": self.attainment_target,
+            "writes": self.total_writes,
+            "attainment": self.attainment,
+            "stalls": self.total_stalls,
+            "regressions": self.total_regressions,
+            "healthy": self.healthy,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+
+def _regressed_windows(
+    cells,
+    *,
+    factor: float,
+    min_writes: int,
+) -> List[int]:
+    """Window indices whose p99 jumped vs the previous touched window."""
+    flagged: List[int] = []
+    prev_p99: Optional[float] = None
+    for cell in cells:
+        p99 = cell.sketch.quantile(0.99)
+        if (
+            prev_p99 is not None
+            and cell.writes >= min_writes
+            and p99 > factor * prev_p99
+        ):
+            flagged.append(cell.window)
+        if cell.writes >= min_writes:
+            prev_p99 = p99
+    return flagged
+
+
+def _shard_health(
+    name: str,
+    sketch: QuantileSketch,
+    *,
+    slo_seconds: float,
+    stalls: int,
+    windows: int,
+    regressed: List[int],
+) -> ShardHealth:
+    return ShardHealth(
+        shard=name,
+        writes=sketch.count,
+        p50=sketch.quantile(0.50),
+        p90=sketch.quantile(0.90),
+        p99=sketch.quantile(0.99),
+        max_latency=sketch.max if sketch.count else 0.0,
+        slo_attainment=sketch.fraction_leq(slo_seconds),
+        stalls=stalls,
+        windows=windows,
+        regressed_windows=regressed,
+    )
+
+
+def health_from_windows(
+    rollup: ShardWindows,
+    *,
+    slo_seconds: float,
+    stall_horizon: float,
+    stalls_by_shard: Optional[Dict[int, int]] = None,
+    regression_factor: float = DEFAULT_REGRESSION_FACTOR,
+    min_window_writes: int = DEFAULT_MIN_WINDOW_WRITES,
+    attainment_target: float = DEFAULT_ATTAINMENT_TARGET,
+) -> HealthReport:
+    """Health report from the fleet driver's streaming rollups."""
+    stalls_by_shard = stalls_by_shard or {}
+    by_shard: Dict[int, List] = {}
+    for cell in rollup.windows():
+        by_shard.setdefault(cell.shard, []).append(cell)
+    shards: List[ShardHealth] = []
+    for shard in range(rollup.n_shards):
+        cells = by_shard.get(shard, [])
+        shards.append(
+            _shard_health(
+                str(shard),
+                rollup.shard_sketch(shard),
+                slo_seconds=slo_seconds,
+                stalls=stalls_by_shard.get(shard, 0),
+                windows=len(cells),
+                regressed=_regressed_windows(
+                    cells, factor=regression_factor, min_writes=min_window_writes
+                ),
+            )
+        )
+    return HealthReport(
+        kind="fleet",
+        slo_seconds=slo_seconds,
+        stall_horizon=stall_horizon,
+        window_seconds=rollup.window_seconds,
+        sketch_alpha=rollup.alpha,
+        attainment_target=attainment_target,
+        shards=shards,
+    )
+
+
+# Sync-queue node kinds (the ``kind`` attr of ``queue.node.shipped`` is
+# the node's class name) whose ship always mints a
+# ``server.version.accepted`` stamp. MetaNode is excluded: some meta ops
+# (mkdir, unlink) never version, so matching them would fake stalls.
+_VERSIONED_KINDS = ("WriteNode", "DeltaNode")
+
+
+def health_from_trace(
+    doc,
+    *,
+    slo_seconds: float,
+    stall_horizon: float,
+    window_seconds: float = 60.0,
+    alpha: float = 0.005,
+    regression_factor: float = DEFAULT_REGRESSION_FACTOR,
+    min_window_writes: int = DEFAULT_MIN_WINDOW_WRITES,
+    attainment_target: float = DEFAULT_ATTAINMENT_TARGET,
+) -> HealthReport:
+    """Health report recovered from a recorded trace.
+
+    Latency here is the *observable* ship-to-accept gap: every
+    ``queue.node.shipped`` of a versioned kind opens a pending entry for
+    its path, consumed FIFO by the next ``server.version.accepted`` for
+    the same path. Groups are the accepting record's tracer source (the
+    serving side), ``"unassigned"`` for ships never accepted; a ship is
+    a stall when its acceptance took longer than ``stall_horizon`` or
+    never arrived within ``stall_horizon`` of the trace's end.
+    """
+    records = getattr(doc, "records", doc)
+    pending: Dict[str, List[Tuple[float, str]]] = {}  # path -> [(ts, src)]
+    groups: Dict[str, ShardWindows] = {}
+    stalls: Dict[str, int] = {}
+    last_ts = 0.0
+
+    def rollup_for(group: str) -> ShardWindows:
+        rl = groups.get(group)
+        if rl is None:
+            rl = groups[group] = ShardWindows(1, window_seconds, alpha=alpha)
+        return rl
+
+    for rec in records:
+        if rec.get("type") != "event":
+            continue
+        ts = float(rec.get("ts", 0.0))
+        last_ts = max(last_ts, ts)
+        name = rec.get("name")
+        attrs = rec.get("attrs", {})
+        if name == "queue.node.shipped":
+            if attrs.get("kind") in _VERSIONED_KINDS:
+                path = str(attrs.get("path", ""))
+                pending.setdefault(path, []).append((ts, rec.get("src", "")))
+        elif name == "server.version.accepted":
+            path = str(attrs.get("path", ""))
+            queue = pending.get(path)
+            if not queue:
+                continue
+            shipped_ts, _ = queue.pop(0)
+            group = str(rec.get("src", "") or "all")
+            latency = ts - shipped_ts
+            rollup_for(group).record_latency(0, ts, latency)
+            if latency > stall_horizon:
+                stalls[group] = stalls.get(group, 0) + 1
+
+    for path, queue in sorted(pending.items()):
+        for shipped_ts, _ in queue:
+            if last_ts - shipped_ts > stall_horizon:
+                stalls["unassigned"] = stalls.get("unassigned", 0) + 1
+                rollup_for("unassigned")
+
+    shards: List[ShardHealth] = []
+    for group in sorted(set(groups) | set(stalls)):
+        rollup = groups.get(group)
+        if rollup is None:
+            rollup = ShardWindows(1, window_seconds, alpha=alpha)
+        cells = rollup.windows()
+        shards.append(
+            _shard_health(
+                group,
+                rollup.overall_sketch(),
+                slo_seconds=slo_seconds,
+                stalls=stalls.get(group, 0),
+                windows=len(cells),
+                regressed=_regressed_windows(
+                    cells, factor=regression_factor, min_writes=min_window_writes
+                ),
+            )
+        )
+    return HealthReport(
+        kind="trace",
+        slo_seconds=slo_seconds,
+        stall_horizon=stall_horizon,
+        window_seconds=window_seconds,
+        sketch_alpha=alpha,
+        attainment_target=attainment_target,
+        shards=shards,
+    )
+
+
+_TOP_LEVEL_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("schema", int),
+    ("kind", str),
+    ("slo_seconds", (int, float)),
+    ("stall_horizon", (int, float)),
+    ("window_seconds", (int, float)),
+    ("sketch_alpha", (int, float)),
+    ("attainment_target", (int, float)),
+    ("writes", int),
+    ("attainment", (int, float)),
+    ("stalls", int),
+    ("regressions", int),
+    ("healthy", bool),
+    ("shards", list),
+)
+
+_SHARD_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("shard", str),
+    ("writes", int),
+    ("p50", (int, float)),
+    ("p90", (int, float)),
+    ("p99", (int, float)),
+    ("max_latency", (int, float)),
+    ("slo_attainment", (int, float)),
+    ("stalls", int),
+    ("windows", int),
+    ("regressed_windows", list),
+)
+
+
+def validate_health_doc(doc: object) -> List[str]:
+    """Schema check for a health-report document; empty list == valid.
+
+    CI runs this over ``repro fleet --health-out`` / ``repro inspect
+    --health-out`` artifacts so a malformed report fails the build.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["health doc is not an object"]
+    for key, kind in _TOP_LEVEL_FIELDS:
+        if key not in doc:
+            problems.append(f"missing top-level field {key!r}")
+        elif not isinstance(doc[key], kind) or isinstance(doc[key], bool) != (
+            kind is bool
+        ):
+            problems.append(f"field {key!r} has wrong type {type(doc[key]).__name__}")
+    if problems:
+        return problems
+    if doc["schema"] != SCHEMA_VERSION:
+        problems.append(f"unknown schema version {doc['schema']!r}")
+    if doc["kind"] not in ("fleet", "trace"):
+        problems.append(f"unknown kind {doc['kind']!r}")
+    if not 0.0 <= doc["attainment"] <= 1.0:
+        problems.append(f"attainment {doc['attainment']!r} outside [0, 1]")
+    for i, shard in enumerate(doc["shards"]):
+        if not isinstance(shard, dict):
+            problems.append(f"shards[{i}] is not an object")
+            continue
+        for key, kind in _SHARD_FIELDS:
+            if key not in shard:
+                problems.append(f"shards[{i}] missing field {key!r}")
+            elif not isinstance(shard[key], kind) or isinstance(
+                shard[key], bool
+            ) != (kind is bool):
+                problems.append(
+                    f"shards[{i}].{key} has wrong type {type(shard[key]).__name__}"
+                )
+        if not problems and not 0.0 <= shard["slo_attainment"] <= 1.0:
+            problems.append(f"shards[{i}].slo_attainment outside [0, 1]")
+    total = sum(
+        s.get("stalls", 0) for s in doc["shards"] if isinstance(s, dict)
+    )
+    if not problems and total != doc["stalls"]:
+        problems.append(
+            f"stalls {doc['stalls']} != sum of shard stalls {total}"
+        )
+    return problems

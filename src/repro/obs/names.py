@@ -478,6 +478,41 @@ METRICS: Tuple[MetricSpec, ...] = (
         "labelled by shard",
         unit="seconds",
     ),
+    MetricSpec(
+        "fleet.window.seconds",
+        GAUGE,
+        "configured length of one telemetry rollup window in virtual seconds",
+        unit="seconds",
+    ),
+    MetricSpec(
+        "fleet.window.rollovers",
+        COUNTER,
+        "telemetry windows closed with at least one completed write, "
+        "labelled by shard",
+        unit="windows",
+    ),
+    # -- SLO health reporting ----------------------------------------------
+    MetricSpec(
+        "health.slo.attainment",
+        GAUGE,
+        "fraction of completed writes whose sync latency met the SLO "
+        "threshold, labelled by shard",
+        unit="ratio",
+    ),
+    MetricSpec(
+        "health.stalls",
+        COUNTER,
+        "writes whose sync stalled past the stall horizon (stuck "
+        "retransmits, dead or saturated shards), labelled by shard",
+        unit="ops",
+    ),
+    MetricSpec(
+        "health.regressions",
+        COUNTER,
+        "window-over-window p99 latency regressions flagged, labelled "
+        "by shard",
+        unit="windows",
+    ),
     # -- crash-recovery journal --------------------------------------------
     MetricSpec(
         "journal.records.written",
@@ -736,6 +771,42 @@ EVENTS: Tuple[EventSpec, ...] = (
         "these events",
         attrs=("path", "client", "counter"),
     ),
+    # -- distributed tracing -----------------------------------------------
+    EventSpec(
+        "trace.link",
+        "event",
+        "a causal cross-tracer edge: the enclosing span was caused by span "
+        "`span` of trace `trace` in the tracer named `src` (carried across "
+        "the process boundary by the envelope's uncosted TraceContext); "
+        "the offline analyzer stitches multi-source traces along these "
+        "edges and the Chrome exporter renders them as flow arrows",
+        attrs=("src", "trace", "span"),
+    ),
+    # -- fleet telemetry windows -------------------------------------------
+    EventSpec(
+        "fleet.window.closed",
+        "event",
+        "one per-shard telemetry window rolled up (emitted at rollup "
+        "finalization; timestamps are the window's virtual-time bounds)",
+        attrs=(
+            "shard",
+            "window",
+            "start",
+            "end",
+            "writes",
+            "p50",
+            "p99",
+            "queue_peak",
+            "busy",
+        ),
+    ),
+    # -- SLO health reporting ----------------------------------------------
+    EventSpec(
+        "health.stall",
+        "event",
+        "a write's sync exceeded the stall horizon before completing",
+        attrs=("shard", "client", "path", "waited"),
+    ),
     # -- crash-recovery journal --------------------------------------------
     EventSpec(
         "journal.write",
@@ -815,6 +886,15 @@ EVENTS: Tuple[EventSpec, ...] = (
         "span",
         "one sweep retransmitting every envelope whose timer expired",
         attrs=("due",),
+    ),
+    EventSpec(
+        "server.shard.route",
+        "span",
+        "router handling of one multi-shard message: co-locating "
+        "migrations plus the target shard's apply (single-shard messages "
+        "skip this span and apply directly, bit-identically to an "
+        "unsharded server)",
+        attrs=("shards", "target"),
     ),
 )
 

@@ -76,17 +76,18 @@ class _Histogram:
 class MetricsRegistry:
     """Accumulates declared metrics for one run.
 
-    Counters and gauges accept free-form labels (e.g.
-    ``inc("channel.up.bytes", size, type="UploadWrite")``); each distinct
-    label set is a separate series under the declared family name.
-    Histograms are unlabelled.
+    Counters, gauges, and histograms all accept free-form labels (e.g.
+    ``inc("channel.up.bytes", size, type="UploadWrite")`` or
+    ``observe("fleet.sync.latency", dt, shard=3)``); each distinct label
+    set is a separate series under the declared family name. Every series
+    of a histogram family shares the family's declared buckets.
     """
 
     def __init__(self, specs: Tuple[MetricSpec, ...] = METRICS):
         self._specs: Dict[str, MetricSpec] = {s.name: s for s in specs}
         self._counters: Dict[str, Dict[LabelKey, float]] = {}
         self._gauges: Dict[str, Dict[LabelKey, float]] = {}
-        self._histograms: Dict[str, _Histogram] = {}
+        self._histograms: Dict[str, Dict[LabelKey, _Histogram]] = {}
 
     # -- declaration -------------------------------------------------------
 
@@ -133,12 +134,14 @@ class MetricsRegistry:
         self._require(name, GAUGE)
         self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
 
-    def observe(self, name: str, value: float) -> None:
-        """Record one sample into a histogram."""
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one sample into a histogram series."""
         spec = self._require(name, HISTOGRAM)
-        hist = self._histograms.get(name)
+        series = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        hist = series.get(key)
         if hist is None:
-            hist = self._histograms[name] = _Histogram(spec.buckets or (1.0,))
+            hist = series[key] = _Histogram(spec.buckets or (1.0,))
         hist.observe(value)
 
     # -- reading -----------------------------------------------------------
@@ -158,18 +161,19 @@ class MetricsRegistry:
         self._require(name, GAUGE)
         return self._gauges.get(name, {}).get(_label_key(labels))
 
-    def histogram(self, name: str) -> Optional[Dict[str, object]]:
-        """Histogram state as a dict, or ``None`` if never observed."""
+    def histogram(self, name: str, **labels: object) -> Optional[Dict[str, object]]:
+        """One histogram series as a dict, or ``None`` if never observed."""
         self._require(name, HISTOGRAM)
-        hist = self._histograms.get(name)
+        hist = self._histograms.get(name, {}).get(_label_key(labels))
         return None if hist is None else hist.as_dict()
 
     def snapshot(self) -> Dict[str, object]:
         """Deterministic flat view of every *touched* series.
 
         Counters/gauges map rendered series name -> value; histograms map
-        family name -> ``{count, sum, buckets}``. Keys are sorted, so equal
-        runs produce equal snapshots.
+        rendered series name -> ``{count, sum, buckets}`` (the bare family
+        name when unlabelled). Keys are sorted, so equal runs produce
+        equal snapshots.
         """
         out: Dict[str, object] = {}
         for name in sorted(self._counters):
@@ -179,7 +183,8 @@ class MetricsRegistry:
             for key in sorted(self._gauges[name]):
                 out[_render_name(name, key)] = self._gauges[name][key]
         for name in sorted(self._histograms):
-            out[name] = self._histograms[name].as_dict()
+            for key in sorted(self._histograms[name]):
+                out[_render_name(name, key)] = self._histograms[name][key].as_dict()
         return out
 
     def scalar_snapshot(self) -> Dict[str, float]:
@@ -203,7 +208,8 @@ class MetricsRegistry:
         series = sum(len(v) for v in self._counters.values()) + sum(
             len(v) for v in self._gauges.values()
         )
-        return f"MetricsRegistry({series} series, {len(self._histograms)} histograms)"
+        hists = sum(len(v) for v in self._histograms.values())
+        return f"MetricsRegistry({series} series, {hists} histograms)"
 
 
 class _NullRegistry(MetricsRegistry):
@@ -215,7 +221,7 @@ class _NullRegistry(MetricsRegistry):
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         pass
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, **labels: object) -> None:
         pass
 
 

@@ -1,0 +1,307 @@
+"""Fixed-memory streaming telemetry: quantile sketches + windowed rollups.
+
+The fleet driver used to buffer every sync-latency sample in a Python
+list — O(writes) memory, which caps the ROADMAP's 10⁵–10⁶-client rung.
+This module replaces that with two fixed-memory primitives:
+
+- :class:`QuantileSketch` — a deterministic DDSketch-style log-bucketed
+  quantile sketch with *relative-error* guarantee: for any quantile q,
+  the reported value v̂ satisfies ``|v̂ - v| <= alpha * v`` against the
+  exact sample quantile v (values below ``min_value`` collapse into a
+  zero bucket and report 0.0). Sketches over the same ``alpha`` merge
+  exactly (bucket-wise addition), so per-shard sketches roll up into a
+  fleet-wide one without re-reading samples.
+- :class:`ShardWindows` — per-(shard, virtual-time window) rollups
+  (write count, latency sketch, queue-depth peak, busy time) keyed by
+  ``floor((ts - t0) / window_seconds)``. Memory is O(shards × windows ×
+  bins), independent of write count.
+
+Everything here is pure arithmetic over caller-supplied virtual
+timestamps — no wall clock, no randomness — so fleet results stay
+bit-deterministic under seeded runs (``repro check`` lints enforce
+this repo-wide).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+class QuantileSketch:
+    """Deterministic mergeable log-bucket quantile sketch.
+
+    ``alpha`` is the relative-error bound. Values map to bucket
+    ``k = ceil(log_gamma(v))`` with ``gamma = (1 + alpha)/(1 - alpha)``;
+    a bucket's representative value ``2·gamma^k / (gamma + 1)`` is within
+    ``alpha`` (relatively) of anything stored in it. Exact ``count``,
+    ``sum``, ``min`` and ``max`` are tracked on the side, so q=0 and q=1
+    are exact.
+
+    ``max_bins`` bounds memory: when exceeded, the smallest buckets
+    collapse into one (quantile error grows only in the far-left tail,
+    which never matters for p50+ latency reporting).
+    """
+
+    __slots__ = (
+        "alpha",
+        "gamma",
+        "_log_gamma",
+        "min_value",
+        "max_bins",
+        "_buckets",
+        "_zero",
+        "count",
+        "sum",
+        "min",
+        "max",
+    )
+
+    def __init__(
+        self,
+        alpha: float = 0.005,
+        *,
+        min_value: float = 1e-9,
+        max_bins: int = 2048,
+    ):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if max_bins < 2:
+            raise ValueError("max_bins must be at least 2")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self.gamma)
+        self.min_value = min_value
+        self.max_bins = max_bins
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0  # samples <= min_value (incl. exact zeros)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Record one sample (negatives clamp into the zero bucket)."""
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.min_value:
+            self._zero += 1
+            return
+        k = math.ceil(math.log(value) / self._log_gamma)
+        self._buckets[k] = self._buckets.get(k, 0) + 1
+        if len(self._buckets) > self.max_bins:
+            self._collapse()
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch (same ``alpha`` required)."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with alpha {other.alpha} into {self.alpha}"
+            )
+        for k, n in other._buckets.items():
+            self._buckets[k] = self._buckets.get(k, 0) + n
+        self._zero += other._zero
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        if len(self._buckets) > self.max_bins:
+            self._collapse()
+
+    def _collapse(self) -> None:
+        # Fold the smallest buckets together until back under the bound.
+        keys = sorted(self._buckets)
+        while len(keys) > self.max_bins:
+            lowest, second = keys[0], keys[1]
+            self._buckets[second] += self._buckets.pop(lowest)
+            keys.pop(0)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def bins(self) -> int:
+        """Live bucket count (memory footprint proxy)."""
+        return len(self._buckets) + (1 if self._zero else 0)
+
+    def _bucket_value(self, k: int) -> float:
+        return 2.0 * self.gamma ** k / (self.gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile; 0.0 on an empty sketch.
+
+        Matches the ``rank = q * (count - 1)`` convention of the exact
+        interpolated quantile it replaces, up to the alpha error bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        seen = float(self._zero)
+        if rank < seen:
+            return 0.0
+        for k in sorted(self._buckets):
+            seen += self._buckets[k]
+            if rank < seen:
+                return min(self._bucket_value(k), self.max)
+        return self.max
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    def fraction_leq(self, threshold: float) -> float:
+        """Approximate fraction of samples ≤ ``threshold`` (the CDF).
+
+        This is what SLO attainment reads: the share of latencies at or
+        under the objective, within the sketch's relative error around
+        the threshold itself.
+        """
+        if self.count == 0:
+            return 1.0
+        if threshold >= self.max:
+            return 1.0
+        if threshold < 0.0:
+            return 0.0
+        covered = float(self._zero)
+        for k, n in self._buckets.items():
+            if self._bucket_value(k) <= threshold:
+                covered += n
+        return covered / self.count
+
+    def to_dict(self) -> Dict[str, object]:
+        """Summary stats for reports (not a lossless serialization)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "alpha": self.alpha,
+            "bins": self.bins,
+        }
+
+
+@dataclass
+class WindowStats:
+    """Rollup of one (shard, window) cell."""
+
+    shard: int
+    window: int
+    start: float
+    end: float
+    sketch: QuantileSketch
+    writes: int = 0
+    queue_peak: int = 0
+    busy: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "window": self.window,
+            "start": self.start,
+            "end": self.end,
+            "writes": self.writes,
+            "queue_peak": self.queue_peak,
+            "busy": self.busy,
+            "p50": self.sketch.quantile(0.50),
+            "p99": self.sketch.quantile(0.99),
+        }
+
+
+class ShardWindows:
+    """Per-shard, per-virtual-time-window telemetry rollups.
+
+    One :class:`WindowStats` per (shard, window) cell, created lazily on
+    first sample — memory is O(shards × touched windows), never
+    O(writes). Latencies are attributed to the window of their
+    *completion* timestamp.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        window_seconds: float,
+        *,
+        t0: float = 0.0,
+        alpha: float = 0.005,
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.n_shards = n_shards
+        self.window_seconds = window_seconds
+        self.t0 = t0
+        self.alpha = alpha
+        self._cells: Dict[Tuple[int, int], WindowStats] = {}
+
+    def _index(self, ts: float) -> int:
+        return max(0, int((ts - self.t0) // self.window_seconds))
+
+    def _cell(self, shard: int, ts: float) -> WindowStats:
+        idx = self._index(ts)
+        key = (shard, idx)
+        cell = self._cells.get(key)
+        if cell is None:
+            start = self.t0 + idx * self.window_seconds
+            cell = self._cells[key] = WindowStats(
+                shard=shard,
+                window=idx,
+                start=start,
+                end=start + self.window_seconds,
+                sketch=QuantileSketch(self.alpha),
+            )
+        return cell
+
+    # -- recording ---------------------------------------------------------
+
+    def record_latency(self, shard: int, done_ts: float, latency: float) -> None:
+        cell = self._cell(shard, done_ts)
+        cell.writes += 1
+        cell.sketch.add(latency)
+
+    def record_depth(self, shard: int, ts: float, depth: int) -> None:
+        cell = self._cell(shard, ts)
+        if depth > cell.queue_peak:
+            cell.queue_peak = depth
+
+    def record_busy(self, shard: int, ts: float, seconds: float) -> None:
+        self._cell(shard, ts).busy += seconds
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def cells(self) -> int:
+        return len(self._cells)
+
+    def windows(self) -> List[WindowStats]:
+        """All touched cells, ordered by (shard, window)."""
+        return [self._cells[k] for k in sorted(self._cells)]
+
+    def shard_sketch(self, shard: int) -> QuantileSketch:
+        """All of one shard's windows merged into a single sketch."""
+        out = QuantileSketch(self.alpha)
+        for (s, _), cell in sorted(self._cells.items()):
+            if s == shard:
+                out.merge(cell.sketch)
+        return out
+
+    def overall_sketch(self) -> QuantileSketch:
+        """Every cell merged — the fleet-wide latency distribution."""
+        out = QuantileSketch(self.alpha)
+        for key in sorted(self._cells):
+            out.merge(self._cells[key].sketch)
+        return out

@@ -161,10 +161,20 @@ class CloudServer:
 
     # -- entry point ---------------------------------------------------------
 
-    def handle(self, message: Message, origin_client: int = 0) -> ApplyResult:
-        """Apply one message from ``origin_client``; fan out on success."""
+    def handle(
+        self, message: Message, origin_client: int = 0, ctx=None
+    ) -> ApplyResult:
+        """Apply one message from ``origin_client``; fan out on success.
+
+        ``ctx`` is the sender's :class:`~repro.obs.tracer.TraceContext`
+        (usually lifted off an :class:`Envelope`); when present, the apply
+        span links back to the client span that caused the send, so
+        multi-source traces stitch into one causal tree.
+        """
         kind = type(message).__name__
-        with self.obs.span("server.apply", type=kind, origin=origin_client):
+        with self.obs.span(
+            "server.apply", link=ctx, type=kind, origin=origin_client
+        ):
             if isinstance(message, TxnGroup):
                 self.obs.inc("server.apply.groups")
                 result = self._apply_group(message, origin_client)
@@ -209,7 +219,9 @@ class CloudServer:
             return list(cached), True
         if self.obs.enabled:
             self._note_envelope(envelope, origin_client, duplicate=False)
-        result = self.handle(envelope.inner, origin_client)
+        result = self.handle(
+            envelope.inner, origin_client, getattr(envelope, "ctx", None)
+        )
         cache[envelope.msg_id] = tuple(result.replies)
         while len(cache) > self.dedup_window:
             cache.popitem(last=False)

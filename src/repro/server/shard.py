@@ -259,15 +259,34 @@ class ShardRouter:
 
     # -- apply path -----------------------------------------------------------
 
-    def handle(self, message: Message, origin_client: int = 0) -> ApplyResult:
+    def handle(
+        self, message: Message, origin_client: int = 0, ctx=None
+    ) -> ApplyResult:
         """Route one message to its owning shard, co-locating first when a
-        rename / link / transactional group spans shards."""
+        rename / link / transactional group spans shards.
+
+        Single-shard messages apply directly — bit-identically to an
+        unsharded :class:`CloudServer` (``ctx`` just flows through to the
+        apply span). Multi-shard messages get a ``server.shard.route``
+        wrapper span covering the co-locating migrations plus the target
+        shard's apply; the cross-process ``trace.link`` edge attaches to
+        the router span there, so the migrate step is inside the stitched
+        causal path.
+        """
         indices = self._touched_shards(message)
         if len(indices) == 1:
-            target = indices[0]
-        else:
+            return self.shards[indices[0]].handle(message, origin_client, ctx)
+        if not self.obs.enabled:
             target = self._colocate(message, indices)
-        return self.shards[target].handle(message, origin_client)
+            return self.shards[target].handle(message, origin_client)
+        target, _ = self._colocation_target(message, indices)
+        with self.obs.span(
+            "server.shard.route", link=ctx, shards=len(indices), target=target
+        ):
+            self._colocate(message, indices)
+            # The apply span nests inside the route span; the link edge
+            # already names the client cause, so don't re-link it here.
+            return self.shards[target].handle(message, origin_client)
 
     def handle_envelope(
         self, envelope: Envelope, origin_client: int = 0
@@ -290,7 +309,9 @@ class ShardRouter:
             return list(cached), True
         if self.obs.enabled:
             home._note_envelope(envelope, origin_client, duplicate=False)
-        result = self.handle(envelope.inner, origin_client)
+        result = self.handle(
+            envelope.inner, origin_client, getattr(envelope, "ctx", None)
+        )
         cache[envelope.msg_id] = tuple(result.replies)
         while len(cache) > home.dedup_window:
             cache.popitem(last=False)
@@ -321,6 +342,16 @@ class ShardRouter:
             out.append(dest)
         return out
 
+    def _colocation_target(
+        self, message: Message, indices: List[int]
+    ) -> Tuple[int, str]:
+        """Where a multi-shard message will land, and why (side-effect free)."""
+        if isinstance(message, MetaOp) and message.kind in ("rename", "link"):
+            # Land on the destination's shard so the new name is natural.
+            return self.shard_index_for_path(message.dest), message.kind
+        kind = "group" if isinstance(message, TxnGroup) else "meta"
+        return indices[0], kind
+
     def _colocate(self, message: Message, indices: List[int]) -> int:
         """Move every touched file onto one shard; return its index.
 
@@ -331,13 +362,7 @@ class ShardRouter:
         where its new name naturally routes; step two (the caller) hands
         the whole message to that shard's ordinary apply path.
         """
-        kind = "group" if isinstance(message, TxnGroup) else "meta"
-        if isinstance(message, MetaOp) and message.kind in ("rename", "link"):
-            # Land on the destination's shard so the new name is natural.
-            target = self.shard_index_for_path(message.dest)
-            kind = message.kind
-        else:
-            target = indices[0]
+        target, kind = self._colocation_target(message, indices)
         if kind == "rename":
             self.cross_shard_renames += 1
             if self.obs.enabled:

@@ -104,6 +104,19 @@ class TestOpenMetrics:
         assert "channel_message_bytes_count 4" in text
         assert check_openmetrics(text) == []
 
+    def test_labelled_histogram_series_export_separately(self):
+        reg = MetricsRegistry()
+        reg.observe("fleet.sync.latency", 0.1, shard=0)
+        reg.observe("fleet.sync.latency", 0.1, shard=0)
+        reg.observe("fleet.sync.latency", 500.0, shard=1)
+        text = registry_openmetrics(reg)
+        assert 'fleet_sync_latency_bucket{shard="0",le="+Inf"} 2' in text
+        assert 'fleet_sync_latency_bucket{shard="1",le="+Inf"} 1' in text
+        assert 'fleet_sync_latency_count{shard="0"} 2' in text
+        assert 'fleet_sync_latency_count{shard="1"} 1' in text
+        assert 'fleet_sync_latency_sum{shard="1"} 500' in text
+        assert check_openmetrics(text) == []
+
     def test_from_embedded_snapshot(self):
         obs = recorded_obs()
         lines = obs.tracer.to_jsonl().splitlines()

@@ -74,7 +74,7 @@ def test_doc_lint_contract_holds():
     name_re = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
     prefixes = ("client.", "queue.", "relation.", "channel.", "server.",
                 "transport.", "journal.", "recovery.", "run.", "policy.",
-                "fleet.")
+                "fleet.", "trace.", "health.")
     documented = {
         m.group(1)
         for m in name_re.finditer(doc.read_text(encoding="utf-8"))

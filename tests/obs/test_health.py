@@ -1,0 +1,255 @@
+"""SLO health reports: windows-based and trace-based producers, the
+schema validator, stall detection, and regression flagging."""
+
+import pytest
+
+from repro.obs.health import (
+    HealthReport,
+    ShardHealth,
+    _regressed_windows,
+    health_from_trace,
+    health_from_windows,
+    validate_health_doc,
+)
+from repro.obs.sketch import ShardWindows
+
+
+def _loaded_rollup(n_shards=2, window=10.0):
+    rollup = ShardWindows(n_shards, window)
+    for shard in range(n_shards):
+        for i in range(20):
+            rollup.record_latency(shard, 1.0 + i, 3.0 + shard)
+    return rollup
+
+
+class TestHealthFromWindows:
+    def test_healthy_fleet(self):
+        report = health_from_windows(
+            _loaded_rollup(), slo_seconds=10.0, stall_horizon=60.0
+        )
+        assert report.kind == "fleet"
+        assert report.total_writes == 40
+        assert report.attainment == 1.0
+        assert report.healthy
+        assert [s.shard for s in report.shards] == ["0", "1"]
+        assert report.shards[0].p50 == pytest.approx(3.0, rel=0.01)
+        assert report.shards[1].p50 == pytest.approx(4.0, rel=0.01)
+
+    def test_attainment_reflects_slo_misses(self):
+        rollup = ShardWindows(1, 10.0)
+        for i in range(90):
+            rollup.record_latency(0, float(i % 9), 1.0)
+        for i in range(10):
+            rollup.record_latency(0, float(i), 100.0)
+        report = health_from_windows(rollup, slo_seconds=10.0, stall_horizon=60.0)
+        assert report.attainment == pytest.approx(0.9, abs=0.01)
+        assert not report.healthy  # 0.9 < the 0.99 default target
+
+    def test_stalls_make_unhealthy(self):
+        report = health_from_windows(
+            _loaded_rollup(),
+            slo_seconds=10.0,
+            stall_horizon=60.0,
+            stalls_by_shard={1: 3},
+        )
+        assert report.total_stalls == 3
+        assert report.shards[1].stalls == 3
+        assert not report.healthy
+
+    def test_write_weighted_attainment(self):
+        rollup = ShardWindows(2, 10.0)
+        for i in range(99):  # shard 0: all meet
+            rollup.record_latency(0, float(i % 9), 1.0)
+        rollup.record_latency(1, 1.0, 100.0)  # shard 1: one miss
+        report = health_from_windows(rollup, slo_seconds=10.0, stall_horizon=60.0)
+        assert report.shards[0].slo_attainment == 1.0
+        assert report.shards[1].slo_attainment == 0.0
+        assert report.attainment == pytest.approx(0.99, abs=0.001)
+
+    def test_empty_rollup_is_vacuously_healthy(self):
+        report = health_from_windows(
+            ShardWindows(2, 10.0), slo_seconds=10.0, stall_horizon=60.0
+        )
+        assert report.total_writes == 0
+        assert report.attainment == 1.0
+        assert report.healthy
+
+
+class TestRegressionFlagging:
+    def test_p99_jump_is_flagged(self):
+        rollup = ShardWindows(1, 10.0)
+        for i in range(10):
+            rollup.record_latency(0, 1.0 + i * 0.5, 2.0)  # window 0: p99 ~2
+        for i in range(10):
+            rollup.record_latency(0, 11.0 + i * 0.5, 20.0)  # window 1: 10x
+        report = health_from_windows(rollup, slo_seconds=30.0, stall_horizon=60.0)
+        assert report.shards[0].regressed_windows == [1]
+        assert report.total_regressions == 1
+
+    def test_sparse_windows_are_skipped(self):
+        rollup = ShardWindows(1, 10.0)
+        for i in range(10):
+            rollup.record_latency(0, 1.0 + i * 0.5, 2.0)
+        rollup.record_latency(0, 11.0, 50.0)  # 1 write < min_window_writes
+        report = health_from_windows(rollup, slo_seconds=60.0, stall_horizon=90.0)
+        assert report.shards[0].regressed_windows == []
+
+    def test_recovery_is_not_a_regression(self):
+        rollup = ShardWindows(1, 10.0)
+        for i in range(10):
+            rollup.record_latency(0, 1.0 + i * 0.5, 20.0)
+        for i in range(10):
+            rollup.record_latency(0, 11.0 + i * 0.5, 2.0)  # improves
+        cells = rollup.windows()
+        assert _regressed_windows(cells, factor=1.5, min_writes=8) == []
+
+
+def _event(name, ts, attrs, src=""):
+    rec = {"type": "event", "name": name, "ts": ts, "parent": None,
+           "attrs": attrs}
+    if src:
+        rec["src"] = src
+    return rec
+
+
+def _ship(path, ts, kind="WriteNode", src=""):
+    return _event("queue.node.shipped", ts,
+                  {"path": path, "seq": 1, "kind": kind,
+                   "payload_bytes": 4, "transactional": False}, src)
+
+
+def _accept(path, ts, src=""):
+    return _event("server.version.accepted", ts,
+                  {"path": path, "client": 1, "counter": 1}, src)
+
+
+class TestHealthFromTrace:
+    def test_ship_accept_latency_recovered(self):
+        records = [
+            _ship("/a", 1.0), _accept("/a", 4.0),
+            _ship("/b", 2.0), _accept("/b", 2.5),
+        ]
+        report = health_from_trace(
+            records, slo_seconds=10.0, stall_horizon=60.0
+        )
+        assert report.kind == "trace"
+        assert report.total_writes == 2
+        (group,) = report.shards
+        assert group.shard == "all"
+        assert group.max_latency == pytest.approx(3.0)
+        assert report.healthy
+
+    def test_unaccepted_ship_past_horizon_is_a_stall(self):
+        records = [
+            _ship("/a", 1.0),
+            _accept("/b", 200.0),  # unrelated record moves trace end out
+            _ship("/b", 199.0),
+        ]
+        report = health_from_trace(records, slo_seconds=10.0, stall_horizon=60.0)
+        stalls = {s.shard: s.stalls for s in report.shards}
+        assert stalls.get("unassigned") == 1  # /a never accepted, >60s old
+        assert not report.healthy
+
+    def test_recent_unaccepted_ship_is_not_a_stall(self):
+        records = [_ship("/a", 100.0), _accept("/b", 110.0), _ship("/b", 105.0)]
+        report = health_from_trace(records, slo_seconds=10.0, stall_horizon=60.0)
+        assert report.total_stalls == 0
+
+    def test_slow_acceptance_is_a_stall(self):
+        records = [_ship("/a", 1.0), _accept("/a", 100.0)]
+        report = health_from_trace(records, slo_seconds=10.0, stall_horizon=60.0)
+        assert report.total_stalls == 1
+
+    def test_meta_nodes_never_stall(self):
+        records = [_ship("/dir", 1.0, kind="MetaNode"), _accept("/x", 500.0),
+                   _ship("/x", 499.0)]
+        report = health_from_trace(records, slo_seconds=10.0, stall_horizon=60.0)
+        assert report.total_stalls == 0
+
+    def test_groups_by_accepting_source(self):
+        records = [
+            _ship("/a", 1.0, src="client-1"), _accept("/a", 2.0, src="cloud"),
+        ]
+        report = health_from_trace(records, slo_seconds=10.0, stall_horizon=60.0)
+        assert [s.shard for s in report.shards] == ["cloud"]
+
+    def test_doc_round_trips_through_validator(self):
+        records = [_ship("/a", 1.0), _accept("/a", 2.0)]
+        report = health_from_trace(records, slo_seconds=10.0, stall_horizon=60.0)
+        assert validate_health_doc(report.to_dict()) == []
+
+
+class TestValidateHealthDoc:
+    def _valid(self):
+        return health_from_windows(
+            _loaded_rollup(), slo_seconds=10.0, stall_horizon=60.0
+        ).to_dict()
+
+    def test_valid_doc_passes(self):
+        assert validate_health_doc(self._valid()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_health_doc([1, 2]) != []
+
+    def test_missing_field_reported(self):
+        doc = self._valid()
+        del doc["attainment"]
+        assert any("attainment" in p for p in validate_health_doc(doc))
+
+    def test_wrong_type_reported(self):
+        doc = self._valid()
+        doc["writes"] = "forty"
+        assert any("writes" in p for p in validate_health_doc(doc))
+
+    def test_bool_does_not_pass_as_int(self):
+        doc = self._valid()
+        doc["stalls"] = True  # bool is an int subclass; must still fail
+        assert any("stalls" in p for p in validate_health_doc(doc))
+
+    def test_unknown_schema_version_rejected(self):
+        doc = self._valid()
+        doc["schema"] = 99
+        assert any("schema" in p for p in validate_health_doc(doc))
+
+    def test_shard_stall_sum_mismatch_rejected(self):
+        doc = self._valid()
+        doc["stalls"] = 7
+        assert any("stalls" in p for p in validate_health_doc(doc))
+
+    def test_attainment_range_enforced(self):
+        doc = self._valid()
+        doc["attainment"] = 1.5
+        assert any("attainment" in p for p in validate_health_doc(doc))
+
+    def test_malformed_shard_entry_reported(self):
+        doc = self._valid()
+        doc["shards"][0] = "not a dict"
+        assert any("shards[0]" in p for p in validate_health_doc(doc))
+
+
+class TestFleetResultHealth:
+    def test_run_fleet_health_report_is_valid_and_matches_exact(self):
+        from repro.harness.fleet import FleetSpec, run_fleet
+
+        result = run_fleet(
+            FleetSpec(n_clients=40, n_shards=4, writes_per_client=2)
+        )
+        report = result.health()
+        assert report.total_writes == 80
+        assert validate_health_doc(report.to_dict()) == []
+        # Debounce floor ~3s << default 15s SLO: full attainment.
+        assert report.attainment == 1.0
+        assert report.total_stalls == 0
+        assert report.healthy
+        # Per-shard writes reconcile with the sketch counts.
+        assert sum(s.writes for s in report.shards) == 80
+
+    def test_custom_slo_flips_health(self):
+        from repro.harness.fleet import FleetSpec, run_fleet
+
+        result = run_fleet(
+            FleetSpec(n_clients=40, n_shards=4, writes_per_client=2)
+        )
+        strict = result.health(slo_seconds=0.001)
+        assert strict.attainment < 0.99
+        assert not strict.healthy

@@ -79,6 +79,46 @@ def test_histogram_bucketing_edges():
     assert state["buckets"] == {"le_10": 1, "le_100": 1, "le_inf": 1}
 
 
+def test_histogram_labels_are_independent_series():
+    """Regression: observe() used to drop its labels, folding every
+    shard's samples into one bare family series."""
+    reg = MetricsRegistry()
+    reg.observe("fleet.sync.latency", 1.0, shard=0)
+    reg.observe("fleet.sync.latency", 2.0, shard=0)
+    reg.observe("fleet.sync.latency", 9.0, shard=1)
+    s0 = reg.histogram("fleet.sync.latency", shard=0)
+    s1 = reg.histogram("fleet.sync.latency", shard=1)
+    assert s0["count"] == 2 and s0["sum"] == pytest.approx(3.0)
+    assert s1["count"] == 1 and s1["sum"] == pytest.approx(9.0)
+    # The unlabelled series is distinct and was never touched.
+    assert reg.histogram("fleet.sync.latency") is None
+
+
+def test_labelled_histogram_series_share_family_buckets():
+    reg = MetricsRegistry()
+    reg.observe("queue.node.payload_bytes", 200, kind="WriteNode")
+    reg.observe("queue.node.payload_bytes", 500, kind="MetaNode")
+    for kind in ("WriteNode", "MetaNode"):
+        state = reg.histogram("queue.node.payload_bytes", kind=kind)
+        assert set(state["buckets"]) == {
+            f"le_{b:g}" for b in BYTE_BUCKETS
+        } | {"le_inf"}
+
+
+def test_labelled_histograms_render_in_snapshot():
+    reg = MetricsRegistry()
+    reg.observe("fleet.sync.latency", 2.0, shard=1)
+    reg.observe("fleet.sync.latency", 1.0, shard=0)
+    snap = reg.snapshot()
+    keys = [k for k in snap if k.startswith("fleet.sync.latency")]
+    assert keys == [
+        "fleet.sync.latency{shard=0}",
+        "fleet.sync.latency{shard=1}",
+    ]
+    assert snap["fleet.sync.latency{shard=0}"]["count"] == 1
+    assert snap["fleet.sync.latency{shard=1}"]["sum"] == pytest.approx(2.0)
+
+
 def test_histogram_uses_declared_buckets():
     reg = MetricsRegistry()
     spec = metric_spec("queue.node.payload_bytes")
@@ -153,6 +193,6 @@ def test_catalog_names_follow_the_scheme():
         assert len(parts) >= 2, name
         assert parts[0] in {"client", "queue", "relation", "channel",
                             "server", "transport", "journal", "recovery",
-                            "run", "policy", "fleet"}, name
+                            "run", "policy", "fleet", "trace", "health"}, name
         for part in parts:
             assert part == part.lower(), name

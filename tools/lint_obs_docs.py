@@ -67,6 +67,8 @@ PREFIXES = (
     "recovery.",
     "run.",
     "fleet.",
+    "trace.",
+    "health.",
 )
 
 
