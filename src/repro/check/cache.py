@@ -1,0 +1,190 @@
+"""Content-addressed result cache for `repro check`.
+
+Linting is pure: the findings for a file depend only on its bytes, and
+the semantic layer's findings depend only on the bytes of every file in
+the project. That makes both perfectly cacheable by content hash:
+
+* per file — keyed by the source digest, storing the **raw** findings
+  (every rule, suppression comments already marked). Exemption globs
+  and ``--only`` are applied per run on top of the cached list, so one
+  cache serves any configuration.
+* semantic — keyed by :meth:`Project.fingerprint` (the digest of every
+  file), since a change anywhere can create or remove a cross-file
+  finding.
+
+Both sections are guarded by the **catalog fingerprint** — a digest of
+the ``repro.check`` package's own sources. Editing any rule, the
+dataflow engine, or this file invalidates the whole cache; stale
+results from an older catalog can never leak into a run.
+
+The on-disk format is one JSON document. A missing, corrupt, or
+mismatched file loads as an empty cache — the cache can only ever make
+a run faster, never change its outcome.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.check.findings import Finding
+
+_FORMAT = 1
+
+
+def catalog_fingerprint() -> str:
+    """Digest of the analysis engine's own source files."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    h = hashlib.sha256()
+    h.update(f"format={_FORMAT}".encode("ascii"))
+    try:
+        names = sorted(
+            n for n in os.listdir(package_dir) if n.endswith(".py")
+        )
+    except OSError:
+        return h.hexdigest()
+    for name in names:
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+        try:
+            with open(
+                os.path.join(package_dir, name), "rb"
+            ) as handle:
+                h.update(hashlib.sha256(handle.read()).digest())
+        except OSError:
+            h.update(b"unreadable")
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _encode_findings(findings: List[Finding]) -> List[dict]:
+    return [asdict(f) for f in findings]
+
+
+def _decode_findings(raw: object) -> Optional[List[Finding]]:
+    if not isinstance(raw, list):
+        return None
+    out: List[Finding] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            return None
+        try:
+            out.append(Finding(**item))
+        except TypeError:
+            return None
+    return out
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one run (surfaced by ``--json``)."""
+
+    file_hits: int = 0
+    file_misses: int = 0
+    semantic_hits: int = 0
+    semantic_misses: int = 0
+
+
+@dataclass
+class AnalysisCache:
+    """In-memory cache state plus the load/save protocol."""
+
+    catalog: str = field(default_factory=catalog_fingerprint)
+    #: file path -> {"digest": ..., "findings": [raw dicts]}.
+    files: Dict[str, dict] = field(default_factory=dict)
+    #: project fingerprint -> [raw finding dicts].
+    semantic: Dict[str, list] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+    dirty: bool = False
+
+    # -- lookup ------------------------------------------------------------
+
+    def file_findings(
+        self, path: str, digest: str
+    ) -> Optional[List[Finding]]:
+        entry = self.files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            self.stats.file_misses += 1
+            return None
+        findings = _decode_findings(entry.get("findings"))
+        if findings is None:
+            self.stats.file_misses += 1
+            return None
+        self.stats.file_hits += 1
+        return findings
+
+    def store_file(
+        self, path: str, digest: str, findings: List[Finding]
+    ) -> None:
+        self.files[path] = {
+            "digest": digest,
+            "findings": _encode_findings(findings),
+        }
+        self.dirty = True
+
+    def semantic_findings(
+        self, fingerprint: str
+    ) -> Optional[List[Finding]]:
+        raw = self.semantic.get(fingerprint)
+        if raw is None:
+            self.stats.semantic_misses += 1
+            return None
+        findings = _decode_findings(raw)
+        if findings is None:
+            self.stats.semantic_misses += 1
+            return None
+        self.stats.semantic_hits += 1
+        return findings
+
+    def store_semantic(
+        self, fingerprint: str, findings: List[Finding]
+    ) -> None:
+        # One project fingerprint is live at a time; drop older entries
+        # so the cache file does not grow without bound.
+        self.semantic = {fingerprint: _encode_findings(findings)}
+        self.dirty = True
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "AnalysisCache":
+        """Load from disk; any problem yields a fresh empty cache."""
+        cache = cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(data, dict):
+            return cache
+        if data.get("catalog") != cache.catalog:
+            return cache  # the engine changed: every result is stale
+        files = data.get("files")
+        if isinstance(files, dict):
+            cache.files = {
+                str(k): v for k, v in files.items() if isinstance(v, dict)
+            }
+        semantic = data.get("semantic")
+        if isinstance(semantic, dict):
+            cache.semantic = {
+                str(k): v
+                for k, v in semantic.items()
+                if isinstance(v, list)
+            }
+        return cache
+
+    def save(self, path: str) -> None:
+        if not self.dirty:
+            return
+        payload = {
+            "catalog": self.catalog,
+            "files": self.files,
+            "semantic": self.semantic,
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)

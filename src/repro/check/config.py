@@ -23,7 +23,9 @@ design decisions into noise:
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from typing import Dict, Iterable, Sequence, Set, Tuple
@@ -46,12 +48,24 @@ _SUPPRESS_RE = re.compile(
 )
 
 
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One ``# reprolint:`` comment, as written: where and what."""
+
+    lineno: int
+    kind: str  # "disable" | "disable-file"
+    rules: Tuple[str, ...]
+
+
 @dataclass
 class Suppressions:
     """Parsed suppression comments for one file."""
 
     file_rules: Set[str] = field(default_factory=set)
     line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Every comment in source order — the hygiene checks (unknown rule
+    #: ids, suppressions that no longer match anything) audit these.
+    comments: List[SuppressionComment] = field(default_factory=list)
 
     def covers(self, rule: str, line: int) -> bool:
         if rule in self.file_rules:
@@ -59,12 +73,34 @@ class Suppressions:
         return rule in self.line_rules.get(line, set())
 
 
+def _iter_comments(source: str):
+    """(lineno, text) of every real comment token.
+
+    Tokenizing (rather than scanning lines) keeps docstrings that merely
+    *mention* the suppression syntax from activating suppressions. A
+    source that fails to tokenize yields whatever was seen before the
+    error — such a file fails to parse anyway (the ``PARSE`` finding).
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
 def parse_suppressions(source: str) -> Suppressions:
-    """Scan source text for ``# reprolint:`` comments."""
+    """Scan a file's comments for ``# reprolint:`` directives."""
     supp = Suppressions()
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for lineno, text in _iter_comments(source):
         for kind, raw_rules in _SUPPRESS_RE.findall(text):
             rules = {r.strip() for r in raw_rules.split(",") if r.strip()}
+            supp.comments.append(
+                SuppressionComment(
+                    lineno=lineno, kind=kind, rules=tuple(sorted(rules))
+                )
+            )
             if kind == "disable-file":
                 supp.file_rules.update(rules)
             else:

@@ -28,6 +28,12 @@ INV-PACKED-FROZEN   a packed write node is never mutated again (no
 INV-RELATION-LIFE   every relation-table consume (match / expire /
                     invalidate) hits an entry a prior insert created and
                     that was not already consumed
+INV-SHARD-HOME      envelope witness events are emitted by the origin
+                    client's home shard (``shard`` == ``home`` on every
+                    ``server.envelope``), so dedup state never splits
+INV-MIGRATE-SAFE    every ``server.shard.detach`` re-attaches exactly
+                    once with no version loss, and no version is
+                    accepted for the path while the bundle is in flight
 ==================  =====================================================
 
 Scope note: journal and relation events carry no client attribute, so
@@ -55,6 +61,10 @@ class InvariantSpec:
     #: containing none of them yields status "skipped".
     witnesses: Tuple[str, ...]
     check: Callable[["TraceDoc"], List[str]]
+    #: Attrs at least one witness event must carry for the invariant to
+    #: apply. Traces recorded before an event grew an attribute (or by
+    #: emitters that never stamp it) are "skipped", never a vacuous "ok".
+    requires_attrs: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -177,6 +187,96 @@ def _check_packed_frozen(doc: TraceDoc) -> List[str]:
     return violations
 
 
+def _check_shard_home(doc: TraceDoc) -> List[str]:
+    """Envelope witness events are emitted by the client's home shard.
+
+    The dedup table lives on the home shard; an envelope noted anywhere
+    else means exactly-once is being judged against a partial stream.
+    ``shard`` (the emitting server's identity) and ``home`` (the
+    router's derivation) are stamped independently, so either drifting
+    shows up as a mismatch.
+    """
+    violations: List[str] = []
+    flagged: Set[object] = set()
+    for record in _events(doc, "server.envelope"):
+        attrs = record.get("attrs", {})
+        if "shard" not in attrs or "home" not in attrs:
+            continue  # old-format event: requires_attrs already gated
+        shard, home = attrs.get("shard"), attrs.get("home")
+        client = attrs.get("client")
+        if shard != home and client not in flagged:
+            flagged.add(client)
+            violations.append(
+                f"client {client!r}'s envelope (msg_id "
+                f"{attrs.get('msg_id')}) was noted on shard {shard} but "
+                f"the router homes the client on shard {home} "
+                f"(ts={record.get('ts')}) — dedup state is split across "
+                "shards"
+            )
+    return violations
+
+
+def _check_migration_safety(doc: TraceDoc) -> List[str]:
+    """Every detach is matched by an attach, loss-free and write-free.
+
+    A detached bundle must re-home exactly once (no double-detach, no
+    attach out of nowhere), the destination's post-merge lineage must be
+    at least the lineage that left the source, and no version may be
+    accepted for the path while it is in flight. A trace ending with a
+    pending detach is a violation — the file vanished.
+    """
+    violations: List[str] = []
+    #: path -> (detach versions, detach ts) while in flight.
+    pending: Dict[object, Tuple[int, object]] = {}
+    for record in _events(
+        doc,
+        "server.shard.detach",
+        "server.shard.attach",
+        "server.version.accepted",
+    ):
+        name = record.get("name")
+        attrs = record.get("attrs", {})
+        path = attrs.get("path")
+        ts = record.get("ts")
+        if name == "server.shard.detach":
+            if path in pending:
+                violations.append(
+                    f"path {path!r} detached again at ts={ts} while "
+                    "still in flight — the first bundle was lost"
+                )
+            pending[path] = (int(attrs.get("versions", 0)), ts)
+        elif name == "server.shard.attach":
+            if path not in pending:
+                violations.append(
+                    f"path {path!r} attached at ts={ts} with no prior "
+                    "detach — a bundle materialized out of nowhere"
+                )
+                continue
+            detached, _ = pending.pop(path)
+            attached = int(attrs.get("versions", 0))
+            if attached < detached:
+                violations.append(
+                    f"path {path!r} lost history in flight: detached "
+                    f"with {detached} versions, attached with "
+                    f"{attached} (ts={ts})"
+                )
+        else:  # server.version.accepted
+            if path in pending:
+                violations.append(
+                    f"path {path!r} accepted a version at ts={ts} while "
+                    "mid-migration — writes must not land between "
+                    "detach and attach"
+                )
+    for path, (_, ts) in sorted(
+        pending.items(), key=lambda item: str(item[0])
+    ):
+        violations.append(
+            f"path {path!r} was detached at ts={ts} and never "
+            "re-attached — the file vanished with the trace"
+        )
+    return violations
+
+
 def _check_relation_lifecycle(doc: TraceDoc) -> List[str]:
     """Consumes (match/expire/invalidate) hit a live inserted entry.
 
@@ -246,6 +346,25 @@ INVARIANTS: Tuple[InvariantSpec, ...] = (
                    "relation.invalidate"),
         check=_check_relation_lifecycle,
     ),
+    InvariantSpec(
+        id="INV-SHARD-HOME",
+        statement=(
+            "envelope witness events are emitted by the origin client's "
+            "home shard (dedup state never splits across shards)"
+        ),
+        witnesses=("server.envelope",),
+        check=_check_shard_home,
+        requires_attrs=("shard", "home"),
+    ),
+    InvariantSpec(
+        id="INV-MIGRATE-SAFE",
+        statement=(
+            "every shard detach re-attaches exactly once, loses no "
+            "version history, and no write lands mid-flight"
+        ),
+        witnesses=("server.shard.detach", "server.shard.attach"),
+        check=_check_migration_safety,
+    ),
 )
 
 INVARIANTS_BY_ID: Dict[str, InvariantSpec] = {
@@ -262,6 +381,17 @@ def verify_trace(doc: TraceDoc) -> List[InvariantResult]:
         present[name] = present.get(name, 0) + 1
     for spec in INVARIANTS:
         seen = sum(present.get(w, 0) for w in spec.witnesses)
+        if seen and spec.requires_attrs:
+            # Old-format traces whose witness events predate the attrs
+            # the checker needs must skip, not vacuously pass.
+            seen = sum(
+                1
+                for record in _events(doc, *spec.witnesses)
+                if all(
+                    attr in record.get("attrs", {})
+                    for attr in spec.requires_attrs
+                )
+            )
         if seen == 0:
             results.append(
                 InvariantResult(

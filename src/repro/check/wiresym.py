@@ -1,0 +1,941 @@
+"""WIRE002 — static wire-symmetry proofs for encoder/decoder pairs.
+
+For every paired codec (``encode``/``decode`` methods, ``encode_X`` /
+``decode_X`` module functions, ``_pack_X``/``_unpack_X`` helpers, and
+the WAL's ``encode_record``/``iter_records``), this module extracts the
+*field sequence* each side touches and diffs them: the byte widths the
+encoder writes, in order, must be exactly the widths the decoder reads.
+A reordered, missing, or extra field is a finding — the class of bug a
+round-trip test only catches for the inputs it happens to construct.
+
+The extraction is a small symbolic evaluator over the codec grammar
+this repository actually uses:
+
+* ``struct.pack(fmt, ...)`` / ``_U64.pack(x)`` with module-level
+  ``struct.Struct`` constants — fixed-width fields;
+* ``bytes([TAG])`` and 1-byte literals — tag/flag bytes, with the tag
+  value resolved through module constants so encoder branches pair
+  with the decoder branch guarded by the same constant;
+* helper calls (``_pack_str``/``_unpack_str``...) — one atomic token
+  per call, with each helper pair proved independently;
+* loops and ``b"".join(...)`` — ``repeat`` groups, compared
+  structurally (a decoder's early-exit guards may truncate a repeat
+  body: a strict prefix of the encoder's record is tolerated);
+* branches — one path per arm; path sets must match one-to-one, tag
+  constants aligning encoder arms with decoder arms.
+
+Anything outside that grammar makes the pair ``skipped`` (reported,
+never a silent pass and never a false positive). Classes that define
+only ``wire_size`` (the simulated ``Envelope``/message family carries
+no byte codec) are reported as ``size-only``; WIRE001 already proves
+their field accounting complete. Encode-only classes whose records are
+consumed inline by another decoder (``Copy``/``Literal`` inside
+``Delta.decode``) are proved by tag: the arm of whichever project
+decoder consumes the same leading tag byte must read the same tail.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.check.callgraph import CallGraph
+from repro.check.project import ModuleInfo
+from repro.check.symbols import SymbolTable, struct_token_widths
+
+# Tokens:
+#   ("fixed", width, const, cls)  cls: "i" integral, "f" float
+#   ("blob",)                     raw bytes, length known elsewhere
+#   ("call", base)                an atomic helper pair, e.g. "str"
+#   ("repeat", alts)              alts: frozenset of paths
+#   ("opaque",)                   wildcard (e.g. polymorphic op.encode())
+Token = Tuple
+Path = Tuple[Token, ...]
+
+_ENC_PREFIXES = ("_encode_", "encode_", "_pack_", "pack_")
+_DEC_PREFIXES = ("_decode_", "decode_", "_unpack_", "unpack_")
+
+_MAX_PATHS = 64
+
+_WIDTH_NAMES = {1: "u8", 2: "u16", 4: "u32", 8: "u64"}
+
+
+class Unsupported(Exception):
+    """The function strays outside the modelled codec grammar."""
+
+
+def _has_poison(token: Token) -> bool:
+    if token[0] == "poison":
+        return True
+    if token[0] == "repeat":
+        return any(_has_poison(t) for path in token[1] for t in path)
+    return False
+
+
+def _helper_base(name: str) -> Optional[str]:
+    stripped = name.lstrip("_")
+    for prefix in ("encode_", "decode_", "pack_", "unpack_"):
+        if stripped.startswith(prefix) and len(stripped) > len(prefix):
+            return stripped[len(prefix):]
+    return None
+
+
+def _const_of(node: ast.expr, table: SymbolTable) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.Name):
+        value = table.constant_value(node.id)
+        if isinstance(value, int):
+            return value
+    return None
+
+
+def _fmt_tokens(fmt: str) -> List[Token]:
+    widths = struct_token_widths(fmt)
+    if widths is None:
+        raise Unsupported(f"struct format {fmt!r}")
+    cls_map = {}
+    idx = 0
+    for ch in fmt:
+        if ch in "@=<>!" or ch.isdigit():
+            continue
+        cls_map[idx] = "f" if ch in "fd" else "i"
+        idx += 1
+    return [
+        ("fixed", width, None, cls_map.get(i, "i"))
+        for i, width in enumerate(widths)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Encoder extraction: evaluate the bytes expression each return builds.
+# ---------------------------------------------------------------------------
+
+
+class _EncoderExtractor:
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+
+    def extract(self, fn: ast.FunctionDef) -> List[Path]:
+        paths, _ = self._exec(fn.body, {})
+        if not paths:
+            raise Unsupported("no return paths found")
+        if len(paths) > _MAX_PATHS:
+            raise Unsupported("too many paths")
+        return _dedupe(paths)
+
+    def _exec(
+        self, stmts: Sequence[ast.stmt], env: Dict[str, List[Token]]
+    ) -> Tuple[List[Path], bool]:
+        """Run statements; returns (finished paths, fell_through)."""
+        paths: List[Path] = []
+        for i, stmt in enumerate(stmts):
+            rest = stmts[i + 1:]
+            if isinstance(stmt, ast.Return):
+                if stmt.value is None:
+                    raise Unsupported("bare return")
+                path = tuple(self._eval(stmt.value, env))
+                if any(_has_poison(token) for token in path):
+                    raise Unsupported("unmodelled value in byte stream")
+                paths.append(path)
+                return paths, False
+            if isinstance(stmt, ast.Raise):
+                return paths, False
+            if isinstance(stmt, ast.If):
+                then_env = dict(env)
+                then_paths, then_fell = self._exec(stmt.body, then_env)
+                paths.extend(then_paths)
+                else_env = dict(env)
+                else_paths, else_fell = self._exec(
+                    stmt.orelse, else_env
+                ) if stmt.orelse else ([], True)
+                paths.extend(else_paths)
+                if then_fell and else_fell:
+                    if then_env != else_env:
+                        raise Unsupported("divergent branch state")
+                    env.update(then_env)
+                    continue
+                if then_fell:
+                    more, fell = self._exec(list(rest), then_env)
+                    paths.extend(more)
+                    return paths, fell
+                if else_fell:
+                    more, fell = self._exec(list(rest), else_env)
+                    paths.extend(more)
+                    return paths, fell
+                return paths, False
+            if isinstance(stmt, ast.Assign):
+                if len(stmt.targets) != 1 or not isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    raise Unsupported("complex assignment")
+                try:
+                    env[stmt.targets[0].id] = self._eval(stmt.value, env)
+                except Unsupported:
+                    # A scalar the byte grammar cannot model. Poison the
+                    # binding: harmless while the name only feeds helper
+                    # arguments, fatal (-> skipped pair, never a false
+                    # proof) if it is spliced into the byte stream.
+                    env[stmt.targets[0].id] = [("poison",)]
+            elif isinstance(stmt, ast.AugAssign):
+                if not (
+                    isinstance(stmt.op, ast.Add)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id in env
+                ):
+                    raise Unsupported("aug-assign outside grammar")
+                env[stmt.target.id] = env[stmt.target.id] + self._eval(
+                    stmt.value, env
+                )
+            elif isinstance(stmt, ast.For):
+                added: List[Token] = []
+                loop_env = dict(env)
+                for sub in stmt.body:
+                    if (
+                        isinstance(sub, ast.AugAssign)
+                        and isinstance(sub.op, ast.Add)
+                        and isinstance(sub.target, ast.Name)
+                        and sub.target.id in env
+                    ):
+                        added = self._eval(sub.value, loop_env)
+                        env[sub.target.id] = env[sub.target.id] + [
+                            ("repeat", frozenset({tuple(added)}))
+                        ]
+                    elif isinstance(sub, (ast.Expr, ast.Assign)):
+                        continue  # bookkeeping inside the loop
+                    else:
+                        raise Unsupported("loop body outside grammar")
+            elif isinstance(stmt, ast.Expr):
+                continue
+            elif isinstance(stmt, (ast.Assert, ast.Pass)):
+                continue
+            else:
+                raise Unsupported(
+                    f"statement {type(stmt).__name__} outside grammar"
+                )
+        return paths, True
+
+    def _eval(
+        self, node: ast.expr, env: Dict[str, List[Token]]
+    ) -> List[Token]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            return self._eval(node.left, env) + self._eval(node.right, env)
+        if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+            return [
+                ("fixed", 1, byte, "i") for byte in node.value
+            ]
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return list(env[node.id])
+            return [("blob",)]
+        if isinstance(node, ast.Attribute):
+            return [("blob",)]
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        raise Unsupported(f"expression {type(node).__name__}")
+
+    def _eval_call(
+        self, call: ast.Call, env: Dict[str, List[Token]]
+    ) -> List[Token]:
+        func = call.func
+        # bytes([TAG]) -> one tagged byte.
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("bytes", "bytearray")
+            and len(call.args) == 1
+        ):
+            arg = call.args[0]
+            if isinstance(arg, (ast.List, ast.Tuple)):
+                tokens: List[Token] = []
+                for elt in arg.elts:
+                    tokens.append(
+                        ("fixed", 1, _const_of(elt, self.table), "i")
+                    )
+                return tokens
+            if isinstance(arg, ast.Call):
+                return [("blob",)]  # bytes(out) finalizers
+            raise Unsupported("bytes(...) outside grammar")
+        # X.pack(...) on a struct.Struct constant; struct.pack(fmt, ...).
+        if isinstance(func, ast.Attribute) and func.attr == "pack":
+            if isinstance(func.value, ast.Name):
+                fmt = self.table.struct_format(func.value.id)
+                if fmt is not None:
+                    return _fmt_tokens(fmt)
+            origin = self.table.resolve_expr(func)
+            if origin == "struct.pack" and call.args:
+                fmt_node = call.args[0]
+                if isinstance(fmt_node, ast.Constant) and isinstance(
+                    fmt_node.value, str
+                ):
+                    return _fmt_tokens(fmt_node.value)
+            raise Unsupported("unresolvable .pack()")
+        # b"".join(op.encode() for op in ...) -> a repeat of records.
+        if isinstance(func, ast.Attribute) and func.attr == "join":
+            return [("repeat", frozenset({(("opaque",),)}))]
+        # Paired helper call -> one atomic token.
+        if isinstance(func, ast.Name):
+            base = _helper_base(func.id)
+            if base is not None and func.id.lstrip("_").startswith(
+                ("pack_", "encode_")
+            ):
+                return [("call", base)]
+        # str.encode() and friends: raw variable-length payload.
+        if isinstance(func, ast.Attribute) and func.attr == "encode":
+            return [("blob",)]
+        raise Unsupported("call outside grammar")
+
+
+# ---------------------------------------------------------------------------
+# Decoder extraction: collect the reads each statement performs, in order.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _DecState:
+    tokens: List[Token] = field(default_factory=list)
+    #: tag variable -> index of its 1-byte token in ``tokens``.
+    tagvars: Dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "_DecState":
+        return _DecState(list(self.tokens), dict(self.tagvars))
+
+
+class _DecoderExtractor:
+    def __init__(self, table: SymbolTable, fn: ast.FunctionDef) -> None:
+        self.table = table
+        self.buffers = self._buffer_names(fn)
+
+    @staticmethod
+    def _buffer_names(fn: ast.FunctionDef) -> Set[str]:
+        """Names treated as raw buffers (indexed or re-parsed)."""
+        names: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Subscript) and isinstance(
+                node.value, ast.Name
+            ):
+                names.add(node.value.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_unpack = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("unpack", "unpack_from")
+                ) or (
+                    isinstance(func, ast.Name)
+                    and _helper_base(func.id) is not None
+                    and func.id.lstrip("_").startswith(
+                        ("unpack_", "decode_")
+                    )
+                )
+                if is_unpack:
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            names.add(arg.id)
+                            break  # the buffer is the first Name arg
+        return names
+
+    def extract(self, fn: ast.FunctionDef) -> List[Path]:
+        finals = self._exec(fn.body, _DecState(), top=True)
+        paths = [tuple(state.tokens) for state in finals]
+        if not paths:
+            raise Unsupported("no terminating paths")
+        if len(paths) > _MAX_PATHS:
+            raise Unsupported("too many paths")
+        return _dedupe(paths)
+
+    def _exec(
+        self, stmts: Sequence[ast.stmt], state: _DecState, top: bool
+    ) -> List[_DecState]:
+        """Returns final (terminated) states; loop bodies also treat
+        fall-through as final (handled by the caller)."""
+        states = [state]
+        finals: List[_DecState] = []
+        for stmt in stmts:
+            next_states: List[_DecState] = []
+            for current in states:
+                ended, cont = self._stmt(stmt, current, top)
+                finals.extend(ended)
+                next_states.extend(cont)
+            states = next_states
+            if not states:
+                return finals
+        finals.extend(states)  # fall off the end
+        return finals
+
+    def _stmt(
+        self, stmt: ast.stmt, state: _DecState, top: bool
+    ) -> Tuple[List[_DecState], List[_DecState]]:
+        """-> (terminated states, continuing states)."""
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._scan(stmt.value, state)
+            return [state], []
+        if isinstance(stmt, ast.Raise):
+            return [], []  # error path: not a wire layout
+        if isinstance(stmt, (ast.Pass, ast.Assert, ast.Continue)):
+            return [], [state]
+        if isinstance(stmt, ast.Break):
+            return [], [state]
+        if isinstance(stmt, ast.If):
+            const = self._guard_const(stmt.test, state)
+            then_state = state.copy()
+            if const is not None:
+                var, value = const
+                index = then_state.tagvars.get(var)
+                if index is not None:
+                    tok = then_state.tokens[index]
+                    then_state.tokens[index] = (
+                        "fixed", tok[1], value, tok[3]
+                    )
+            then_finals = []
+            then_cont = [then_state]
+            for sub in stmt.body:
+                nxt: List[_DecState] = []
+                for current in then_cont:
+                    ended, cont = self._stmt(sub, current, top)
+                    then_finals.extend(ended)
+                    nxt.extend(cont)
+                then_cont = nxt
+            else_finals: List[_DecState] = []
+            else_cont = [state.copy()]
+            for sub in stmt.orelse:
+                nxt = []
+                for current in else_cont:
+                    ended, cont = self._stmt(sub, current, top)
+                    else_finals.extend(ended)
+                    nxt.extend(cont)
+                else_cont = nxt
+            return then_finals + else_finals, then_cont + else_cont
+        if isinstance(stmt, (ast.For, ast.While)):
+            body_finals = self._exec(stmt.body, _DecState(), top=False)
+            # Fall-through iterations *and* early returns both describe
+            # record layouts; error raises were already dropped.
+            alts = frozenset(
+                tuple(s.tokens) for s in body_finals if s.tokens
+            )
+            if alts:
+                state.tokens.append(("repeat", alts))
+            return [], [state]
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(stmt, "value", None)
+            if value is None:
+                return [], [state]
+            before = len(state.tokens)
+            self._scan(value, state)
+            read = state.tokens[before:]
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            if isinstance(target, ast.Name):
+                if (
+                    len(read) == 1
+                    and read[0][0] == "fixed"
+                    and read[0][1] == 1
+                ):
+                    state.tagvars[target.id] = before
+                if (
+                    len(read) == 1
+                    and read[0] == ("blob",)
+                    and target.id in self.buffers
+                ):
+                    state.tokens.pop()  # reframed, re-parsed below
+            elif isinstance(target, ast.Tuple) and len(target.elts) == 1:
+                elt = target.elts[0]
+                if (
+                    isinstance(elt, ast.Name)
+                    and len(read) == 1
+                    and read[0][0] == "fixed"
+                    and read[0][1] == 1
+                ):
+                    state.tagvars[elt.id] = before
+            return [], [state]
+        if isinstance(stmt, ast.Expr):
+            self._scan(stmt.value, state)
+            return [], [state]
+        if isinstance(stmt, (ast.With,)):
+            sub_finals = self._exec(stmt.body, state, top)
+            return sub_finals, []
+        raise Unsupported(f"statement {type(stmt).__name__}")
+
+    def _guard_const(
+        self, test: ast.expr, state: _DecState
+    ) -> Optional[Tuple[str, Optional[int]]]:
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.left, ast.Name)
+            and test.left.id in state.tagvars
+        ):
+            return test.left.id, _const_of(test.comparators[0], self.table)
+        if (
+            isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and isinstance(test.operand, ast.Name)
+            and test.operand.id in state.tagvars
+        ):
+            return test.operand.id, 0
+        return None
+
+    def _scan(self, node: ast.expr, state: _DecState) -> None:
+        """Append the wire reads an expression performs, in eval order."""
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "unpack", "unpack_from"
+            ):
+                if isinstance(func.value, ast.Name):
+                    fmt = self.table.struct_format(func.value.id)
+                    if fmt is not None:
+                        state.tokens.extend(_fmt_tokens(fmt))
+                        return
+                origin = self.table.resolve_expr(func)
+                if origin in ("struct.unpack", "struct.unpack_from"):
+                    fmt_node = node.args[0] if node.args else None
+                    if isinstance(fmt_node, ast.Constant) and isinstance(
+                        fmt_node.value, str
+                    ):
+                        state.tokens.extend(_fmt_tokens(fmt_node.value))
+                        return
+                raise Unsupported("unresolvable .unpack()")
+            if isinstance(func, ast.Name):
+                base = _helper_base(func.id)
+                if base is not None and func.id.lstrip("_").startswith(
+                    ("unpack_", "decode_")
+                ):
+                    state.tokens.append(("call", base))
+                    return
+            for arg in node.args:
+                self._scan(arg, state)
+            for kw in node.keywords:
+                self._scan(kw.value, state)
+            return
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.value, ast.Name
+        ):
+            if node.value.id in self.buffers:
+                if isinstance(node.slice, ast.Slice):
+                    state.tokens.append(("blob",))
+                else:
+                    state.tokens.append(("fixed", 1, None, "i"))
+            return
+        if isinstance(node, ast.BinOp):
+            self._scan(node.left, state)
+            self._scan(node.right, state)
+            return
+        if isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                self._scan(elt, state)
+            return
+        if isinstance(node, (ast.Name, ast.Constant, ast.Attribute)):
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan(child, state)
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def _dedupe(paths: List[Path]) -> List[Path]:
+    seen = []
+    for path in paths:
+        if path not in seen:
+            seen.append(path)
+    return seen
+
+
+def render_token(token: Token) -> str:
+    kind = token[0]
+    if kind == "fixed":
+        _, width, const, cls = token
+        name = "f64" if (cls == "f" and width == 8) else _WIDTH_NAMES.get(
+            width, f"b{width}"
+        )
+        return f"{name}={const:#x}" if const is not None else name
+    if kind == "blob":
+        return "blob"
+    if kind == "call":
+        return f"<{token[1]}>"
+    if kind == "opaque":
+        return "*"
+    if kind == "repeat":
+        alts = sorted(render_path(p) for p in token[1])
+        return "repeat(" + " | ".join(alts) + ")"
+    return kind
+
+
+def render_path(path: Path) -> str:
+    return " ".join(render_token(t) for t in path) or "<empty>"
+
+
+def _tokens_match(a: Token, b: Token) -> bool:
+    if a[0] == "opaque" or b[0] == "opaque":
+        return True
+    if a[0] != b[0]:
+        return False
+    if a[0] == "fixed":
+        if a[1] != b[1] or a[3] != b[3]:
+            return False
+        return a[2] is None or b[2] is None or a[2] == b[2]
+    if a[0] == "call":
+        return a[1] == b[1]
+    if a[0] == "repeat":
+        return _repeats_match(a[1], b[1])
+    return True
+
+
+def _repeats_match(
+    enc_alts: FrozenSet[Path], dec_alts: FrozenSet[Path]
+) -> bool:
+    if enc_alts == frozenset({(("opaque",),)}) or dec_alts == frozenset(
+        {(("opaque",),)}
+    ):
+        return True
+    # Every encoder record layout must have a matching decoder layout;
+    # extra decoder alternatives must be strict prefixes (early-exit
+    # truncation guards).
+    for enc in enc_alts:
+        if not any(_paths_match(enc, dec) for dec in dec_alts):
+            return False
+    for dec in dec_alts:
+        if any(_paths_match(enc, dec) for enc in enc_alts):
+            continue
+        if not any(_is_prefix(dec, enc) for enc in enc_alts):
+            return False
+    return True
+
+
+def _is_prefix(shorter: Path, longer: Path) -> bool:
+    if len(shorter) >= len(longer):
+        return False
+    return all(
+        _tokens_match(a, b) for a, b in zip(shorter, longer)
+    )
+
+
+def _paths_match(a: Path, b: Path) -> bool:
+    return len(a) == len(b) and all(
+        _tokens_match(x, y) for x, y in zip(a, b)
+    )
+
+
+def _path_tag(path: Path) -> Optional[int]:
+    if path and path[0][0] == "fixed" and path[0][1] == 1:
+        return path[0][2]
+    return None
+
+
+def diff_path_sets(
+    enc_paths: List[Path], dec_paths: List[Path]
+) -> List[str]:
+    """Problems keeping the two path sets from matching one-to-one."""
+    # Unwrap a record-stream decoder against a single-record encoder.
+    if (
+        len(dec_paths) == 1
+        and len(dec_paths[0]) == 1
+        and dec_paths[0][0][0] == "repeat"
+        and not any(t[0] == "repeat" for p in enc_paths for t in p)
+    ):
+        alts = dec_paths[0][0][1]
+        problems = []
+        for enc in enc_paths:
+            if any(_paths_match(enc, dec) for dec in alts):
+                continue
+            if any(_is_prefix(dec, enc) for dec in alts):
+                continue
+            problems.append(
+                f"encoder writes [{render_path(enc)}] but no decoder "
+                "iteration reads that layout; decoder alternatives: "
+                + "; ".join(sorted(render_path(d) for d in alts))
+            )
+        return problems
+
+    if len(enc_paths) == 1 and len(dec_paths) == 1 and not _paths_match(
+        enc_paths[0], dec_paths[0]
+    ):
+        return [
+            f"field sequence diverges: encoder writes "
+            f"[{render_path(enc_paths[0])}], decoder reads "
+            f"[{render_path(dec_paths[0])}]"
+        ]
+    problems: List[str] = []
+    unmatched_dec = list(dec_paths)
+    for enc in enc_paths:
+        match = None
+        for dec in unmatched_dec:
+            if _paths_match(enc, dec):
+                match = dec
+                break
+        if match is not None:
+            unmatched_dec.remove(match)
+            continue
+        # Pair by tag for a precise message.
+        tag = _path_tag(enc)
+        partner = None
+        if tag is not None:
+            for dec in unmatched_dec:
+                if _path_tag(dec) == tag:
+                    partner = dec
+                    break
+        if partner is not None:
+            unmatched_dec.remove(partner)
+            problems.append(
+                f"field sequence diverges for tag {tag:#x}: encoder "
+                f"writes [{render_path(enc)}], decoder reads "
+                f"[{render_path(partner)}]"
+            )
+        else:
+            problems.append(
+                f"encoder path [{render_path(enc)}] has no matching "
+                "decoder path"
+            )
+    for dec in unmatched_dec:
+        problems.append(
+            f"decoder path [{render_path(dec)}] has no matching "
+            "encoder path"
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Pair discovery and the project-wide proof
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WirePairResult:
+    """One proved (or skipped) codec pair."""
+
+    name: str
+    module: str
+    line: int
+    status: str  # "ok" | "mismatch" | "skipped" | "size-only" | "tag-ok"
+    detail: str = ""
+    problems: List[str] = field(default_factory=list)
+
+
+def _extract_enc(
+    table: SymbolTable, fn: ast.FunctionDef
+) -> Tuple[Optional[List[Path]], str]:
+    try:
+        return _EncoderExtractor(table).extract(fn), ""
+    except Unsupported as exc:
+        return None, str(exc)
+
+
+def _extract_dec(
+    table: SymbolTable, fn: ast.FunctionDef
+) -> Tuple[Optional[List[Path]], str]:
+    try:
+        return _DecoderExtractor(table, fn).extract(fn), ""
+    except Unsupported as exc:
+        return None, str(exc)
+
+
+def _iter_decoder_arms(paths: List[Path]):
+    """Every path, plus every repeat alternative, of a decoder."""
+    for path in paths:
+        yield path
+        for token in path:
+            if token[0] == "repeat":
+                for alt in token[1]:
+                    yield alt
+
+
+def verify_project(graph: CallGraph) -> List[WirePairResult]:
+    """Prove every discoverable codec pair in the project."""
+    results: List[WirePairResult] = []
+    #: tag byte -> (pair name, decoder arm path) across all decoders.
+    tag_arms: Dict[int, List[Tuple[str, Path]]] = {}
+    pending_tag_checks: List[
+        Tuple[str, str, int, List[Path]]
+    ] = []  # (name, module, line, enc paths)
+
+    for module in graph.project.parsed():
+        table = graph.tables[module.name]
+        assert module.tree is not None
+        results.extend(
+            _verify_module(module, table, tag_arms, pending_tag_checks)
+        )
+
+    # Encode-only classes: prove each tagged record against whichever
+    # decoder consumes the same tag.
+    for name, mod_name, line, enc_paths in pending_tag_checks:
+        problems: List[str] = []
+        proved = 0
+        for enc in enc_paths:
+            tag = _path_tag(enc)
+            if tag is None:
+                continue
+            arms = tag_arms.get(tag, [])
+            if not arms:
+                problems.append(
+                    f"record tag {tag:#x} written by {name}.encode is "
+                    "consumed by no decoder in the project"
+                )
+                continue
+            if any(_paths_match(enc, arm) for _, arm in arms):
+                proved += 1
+                continue
+            renders = "; ".join(
+                f"{owner}: [{render_path(arm)}]" for owner, arm in arms
+            )
+            problems.append(
+                f"tag {tag:#x}: encoder writes [{render_path(enc)}] "
+                f"but the consuming decoder reads {renders}"
+            )
+        if problems:
+            results.append(
+                WirePairResult(
+                    name=f"{name}.encode", module=mod_name, line=line,
+                    status="mismatch", problems=problems,
+                )
+            )
+        elif proved:
+            results.append(
+                WirePairResult(
+                    name=f"{name}.encode", module=mod_name, line=line,
+                    status="tag-ok",
+                    detail=f"{proved} tagged record(s) proved against "
+                           "the consuming decoder",
+                )
+            )
+        else:
+            results.append(
+                WirePairResult(
+                    name=f"{name}.encode", module=mod_name, line=line,
+                    status="skipped", detail="untagged encode-only class",
+                )
+            )
+    return sorted(results, key=lambda r: (r.module, r.line, r.name))
+
+
+def _verify_module(
+    module: ModuleInfo,
+    table: SymbolTable,
+    tag_arms: Dict[int, List[Tuple[str, Path]]],
+    pending_tag_checks: List[Tuple[str, str, int, List[Path]]],
+) -> List[WirePairResult]:
+    results: List[WirePairResult] = []
+
+    def note_decoder(owner: str, paths: List[Path]) -> None:
+        for arm in _iter_decoder_arms(paths):
+            tag = _path_tag(arm)
+            if tag is not None:
+                tag_arms.setdefault(tag, []).append((owner, arm))
+
+    def prove(
+        name: str,
+        enc_fn: ast.FunctionDef,
+        dec_fn: ast.FunctionDef,
+    ) -> None:
+        enc_paths, enc_err = _extract_enc(table, enc_fn)
+        dec_paths, dec_err = _extract_dec(table, dec_fn)
+        line = enc_fn.lineno
+        if enc_paths is None or dec_paths is None:
+            why = enc_err or dec_err
+            results.append(
+                WirePairResult(
+                    name=name, module=module.rel_path, line=line,
+                    status="skipped", detail=f"outside grammar: {why}",
+                )
+            )
+            return
+        note_decoder(name, dec_paths)
+        problems = diff_path_sets(enc_paths, dec_paths)
+        results.append(
+            WirePairResult(
+                name=name, module=module.rel_path, line=line,
+                status="mismatch" if problems else "ok",
+                detail=f"{len(enc_paths)} encoder path(s)",
+                problems=problems,
+            )
+        )
+
+    assert module.tree is not None
+    functions: Dict[str, ast.FunctionDef] = {}
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            functions[stmt.name] = stmt
+
+    # -- classes: encode/decode methods, or encode-only tag checks ------
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        methods = {
+            s.name: s for s in stmt.body if isinstance(s, ast.FunctionDef)
+        }
+        enc = methods.get("encode")
+        dec = methods.get("decode")
+        if enc is not None and dec is not None:
+            prove(f"{stmt.name}.encode/decode", enc, dec)
+        elif enc is not None:
+            enc_paths, enc_err = _extract_enc(table, enc)
+            if enc_paths is None:
+                results.append(
+                    WirePairResult(
+                        name=f"{stmt.name}.encode",
+                        module=module.rel_path, line=enc.lineno,
+                        status="skipped",
+                        detail=f"outside grammar: {enc_err}",
+                    )
+                )
+            else:
+                pending_tag_checks.append(
+                    (stmt.name, module.rel_path, enc.lineno, enc_paths)
+                )
+        elif "wire_size" in methods and dec is None:
+            results.append(
+                WirePairResult(
+                    name=stmt.name, module=module.rel_path,
+                    line=stmt.lineno, status="size-only",
+                    detail="wire_size only — no byte codec to prove "
+                           "(WIRE001 checks the field accounting)",
+                )
+            )
+
+    # -- module functions: name-convention pairs -------------------------
+    for fname, fn in functions.items():
+        if not fname.lstrip("_").startswith(("encode_", "pack_")):
+            continue
+        base = _helper_base(fname)
+        if base is None:
+            continue
+        partner = None
+        for candidate in (
+            f"decode_{base}", f"_decode_{base}",
+            f"unpack_{base}", f"_unpack_{base}",
+            f"iter_{base}s",
+        ):
+            partner = functions.get(candidate)
+            if partner is not None:
+                break
+        if partner is None:
+            results.append(
+                WirePairResult(
+                    name=fname, module=module.rel_path, line=fn.lineno,
+                    status="skipped", detail="no paired decoder found",
+                )
+            )
+            continue
+        prove(f"{fname}/{partner.name}", fn, partner)
+    return results
+
+
+def results_to_problem_findings(
+    results: List[WirePairResult],
+) -> List[Tuple[str, int, str]]:
+    """(module rel_path, line, message) per mismatch, for the rule."""
+    out = []
+    for result in results:
+        if result.status != "mismatch":
+            continue
+        for problem in result.problems:
+            out.append((result.module, result.line,
+                        f"{result.name}: {problem}"))
+    return out

@@ -765,6 +765,12 @@ def _cmd_check(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    cache = None
+    if args.cache:
+        from repro.check import AnalysisCache
+
+        cache = AnalysisCache.load(args.cache)
+
     lint_findings = []
     if not args.no_lint:
         paths = args.paths
@@ -773,7 +779,14 @@ def _cmd_check(args) -> int:
 
             paths = [os.path.dirname(os.path.abspath(repro.__file__))]
         config = CheckConfig(only=tuple(args.only or ()))
-        lint_findings = lint_paths(paths, config=config)
+        lint_findings = lint_paths(
+            paths,
+            config=config,
+            semantic=not args.no_semantic,
+            cache=cache,
+        )
+    if cache is not None:
+        cache.save(args.cache)
     findings = list(lint_findings)
 
     trace_results = {}
@@ -790,23 +803,28 @@ def _cmd_check(args) -> int:
         trace_results[trace_path] = results
         findings.extend(results_to_findings(results, trace_path))
 
+    if args.sarif:
+        from repro.check import sarif_json
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(sarif_json(findings) + "\n")
+
     failed = gate(findings, fail_on=args.fail_on)
     if args.json:
         from dataclasses import asdict
 
-        print(_json.dumps(
-            {
-                "findings": [asdict(f) for f in findings],
-                "invariants": {
-                    path: [asdict(r) for r in results]
-                    for path, results in trace_results.items()
-                },
-                "summary": asdict(FindingSummary.of(findings)),
-                "failed": failed,
+        payload = {
+            "findings": [asdict(f) for f in findings],
+            "invariants": {
+                path: [asdict(r) for r in results]
+                for path, results in trace_results.items()
             },
-            indent=2,
-            sort_keys=True,
-        ))
+            "summary": asdict(FindingSummary.of(findings)),
+            "failed": failed,
+        }
+        if cache is not None:
+            payload["cache"] = asdict(cache.stats)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
         if not args.no_lint:
             print(human_report(lint_findings,
@@ -1064,6 +1082,21 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--json", action="store_true",
         help="emit the findings + invariant results as one JSON document",
+    )
+    check.add_argument(
+        "--no-semantic", action="store_true",
+        help="skip the project-wide semantic rules (dataflow + "
+             "wire-symmetry); per-file rules still run",
+    )
+    check.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="content-hash analysis cache file; unchanged files (and an "
+             "unchanged project, for the semantic layer) reuse cached "
+             "findings",
+    )
+    check.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write the findings as a SARIF 2.1.0 log to PATH",
     )
     check.set_defaults(func=_cmd_check)
     return parser

@@ -749,10 +749,30 @@ EVENTS: Tuple[EventSpec, ...] = (
         "server.envelope",
         "event",
         "a reliable-delivery envelope reached the apply endpoint; "
-        "duplicate marks retransmits absorbed by the dedup table "
-        "(the exactly-once and causal-FIFO invariants are checked "
-        "against these events by repro.check.invariants)",
-        attrs=("client", "msg_id", "attempt", "duplicate"),
+        "duplicate marks retransmits absorbed by the dedup table; "
+        "shard is the emitting server's shard id and home the router's "
+        "home-shard derivation for the origin client (the exactly-once, "
+        "causal-FIFO and shard-home invariants are checked against "
+        "these events by repro.check.invariants)",
+        attrs=("client", "msg_id", "attempt", "duplicate", "shard", "home"),
+    ),
+    EventSpec(
+        "server.shard.detach",
+        "event",
+        "a file bundle left its source shard for a cross-shard "
+        "co-location: versions counts the lineage leaving with it; the "
+        "migration-safety invariant demands a matching "
+        "server.shard.attach with no version loss and no accepted "
+        "writes for the path in between",
+        attrs=("path", "src_shard", "dst_shard", "reason", "versions"),
+    ),
+    EventSpec(
+        "server.shard.attach",
+        "event",
+        "the migrated file bundle re-homed on the destination shard; "
+        "versions counts the store's lineage for the path after the "
+        "attach merge (>= the detach count when no history was lost)",
+        attrs=("path", "src_shard", "dst_shard", "versions"),
     ),
     EventSpec(
         "server.shard.rename_forward",

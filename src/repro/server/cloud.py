@@ -72,6 +72,10 @@ class CloudServer:
     ):
         self.meter = meter
         self.obs = obs
+        # Shard identity: 0 for a standalone server; the ShardRouter
+        # renumbers its members. Stamped on envelope witness events so
+        # the shard-home invariant can audit dedup placement.
+        self.shard_id = 0
         self.store = store if store is not None else VersionedStore()
         self.dirs: Set[str] = {"/"}
         self._sinks: Dict[int, ForwardSink] = {}
@@ -464,14 +468,28 @@ class CloudServer:
     # -- helpers ---------------------------------------------------------------
 
     def _note_envelope(
-        self, envelope: Envelope, origin_client: int, *, duplicate: bool
+        self,
+        envelope: Envelope,
+        origin_client: int,
+        *,
+        duplicate: bool,
+        home: Optional[int] = None,
     ) -> None:
+        """Witness event for the invariant layer.
+
+        ``home`` is the *router's* derivation of the client's home shard
+        — an independent source the shard-home invariant diffs against
+        this server's own ``shard_id``. A standalone server is its own
+        home.
+        """
         self.obs.event(
             "server.envelope",
             client=origin_client,
             msg_id=envelope.msg_id,
             attempt=envelope.attempt,
             duplicate=duplicate,
+            shard=self.shard_id,
+            home=self.shard_id if home is None else home,
         )
 
     def _note_accepted_versions(self, message: Message) -> None:

@@ -175,6 +175,8 @@ class ShardRouter:
             CloudServer(meter=self.shard_meters[i], obs=obs)
             for i in range(n_shards)
         ]
+        for index, shard in enumerate(self.shards):
+            shard.shard_id = index
         self.store = _StoreView(self)
         # path -> shard index, for files moved off their natural shard by
         # a cross-shard link/group co-location. Bounded LRU.
@@ -298,17 +300,22 @@ class ShardRouter:
         the payload routes, so INV-EXACTLY-ONCE is evaluated against one
         coherent stream per client.
         """
-        home = self.shards[self.home_shard_index(origin_client)]
+        home_index = self.home_shard_index(origin_client)
+        home = self.shards[home_index]
         cache = home._dedup.setdefault(origin_client, OrderedDict())
         cached = cache.get(envelope.msg_id)
         if cached is not None:
             home.dedup_drops += 1
             if self.obs.enabled:
                 self.obs.inc("server.dedup.drops")
-                home._note_envelope(envelope, origin_client, duplicate=True)
+                home._note_envelope(
+                    envelope, origin_client, duplicate=True, home=home_index
+                )
             return list(cached), True
         if self.obs.enabled:
-            home._note_envelope(envelope, origin_client, duplicate=False)
+            home._note_envelope(
+                envelope, origin_client, duplicate=False, home=home_index
+            )
         result = self.handle(
             envelope.inner, origin_client, getattr(envelope, "ctx", None)
         )
@@ -385,10 +392,29 @@ class ShardRouter:
         if bundle is None:
             return
         stored, lineage, snapshots = bundle
+        if self.obs.enabled:
+            self.obs.event(
+                "server.shard.detach",
+                path=path,
+                src_shard=source,
+                dst_shard=target,
+                reason=reason,
+                versions=len(lineage),
+            )
         self.shards[target].store.attach_entry(path, stored, lineage, snapshots)
         self._note_relocation(path, target)
         self.migrations += 1
         if self.obs.enabled:
+            # versions is re-derived from the destination store *after*
+            # the merge — an independent count the migration-safety
+            # invariant diffs against the detach-side lineage length.
+            self.obs.event(
+                "server.shard.attach",
+                path=path,
+                src_shard=source,
+                dst_shard=target,
+                versions=len(self.shards[target].store.history(path)),
+            )
             self.obs.inc("server.shard.migrations", reason=reason)
 
     def _note_relocation(self, path: str, target: int) -> None:

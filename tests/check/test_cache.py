@@ -1,0 +1,129 @@
+"""The content-hash analysis cache behind ``repro check --cache``.
+
+The contract: a cache hit must be indistinguishable from a fresh run
+(raw findings are config-independent, so filtering happens after the
+cache), a changed file must miss on its digest, a changed engine must
+invalidate everything via the catalog fingerprint, and a corrupt cache
+file must degrade to empty rather than crash or poison results.
+"""
+
+import json
+
+from repro.check import AnalysisCache, catalog_fingerprint
+from repro.check.linter import lint_paths
+
+
+BAD = "import time\nT = time.time()\n"
+GOOD = "X = 1\n"
+
+
+def run(paths, cache):
+    return lint_paths([str(p) for p in paths], cache=cache)
+
+
+class TestCacheRoundTrip:
+    def test_second_run_hits_and_agrees(self, tmp_path):
+        planted = tmp_path / "bad.py"
+        planted.write_text(BAD)
+        cache = AnalysisCache()
+        first = run([planted], cache)
+        assert cache.stats.file_misses == 1
+        assert cache.stats.semantic_misses == 1
+
+        cache2 = AnalysisCache(
+            catalog=cache.catalog, files=dict(cache.files),
+            semantic=dict(cache.semantic),
+        )
+        second = run([planted], cache2)
+        assert cache2.stats.file_hits == 1
+        assert cache2.stats.file_misses == 0
+        assert cache2.stats.semantic_hits == 1
+        # Byte-for-byte the same findings either way.
+        assert [f.__dict__ for f in first] == [f.__dict__ for f in second]
+        assert any(f.rule == "DET001" for f in second)
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path):
+        a, b = tmp_path / "a.py", tmp_path / "b.py"
+        a.write_text(BAD)
+        b.write_text(GOOD)
+        cache = AnalysisCache()
+        run([a, b], cache)
+
+        a.write_text(GOOD)  # fixed: the old digest must not resurrect DET001
+        cache.stats = type(cache.stats)()
+        findings = run([a, b], cache)
+        assert cache.stats.file_misses == 1  # a.py re-analyzed
+        assert cache.stats.file_hits == 1   # b.py served from cache
+        assert not any(f.rule == "DET001" for f in findings)
+
+    def test_semantic_layer_keyed_on_project_fingerprint(self, tmp_path):
+        a, b = tmp_path / "a.py", tmp_path / "b.py"
+        a.write_text(GOOD)
+        b.write_text(GOOD)
+        cache = AnalysisCache()
+        run([a, b], cache)
+        assert cache.stats.semantic_misses == 1
+
+        # Any file changing changes the project fingerprint: the
+        # semantic entry must miss even though b.py itself still hits.
+        b.write_text("Y = 2\n")
+        cache.stats = type(cache.stats)()
+        run([a, b], cache)
+        assert cache.stats.semantic_misses == 1
+        assert cache.stats.file_hits == 1
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        planted = tmp_path / "bad.py"
+        planted.write_text(BAD)
+        cache_file = tmp_path / "cache.json"
+        cache = AnalysisCache()
+        run([planted], cache)
+        cache.save(str(cache_file))
+        assert cache_file.exists()
+
+        loaded = AnalysisCache.load(str(cache_file))
+        findings = run([planted], loaded)
+        assert loaded.stats.file_hits == 1
+        assert any(f.rule == "DET001" for f in findings)
+
+    def test_clean_cache_skips_the_write(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        AnalysisCache().save(str(cache_file))
+        assert not cache_file.exists()
+
+    def test_catalog_change_drops_everything(self, tmp_path):
+        planted = tmp_path / "bad.py"
+        planted.write_text(BAD)
+        cache_file = tmp_path / "cache.json"
+        cache = AnalysisCache()
+        run([planted], cache)
+        cache.save(str(cache_file))
+
+        # Simulate a rule-engine upgrade by rewriting the fingerprint.
+        data = json.loads(cache_file.read_text())
+        data["catalog"] = "sha256:not-this-engine"
+        cache_file.write_text(json.dumps(data))
+        stale = AnalysisCache.load(str(cache_file))
+        assert stale.files == {} and stale.semantic == {}
+        assert stale.catalog == catalog_fingerprint()
+
+    def test_corrupt_cache_degrades_to_empty(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        assert AnalysisCache.load(str(cache_file)).files == {}
+        cache_file.write_text(json.dumps(["wrong", "shape"]))
+        assert AnalysisCache.load(str(cache_file)).files == {}
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        planted = tmp_path / "bad.py"
+        planted.write_text(BAD)
+        cache = AnalysisCache()
+        run([planted], cache)
+        (entry,) = cache.files.values()
+        entry["findings"] = [{"not": "a finding"}]
+        cache.stats = type(cache.stats)()
+        findings = run([planted], cache)
+        assert cache.stats.file_misses == 1
+        assert any(f.rule == "DET001" for f in findings)

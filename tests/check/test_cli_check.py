@@ -75,7 +75,7 @@ class TestCheckCommand:
             for r in payload["invariants"][str(trace)]
         }
         assert statuses["INV-EXACTLY-ONCE"] == "ok"
-        assert len(statuses) == 6
+        assert len(statuses) == 8
 
     def test_missing_trace_is_usage_error(self, tmp_path):
         assert main(

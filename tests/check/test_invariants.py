@@ -201,14 +201,19 @@ class TestSyntheticTraces:
 
 
 class TestRealTraces:
-    def test_lossy_journaled_run_satisfies_all_six(self):
+    def test_lossy_journaled_run_satisfies_catalog(self):
         # Acceptance: a lossy-seed reliability run with a journal attached
-        # exercises every invariant in the catalog — none skipped, none
-        # violated.
+        # exercises every invariant a single-server run can witness —
+        # none violated. The migration invariant needs a sharded router
+        # (covered by tests/check/test_shard_invariants.py) and skips
+        # here rather than passing vacuously.
         doc = record_lossy_journaled_run()
         results = verify_trace(doc)
-        assert len(results) == 6
+        assert len(results) == 8
         for result in results:
+            if result.id == "INV-MIGRATE-SAFE":
+                assert result.status == "skipped"
+                continue
             assert result.status == "ok", (
                 f"{result.id}: {result.status} {result.violations}"
             )

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 export: shape, severity mapping, suppressions, CLI flag."""
+
+import json
+
+from repro.check import sarif_json, to_sarif
+from repro.check.findings import Finding
+from repro.cli import main
+
+
+def finding(**overrides):
+    base = dict(
+        rule="DET001", severity="error", path="src/x.py", line=3,
+        message="wall clock", hint="use the sim clock",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestShape:
+    def test_empty_log_is_still_a_valid_run(self):
+        doc = to_sarif([])
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert run["results"] == [] and run["tool"]["driver"]["rules"] == []
+
+    def test_rules_are_deduped_sorted_and_indexed(self):
+        findings = [
+            finding(rule="OBS001", line=9),
+            finding(rule="DET001"),
+            finding(rule="OBS001", line=12),
+        ]
+        (run,) = to_sarif(findings)["runs"]
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+            "DET001", "OBS001",
+        ]
+        for result in run["results"]:
+            rules = run["tool"]["driver"]["rules"]
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_catalog_descriptions_and_hints_carried(self):
+        (run,) = to_sarif([finding()])["runs"]
+        (rule,) = run["tool"]["driver"]["rules"]
+        assert "wall-clock" in rule["shortDescription"]["text"]
+        assert rule["help"]["text"]  # the catalog hint rides along
+
+    def test_severity_levels_map(self):
+        findings = [
+            finding(severity="error"),
+            finding(rule="PY002", severity="warning"),
+            finding(rule="PY001", severity="advice"),
+        ]
+        (run,) = to_sarif(findings)["runs"]
+        assert [r["level"] for r in run["results"]] == [
+            "error", "warning", "note",
+        ]
+
+    def test_whole_file_findings_omit_the_region(self):
+        findings = [finding(rule="IO", line=0), finding(line=7)]
+        (run,) = to_sarif(findings)["runs"]
+        io_loc, det_loc = [
+            r["locations"][0]["physicalLocation"] for r in run["results"]
+        ]
+        assert "region" not in io_loc
+        assert det_loc["region"] == {"startLine": 7}
+
+    def test_suppressed_findings_marked_in_source(self):
+        findings = [finding(suppressed=True), finding(line=9)]
+        (run,) = to_sarif(findings)["runs"]
+        assert run["results"][0]["suppressions"] == [{"kind": "inSource"}]
+        assert "suppressions" not in run["results"][1]
+
+    def test_json_rendering_is_deterministic(self):
+        findings = [finding(), finding(rule="OBS001", line=9)]
+        assert sarif_json(findings) == sarif_json(list(findings))
+        json.loads(sarif_json(findings))  # parses
+
+
+class TestCliFlag:
+    def test_check_writes_a_sarif_file(self, tmp_path, capsys):
+        planted = tmp_path / "bad.py"
+        planted.write_text("import time\nT = time.time()\n")
+        out = tmp_path / "out.sarif"
+        assert main(["check", str(planted), "--sarif", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        (run,) = doc["runs"]
+        assert any(r["ruleId"] == "DET001" for r in run["results"])
+
+    def test_clean_run_writes_an_empty_log(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("X = 1\n")
+        out = tmp_path / "out.sarif"
+        assert main(["check", str(clean), "--sarif", str(out)]) == 0
+        assert json.loads(out.read_text())["runs"][0]["results"] == []

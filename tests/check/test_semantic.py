@@ -1,0 +1,209 @@
+"""The project-wide semantic layer: dataflow-derived findings.
+
+These rules only exist above single-statement pattern matching: a
+wall-clock callable smuggled through a binding or a parameter, one
+DeterministicRandom stream handed to several consumers, set iteration
+feeding an order-sensitive sink, an obs name that is a variable but
+still statically resolvable. Each test plants the pattern in an
+in-memory project and asserts the finding (or its absence — forked
+streams and sorted sets must stay quiet).
+"""
+
+from repro.check import CheckConfig, analyze_project
+from repro.check.project import project_from_sources
+from repro.check.semantic import apply_config
+
+
+def findings_for(named_sources):
+    return analyze_project(project_from_sources(named_sources))
+
+
+def rules_hit(named_sources):
+    return sorted({f.rule for f in findings_for(named_sources)})
+
+
+class TestFlowClock:
+    def test_clock_through_local_binding(self):
+        src = (
+            "import time\n"
+            "now = time.time\n"
+            "def stamp():\n"
+            "    return now()\n"
+        )
+        findings = findings_for({"mod.py": src})
+        assert [f.rule for f in findings] == ["DET001"]
+        assert "time.time" in findings[0].message
+        assert "binding" in findings[0].message
+
+    def test_clock_passed_into_calling_parameter(self):
+        src = (
+            "import time\n"
+            "def sample(clock):\n"
+            "    return clock()\n"
+            "def run():\n"
+            "    return sample(time.time)\n"
+        )
+        findings = findings_for({"mod.py": src})
+        assert [f.rule for f in findings] == ["DET001"]
+        assert "parameter `clock`" in findings[0].message
+        assert "sample" in findings[0].message
+
+    def test_clock_reference_never_called_is_quiet(self):
+        # Holding a reference is not reading the clock; only a call (or
+        # handing it to something that calls it) is.
+        src = (
+            "import time\n"
+            "BANNED = {time.time, time.monotonic}\n"
+        )
+        assert rules_hit({"mod.py": src}) == []
+
+
+class TestSharedRng:
+    SHARED = (
+        "from repro.common.rng import DeterministicRandom\n"
+        "class A:\n"
+        "    def __init__(self, rng):\n"
+        "        self.rng = rng\n"
+        "def build():\n"
+        "    rng = DeterministicRandom(7)\n"
+        "    a = A(rng)\n"
+        "    b = A(rng)\n"
+        "    return a, b\n"
+    )
+
+    def test_shared_across_construction_sites(self):
+        findings = findings_for({"mod.py": self.SHARED})
+        assert [f.rule for f in findings] == ["DET003"]
+        assert "across 2 construction sites" in findings[0].message
+        assert "`rng`" in findings[0].message
+
+    def test_shared_inside_loop(self):
+        src = (
+            "from repro.common.rng import DeterministicRandom\n"
+            "class A:\n"
+            "    def __init__(self, rng):\n"
+            "        self.rng = rng\n"
+            "def build(n):\n"
+            "    rng = DeterministicRandom(7)\n"
+            "    out = []\n"
+            "    for _ in range(n):\n"
+            "        out.append(A(rng))\n"
+            "    return out\n"
+        )
+        findings = findings_for({"mod.py": src})
+        assert [f.rule for f in findings] == ["DET003"]
+        assert "inside a loop" in findings[0].message
+
+    def test_forked_streams_are_quiet(self):
+        forked = self.SHARED.replace(
+            "    a = A(rng)\n    b = A(rng)\n",
+            "    a = A(rng.fork(\"a\"))\n    b = A(rng.fork(\"b\"))\n",
+        )
+        assert forked != self.SHARED
+        assert rules_hit({"mod.py": forked}) == []
+
+    def test_single_site_is_quiet(self):
+        single = self.SHARED.replace("    b = A(rng)\n", "    b = None\n")
+        assert rules_hit({"mod.py": single}) == []
+
+
+class TestUnorderedIteration:
+    HEAPED = (
+        "import heapq\n"
+        "def drain(paths):\n"
+        "    dirty = set(paths)\n"
+        "    heap = []\n"
+        "    for p in dirty:\n"
+        "        heapq.heappush(heap, (0.0, p))\n"
+        "    return heap\n"
+    )
+
+    def test_set_into_heap(self):
+        findings = findings_for({"mod.py": self.HEAPED})
+        assert [f.rule for f in findings] == ["DET004"]
+        assert "`dirty`" in findings[0].message
+        assert "hash order" in findings[0].message
+
+    def test_sorted_clears_the_taint(self):
+        fixed = self.HEAPED.replace("for p in dirty:", "for p in sorted(dirty):")
+        assert rules_hit({"mod.py": fixed}) == []
+
+    def test_list_reshape_keeps_the_taint(self):
+        # list() preserves whatever order the set yields — still tainted.
+        kept = self.HEAPED.replace("for p in dirty:", "for p in list(dirty):")
+        assert rules_hit({"mod.py": kept}) == ["DET004"]
+
+    def test_orderless_body_is_quiet(self):
+        # Iterating a set is fine when the body is order-insensitive.
+        src = (
+            "def total(paths):\n"
+            "    dirty = set(paths)\n"
+            "    n = 0\n"
+            "    for p in dirty:\n"
+            "        n += len(p)\n"
+            "    return n\n"
+        )
+        assert rules_hit({"mod.py": src}) == []
+
+
+class TestFlowObsNames:
+    def test_variable_name_resolved_and_rejected(self):
+        src = (
+            "NAME = \"made.up.metric\"\n"
+            "def record(obs):\n"
+            "    obs.inc(NAME)\n"
+        )
+        findings = findings_for({"mod.py": src})
+        assert [f.rule for f in findings] == ["OBS001"]
+        assert "`made.up.metric`" in findings[0].message
+
+    def test_variable_name_in_catalog_is_quiet(self):
+        src = (
+            "NAME = \"channel.down.bytes\"\n"
+            "def record(obs):\n"
+            "    obs.inc(NAME)\n"
+        )
+        assert rules_hit({"mod.py": src}) == []
+
+    def test_dict_choice_reports_only_bad_values(self):
+        src = (
+            "KINDS = {\"up\": \"channel.upload\", \"down\": \"bogus.event\"}\n"
+            "def record(obs, kind):\n"
+            "    obs.event(KINDS[kind])\n"
+        )
+        findings = findings_for({"mod.py": src})
+        assert [f.rule for f in findings] == ["OBS001"]
+        assert "`bogus.event`" in findings[0].message
+        assert "channel.upload" not in findings[0].message
+
+
+class TestApplyConfig:
+    SRC = (
+        "import time\n"
+        "now = time.time\n"
+        "def stamp():\n"
+        "    return now()  # reprolint: disable=DET001\n"
+    )
+
+    def test_suppression_comments_cover_semantic_findings(self):
+        project = project_from_sources({"mod.py": self.SRC})
+        raw = analyze_project(project)
+        assert [f.rule for f in raw] == ["DET001"]
+        assert not raw[0].suppressed  # raw layer is config-independent
+        filtered = apply_config(raw, project, CheckConfig())
+        assert len(filtered) == 1 and filtered[0].suppressed
+        # The raw finding object must not have been mutated in place —
+        # it may live in a content-addressed cache.
+        assert not raw[0].suppressed
+
+    def test_exemption_globs_drop_semantic_findings(self):
+        project = project_from_sources({"pkg/clockish.py": self.SRC})
+        raw = analyze_project(project)
+        config = CheckConfig(exemptions={"DET001": ("pkg/*",)})
+        assert apply_config(raw, project, config) == []
+
+    def test_only_filter_drops_other_rules(self):
+        project = project_from_sources({"mod.py": self.SRC})
+        raw = analyze_project(project)
+        config = CheckConfig(only=("PY001",))
+        assert apply_config(raw, project, config) == []

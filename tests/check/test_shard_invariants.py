@@ -87,14 +87,107 @@ def test_sharded_lossy_run_preserves_invariants():
     assert router.file_content(dst) == b""
     assert not router.store.exists(src)
 
-    # The recorded trace satisfies every delivery/version invariant.
+    # The recorded trace satisfies every delivery/version invariant,
+    # plus the sharding invariants: envelopes noted on the home shard,
+    # the migration loss-free and write-free.
     doc_trace = load_trace_lines(obs.tracer.to_jsonl().splitlines())
     results = {r.id: r for r in verify_trace(doc_trace)}
-    for inv in ("INV-EXACTLY-ONCE", "INV-CAUSAL-FIFO", "INV-VERSION-MONO"):
+    for inv in ("INV-EXACTLY-ONCE", "INV-CAUSAL-FIFO", "INV-VERSION-MONO",
+                "INV-SHARD-HOME", "INV-MIGRATE-SAFE"):
         assert results[inv].status == "ok", results[inv].violations
         assert results[inv].witnesses_seen > 0
     # Envelope witnesses include real duplicate drops from retransmits.
     assert router.dedup_drops > 0
+
+
+def test_migration_emits_paired_detach_attach():
+    obs = Observability()
+    router = ShardRouter(4, obs=obs)
+    ns1, ns2 = _two_namespaces(router)
+    router.handle(MetaOp(kind="create", path=f"{ns1}/a",
+                         new_version=VersionStamp(1, 1)))
+    router.handle(MetaOp(kind="rename", path=f"{ns1}/a", dest=f"{ns2}/b",
+                         new_version=VersionStamp(1, 2)))
+    events = [e for e in
+              (json.loads(line) for line in obs.tracer.to_jsonl().splitlines())
+              if e.get("type") == "event"]
+    detaches = [e for e in events if e["name"] == "server.shard.detach"]
+    attaches = [e for e in events if e["name"] == "server.shard.attach"]
+    assert len(detaches) == 1 and len(attaches) == 1
+    # The attach re-derives its version count from the destination store
+    # after the merge; nothing may be lost in flight.
+    assert (attaches[0]["attrs"]["versions"]
+            >= detaches[0]["attrs"]["versions"] > 0)
+
+
+def test_shard_home_violation_is_caught():
+    # Seeded mutation: note an envelope on the wrong shard. The recorded
+    # shard id then disagrees with the router's home derivation.
+    obs = Observability()
+    router = ShardRouter(4, obs=obs)
+    home = router.home_shard_index(1)
+    wrong = router.shards[(home + 1) % router.n_shards]
+
+    class _Envelope:
+        msg_id = 1
+        attempt = 1
+
+    wrong._note_envelope(_Envelope(), 1, duplicate=False, home=home)
+    doc_trace = load_trace_lines(obs.tracer.to_jsonl().splitlines())
+    results = {r.id: r for r in verify_trace(doc_trace)}
+    assert results["INV-SHARD-HOME"].status == "violated"
+    assert "dedup state is split" in results["INV-SHARD-HOME"].violations[0]
+
+
+def test_migration_safety_violations_are_caught():
+    def _doc(records):
+        return load_trace_lines(json.dumps(r) for r in records)
+
+    detach = {"type": "event", "name": "server.shard.detach", "ts": 1.0,
+              "attrs": {"path": "/u1/a", "src_shard": 0, "dst_shard": 1,
+                        "reason": "rename", "versions": 3}}
+    attach = {"type": "event", "name": "server.shard.attach", "ts": 2.0,
+              "attrs": {"path": "/u1/a", "src_shard": 0, "dst_shard": 1,
+                        "versions": 3}}
+
+    # A clean pair verifies.
+    results = {r.id: r for r in verify_trace(_doc([detach, attach]))}
+    assert results["INV-MIGRATE-SAFE"].status == "ok"
+
+    # Version loss in flight.
+    lossy = dict(attach, attrs=dict(attach["attrs"], versions=1))
+    results = {r.id: r for r in verify_trace(_doc([detach, lossy]))}
+    assert results["INV-MIGRATE-SAFE"].status == "violated"
+    assert "lost history" in results["INV-MIGRATE-SAFE"].violations[0]
+
+    # A write landing mid-migration.
+    write = {"type": "event", "name": "server.version.accepted", "ts": 1.5,
+             "attrs": {"path": "/u1/a", "client": 1, "counter": 4}}
+    results = {r.id: r for r in verify_trace(_doc([detach, write, attach]))}
+    assert results["INV-MIGRATE-SAFE"].status == "violated"
+    assert "mid-migration" in results["INV-MIGRATE-SAFE"].violations[0]
+
+    # A detach the trace never resolves.
+    results = {r.id: r for r in verify_trace(_doc([detach]))}
+    assert results["INV-MIGRATE-SAFE"].status == "violated"
+    assert "never" in results["INV-MIGRATE-SAFE"].violations[0]
+
+    # An attach out of nowhere.
+    results = {r.id: r for r in verify_trace(_doc([attach]))}
+    assert results["INV-MIGRATE-SAFE"].status == "violated"
+    assert "out of nowhere" in results["INV-MIGRATE-SAFE"].violations[0]
+
+
+def test_old_format_envelopes_skip_shard_home():
+    # A pre-sharding trace (envelopes without shard/home attrs) must
+    # skip, not vacuously pass, the shard-home invariant.
+    records = [{"type": "event", "name": "server.envelope", "ts": 1.0,
+                "attrs": {"client": 1, "msg_id": 1, "attempt": 1,
+                          "duplicate": False}}]
+    doc_trace = load_trace_lines(json.dumps(r) for r in records)
+    results = {r.id: r for r in verify_trace(doc_trace)}
+    assert results["INV-SHARD-HOME"].status == "skipped"
+    assert results["INV-EXACTLY-ONCE"].status == "ok"
 
 
 def test_trace_records_rename_forward_event():

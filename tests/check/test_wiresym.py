@@ -1,0 +1,186 @@
+"""WIRE002: static wire-symmetry proofs over encoder/decoder pairs.
+
+Two halves. The planted cases prove the extractor catches real
+asymmetries (reordered fields, width drift, missing fields) and stays
+honest about code it cannot model. The real-tree case pins the proof
+surface of the shipped codecs: every pair the grammar can model must
+stay provably symmetric, and a codec silently dropping out of the
+``ok`` set is a regression even if nothing is broken yet.
+"""
+
+from repro.check.callgraph import CallGraph
+from repro.check.linter import iter_python_files
+from repro.check.project import load_project, project_from_sources
+from repro.check.wiresym import verify_project
+
+
+def proofs(named_sources):
+    project = project_from_sources(named_sources)
+    graph = CallGraph.build(project)
+    return {r.name: r for r in verify_project(graph)}
+
+
+PAIR_TEMPLATE = """\
+import struct
+
+
+def encode_pair(a, b):
+    return struct.pack("<I", a) + struct.pack("<Q", b)
+
+
+def decode_pair(buf):
+    a = struct.unpack("<I", buf[0:4])[0]
+    b = struct.unpack("<Q", buf[4:12])[0]
+    return a, b
+"""
+
+
+class TestPlantedPairs:
+    def test_symmetric_pair_proves_ok(self):
+        results = proofs({"codec.py": PAIR_TEMPLATE})
+        r = results["encode_pair/decode_pair"]
+        assert r.status == "ok", r.detail
+        assert not r.problems
+
+    def test_reordered_fields_mismatch(self):
+        swapped = PAIR_TEMPLATE.replace(
+            'a = struct.unpack("<I", buf[0:4])[0]\n'
+            '    b = struct.unpack("<Q", buf[4:12])[0]',
+            'b = struct.unpack("<Q", buf[0:8])[0]\n'
+            '    a = struct.unpack("<I", buf[8:12])[0]',
+        )
+        assert swapped != PAIR_TEMPLATE
+        r = proofs({"codec.py": swapped})["encode_pair/decode_pair"]
+        assert r.status == "mismatch"
+        assert "u32 u64" in r.problems[0] and "u64 u32" in r.problems[0]
+
+    def test_width_drift_mismatch(self):
+        drifted = PAIR_TEMPLATE.replace('"<I", buf[0:4]', '"<H", buf[0:2]')
+        assert drifted != PAIR_TEMPLATE
+        r = proofs({"codec.py": drifted})["encode_pair/decode_pair"]
+        assert r.status == "mismatch"
+        assert "u16" in r.problems[0]
+
+    def test_missing_field_mismatch(self):
+        truncated = PAIR_TEMPLATE.replace(
+            '    b = struct.unpack("<Q", buf[4:12])[0]\n', ""
+        ).replace("return a, b", "return a")
+        r = proofs({"codec.py": truncated})["encode_pair/decode_pair"]
+        assert r.status == "mismatch"
+
+    def test_tagged_branches_prove_per_arm(self):
+        src = """\
+import struct
+
+
+def encode_op(op):
+    if op.kind == 0:
+        return bytes([0]) + struct.pack("<I", op.length)
+    return bytes([1]) + op.data
+
+
+def decode_op(buf):
+    tag = buf[0]
+    if tag == 0:
+        return struct.unpack("<I", buf[1:5])[0]
+    return buf[1:]
+"""
+        r = proofs({"codec.py": src})["encode_op/decode_op"]
+        assert r.status == "ok", (r.detail, r.problems)
+
+    def test_unmodellable_code_skips_not_lies(self):
+        # A varint loop is outside the grammar; the proof must come back
+        # "skipped" with a reason, never a false ok or false mismatch.
+        src = """\
+def encode_varint(n):
+    out = bytearray()
+    while n >= 0x80:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+    return bytes(out)
+
+
+def decode_varint(buf):
+    shift = n = 0
+    for byte in buf:
+        n |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+    return n
+"""
+        r = proofs({"codec.py": src})["encode_varint/decode_varint"]
+        assert r.status == "skipped"
+        assert r.detail
+        assert not r.problems
+
+    def test_helper_composition_is_followed(self):
+        src = """\
+import struct
+
+
+def _pack_str(s):
+    data = s.encode("utf-8")
+    return struct.pack("<I", len(data)) + data
+
+
+def _unpack_str(buf, off):
+    n = struct.unpack("<I", buf[off:off + 4])[0]
+    raw = buf[off + 4:off + 4 + n]
+    return raw.decode("utf-8"), off + 4 + n
+
+
+def encode_entry(e):
+    return _pack_str(e.path) + struct.pack("<Q", e.version)
+
+
+def decode_entry(buf):
+    path, off = _unpack_str(buf, 0)
+    version = struct.unpack("<Q", buf[off:off + 8])[0]
+    return path, version
+"""
+        results = proofs({"codec.py": src})
+        assert results["_pack_str/_unpack_str"].status == "ok"
+        assert results["encode_entry/decode_entry"].status == "ok"
+
+
+class TestRealTree:
+    def test_shipped_codecs_stay_proven(self):
+        files = sorted(iter_python_files(["src/repro"]))
+        project = load_project(files, package_roots=["src"])
+        results = {
+            r.name: r for r in verify_project(CallGraph.build(project))
+        }
+
+        # The full-proof surface: each of these must keep status "ok".
+        proven = {
+            "_pack_bytes/_unpack_bytes",
+            "_pack_str/_unpack_str",
+            "_pack_version/_unpack_version",
+            "encode_node/decode_node",
+            "_encode_relation/_decode_relation",
+            "_encode_undo/_decode_undo",
+            "Delta.encode/decode",
+            "encode_record/iter_records",
+        }
+        # Encode-only op classes proved against Delta.decode's tag arms.
+        tag_proven = {"Copy.encode", "Literal.encode"}
+
+        for name in proven:
+            assert results[name].status == "ok", (
+                f"{name}: {results[name].status} — {results[name].detail} "
+                f"{results[name].problems}"
+            )
+        for name in tag_proven:
+            assert results[name].status == "tag-ok", (
+                f"{name}: {results[name].status}"
+            )
+        # Nothing in the tree may be flat-out asymmetric.
+        mismatched = [r.name for r in results.values()
+                      if r.status == "mismatch"]
+        assert not mismatched, mismatched
+        # Honest skips must carry a reason the report can print.
+        for r in results.values():
+            if r.status == "skipped":
+                assert r.detail, f"{r.name} skipped without a reason"

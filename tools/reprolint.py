@@ -40,10 +40,41 @@ def main(argv=None) -> int:
         "--show-suppressed", action="store_true",
         help="also print findings silenced by reprolint comments",
     )
+    parser.add_argument(
+        "--no-semantic", action="store_true",
+        help="skip the project-wide semantic rules (dataflow + "
+             "wire-symmetry)",
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="content-hash analysis cache file (unchanged content "
+             "reuses cached findings)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write the findings as a SARIF 2.1.0 log to PATH",
+    )
     args = parser.parse_args(argv)
 
+    cache = None
+    if args.cache:
+        from repro.check import AnalysisCache
+
+        cache = AnalysisCache.load(args.cache)
     paths = args.paths or [os.path.join(SRC, "repro")]
-    findings = lint_paths(paths, package_roots=[os.path.join(SRC, "repro")])
+    findings = lint_paths(
+        paths,
+        package_roots=[os.path.join(SRC, "repro")],
+        semantic=not args.no_semantic,
+        cache=cache,
+    )
+    if cache is not None:
+        cache.save(args.cache)
+    if args.sarif:
+        from repro.check import sarif_json
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(sarif_json(findings) + "\n")
     print(human_report(findings, show_suppressed=args.show_suppressed))
     return 1 if gate(findings, fail_on=args.fail_on) else 0
 
